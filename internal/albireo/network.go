@@ -1,0 +1,130 @@
+package albireo
+
+import (
+	"fmt"
+
+	"photoloop/internal/mapper"
+	"photoloop/internal/model"
+	"photoloop/internal/workload"
+)
+
+// NetOptions configures a network evaluation on Albireo.
+type NetOptions struct {
+	// Batch replicates the workload batch dimension (>= 1). Batching
+	// amortizes weight movement (the first Fig. 4 optimization).
+	Batch int
+	// Fused keeps activations in the global buffer between layers
+	// instead of spilling them to DRAM (the second Fig. 4 optimization,
+	// after LoopTree). Fusion doubles the global buffer (and grows it
+	// further if the activations demand it), charging the larger SRAM's
+	// higher per-access energy.
+	Fused bool
+	// Mapper configures the per-layer search.
+	Mapper mapper.Options
+}
+
+// LayerEval pairs a layer with its best mapping's evaluation.
+type LayerEval struct {
+	Layer workload.Layer
+	Best  *mapper.Best
+}
+
+// NetResult is a whole-network evaluation.
+type NetResult struct {
+	Network string
+	Config  Config
+	Options NetOptions
+	Layers  []LayerEval
+	// Total accumulates all layers (energy ledger included).
+	Total model.Result
+}
+
+// PJPerMAC returns whole-network energy per MAC.
+func (r *NetResult) PJPerMAC() float64 { return r.Total.PJPerMAC() }
+
+// EvalNetwork maps and evaluates every layer of the network on the
+// configured Albireo instance, applying batching and fusion.
+func EvalNetwork(cfg Config, net workload.Network, opts NetOptions) (*NetResult, error) {
+	if opts.Batch < 1 {
+		opts.Batch = 1
+	}
+	work := net.WithBatch(opts.Batch)
+	if err := work.Validate(); err != nil {
+		return nil, err
+	}
+
+	res := &NetResult{Network: net.Name, Config: cfg, Options: opts}
+	res.Total.Layer = net.Name
+
+	for i := range work.Layers {
+		layer := work.Layers[i]
+		lcfg := cfg
+		if opts.Fused {
+			// Activations stay on chip: DRAM backs weights always,
+			// inputs only for the first layer, outputs only for the
+			// last.
+			keeps := workload.NewTensorSet(workload.Weights)
+			if i == 0 {
+				keeps = keeps.With(workload.Inputs)
+			}
+			if i == len(work.Layers)-1 {
+				keeps = keeps.With(workload.Outputs)
+			}
+			lcfg.DRAMKeeps = keeps
+			lcfg.GLBMiB = fusedGLBMiB(cfg.GLBMiB, &work, opts.Batch)
+		}
+		a, err := lcfg.Build()
+		if err != nil {
+			return nil, fmt.Errorf("albireo: building arch for %s: %w", layer.Name, err)
+		}
+		mopts := opts.Mapper
+		mopts.Seeds = append(CanonicalMappings(a, &layer), mopts.Seeds...)
+		best, err := mapper.Search(a, &layer, mopts)
+		if err != nil {
+			return nil, fmt.Errorf("albireo: mapping %s: %w", layer.Name, err)
+		}
+		res.Layers = append(res.Layers, LayerEval{Layer: layer, Best: best})
+		res.Total.Accumulate(best.Result)
+	}
+	return res, nil
+}
+
+// fusedGLBMiB sizes the fused global buffer: at least double the baseline
+// (the paper's trade-off) and large enough for the biggest inter-layer
+// activation working set plus headroom for weights and the second
+// activation tensor.
+func fusedGLBMiB(baseMiB int, net *workload.Network, batch int) int {
+	need := int64(0)
+	for i := range net.Layers {
+		l := &net.Layers[i]
+		words := l.TensorElems(workload.Inputs) + l.TensorElems(workload.Outputs) + l.TensorElems(workload.Weights)
+		if words > need {
+			need = words
+		}
+	}
+	needMiB := int((need + (1 << 20) - 1) >> 20) // 8-bit words -> MiB
+	mib := 2 * baseMiB
+	// Round the activation demand up with 50% headroom for tiling slack.
+	for mib < needMiB+needMiB/2+1 {
+		mib *= 2
+	}
+	return mib
+}
+
+// ThroughputMACsPerCycle returns the whole-network achieved throughput:
+// total real MACs divided by total cycles.
+func (r *NetResult) ThroughputMACsPerCycle() float64 {
+	if r.Total.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Total.MACs) / r.Total.Cycles
+}
+
+// DRAMShare returns the DRAM fraction of total energy.
+func (r *NetResult) DRAMShare() float64 {
+	if r.Total.TotalPJ == 0 {
+		return 0
+	}
+	breakdown := RoleBreakdown(&r.Total)
+	return breakdown[RoleDRAM] / r.Total.TotalPJ
+}

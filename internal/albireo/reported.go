@@ -1,0 +1,99 @@
+package albireo
+
+// This file holds the reference values the reproduction compares against.
+// The ISPASS paper reports results as bar charts; the numbers below are
+// digitized estimates from those figures (and, for Fig. 2, from the
+// Albireo paper's scaling projections they trace back to). They are
+// comparison references, not model inputs — except that the conservative
+// component energies in scaling.go were calibrated so the best-case Fig. 2
+// breakdown lands on the reported conservative bar, mirroring the paper's
+// own calibration to the Albireo component tables.
+
+// ReportedFig2 returns the reported best-case energy breakdown (pJ/MAC)
+// for a scaling projection, keyed by Fig. 2 bin.
+func ReportedFig2(s Scaling) map[Fig2Bin]float64 {
+	switch s {
+	case Conservative:
+		return map[Fig2Bin]float64{
+			BinMRR: 0.30, BinMZM: 0.55, BinLaser: 0.50, BinAOAE: 0.40,
+			BinDEAE: 0.90, BinAEDE: 0.60, BinCache: 0.12,
+		}
+	case Moderate:
+		return map[Fig2Bin]float64{
+			BinMRR: 0.14, BinMZM: 0.26, BinLaser: 0.23, BinAOAE: 0.19,
+			BinDEAE: 0.42, BinAEDE: 0.28, BinCache: 0.08,
+		}
+	case Aggressive:
+		return map[Fig2Bin]float64{
+			BinMRR: 0.05, BinMZM: 0.09, BinLaser: 0.08, BinAOAE: 0.06,
+			BinDEAE: 0.14, BinAEDE: 0.09, BinCache: 0.06,
+		}
+	}
+	return nil
+}
+
+// ReportedFig2Total returns the reported best-case total (pJ/MAC).
+func ReportedFig2Total(s Scaling) float64 {
+	var t float64
+	for _, v := range ReportedFig2(s) {
+		t += v
+	}
+	return t
+}
+
+// Fig3Reported holds the throughput references of Fig. 3 (MACs/cycle).
+type Fig3Reported struct {
+	// Ideal assumes 100% compute-unit utilization.
+	Ideal float64
+	// Reported is the Albireo paper's own (near-ideal) number.
+	Reported float64
+}
+
+// ReportedFig3 returns the Fig. 3 references per workload name.
+func ReportedFig3() map[string]Fig3Reported {
+	return map[string]Fig3Reported{
+		"vgg16":   {Ideal: 6912, Reported: 6512},
+		"alexnet": {Ideal: 6912, Reported: 5870},
+	}
+}
+
+// PaperClaims collects the paper's headline quantitative claims, with the
+// tolerance bands the integration tests assert (shape, not absolute
+// numbers, per the reproduction policy).
+type PaperClaims struct {
+	// Fig2MaxAvgError: "The average overall energy error is 0.4%."
+	// We assert our calibrated model stays within 5%.
+	Fig2MaxAvgError float64
+	// Fig3VGGMinUtil / Fig3AlexMaxUtil: VGG16 runs near ideal; AlexNet is
+	// significantly degraded by strided/FC layers.
+	Fig3VGGMinUtil  float64
+	Fig3AlexMaxUtil float64
+	// Fig4AggressiveDRAMShare: "DRAM consumes 75% of overall system
+	// energy" for the aggressively-scaled system.
+	Fig4AggressiveDRAMShareLo float64
+	Fig4AggressiveDRAMShareHi float64
+	// Fig4ConservativeDRAMShareHi: conservative DRAM share is small.
+	Fig4ConservativeDRAMShareHi float64
+	// Fig4CombinedReduction: batching + fusion reduce aggressive system
+	// energy by 67% (3x).
+	Fig4CombinedReductionLo float64
+	// Fig5ConverterReduction: reuse scaling cuts data-converter energy by
+	// 42% and accelerator energy by 31%.
+	Fig5ConverterReductionLo   float64
+	Fig5AcceleratorReductionLo float64
+}
+
+// Claims returns the tolerance bands used by the integration tests.
+func Claims() PaperClaims {
+	return PaperClaims{
+		Fig2MaxAvgError:             0.05,
+		Fig3VGGMinUtil:              0.60,
+		Fig3AlexMaxUtil:             0.50,
+		Fig4AggressiveDRAMShareLo:   0.55,
+		Fig4AggressiveDRAMShareHi:   0.90,
+		Fig4ConservativeDRAMShareHi: 0.45,
+		Fig4CombinedReductionLo:     0.50,
+		Fig5ConverterReductionLo:    0.25,
+		Fig5AcceleratorReductionLo:  0.15,
+	}
+}

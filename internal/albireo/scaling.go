@@ -1,0 +1,119 @@
+// Package albireo instantiates the Albireo photonic CNN accelerator
+// [Shiflett et al., ISCA 2021] in the modeling framework, as the paper
+// does: component energies follow the Albireo paper's published estimates
+// under three technology-scaling projections, and the architecture is a
+// documented reconstruction (see DESIGN.md) — 8 clusters, each processing a
+// 32-wide output-pixel vector for 3 output channels across a 3x3
+// wavelength-parallel window per cycle, with weight-stationary microring
+// banks, Mach-Zehnder input modulators, and photodiode + analog
+// accumulation + ADC readout.
+//
+// Absolute energies are calibrated so the best-case per-MAC breakdown
+// matches the reported bars of the paper's Fig. 2; every other figure is a
+// prediction of the model.
+package albireo
+
+import "fmt"
+
+// Scaling selects one of the Albireo paper's technology projections.
+type Scaling uint8
+
+// The three scaling projections evaluated in the paper.
+const (
+	Conservative Scaling = iota
+	Moderate
+	Aggressive
+)
+
+var scalingNames = [...]string{"conservative", "moderate", "aggressive"}
+
+// String names the scaling.
+func (s Scaling) String() string {
+	if int(s) < len(scalingNames) {
+		return scalingNames[s]
+	}
+	return fmt.Sprintf("Scaling(%d)", uint8(s))
+}
+
+// ParseScaling converts a scaling name.
+func ParseScaling(name string) (Scaling, error) {
+	for i, n := range scalingNames {
+		if n == name {
+			return Scaling(i), nil
+		}
+	}
+	return 0, fmt.Errorf("albireo: unknown scaling %q", name)
+}
+
+// AllScalings lists the projections.
+func AllScalings() []Scaling { return []Scaling{Conservative, Moderate, Aggressive} }
+
+// Params holds the per-action component energies of one scaling point.
+// Conservative values are calibrated against the reported Fig. 2 breakdown;
+// moderate and aggressive apply the Albireo projections' improvement
+// factors (optical/converter devices improve faster than SRAM).
+type Params struct {
+	// MZMModulatePJ is the Mach-Zehnder input modulation energy per
+	// symbol.
+	MZMModulatePJ float64
+	// MRRProgramPJ is the microring weight retuning energy.
+	MRRProgramPJ float64
+	// MRRTransitPJ is the per-MAC ring pass energy.
+	MRRTransitPJ float64
+	// PDDetectPJ is the photodiode+TIA detection energy per sample.
+	PDDetectPJ float64
+	// LaserPerMACPJ is the optical supply energy per MAC.
+	LaserPerMACPJ float64
+	// InputDACPJPerBit and WeightDACPJPerBit parameterize the 8-bit
+	// high-speed DACs on the modulation and ring-programming paths.
+	InputDACPJPerBit  float64
+	WeightDACPJPerBit float64
+	// ADCWaldenFJPerStep parameterizes the 8-bit readout ADC.
+	ADCWaldenFJPerStep float64
+	// SRAMScale scales the global-buffer technology coefficients.
+	SRAMScale float64
+	// DRAMPJPerBit is the off-chip access energy (scaling independent —
+	// the DRAM does not improve with the photonics).
+	DRAMPJPerBit float64
+	// ClockGHz is the optical symbol rate.
+	ClockGHz float64
+}
+
+// ParamsFor returns the parameter set of a scaling projection.
+func ParamsFor(s Scaling) Params {
+	// Conservative calibration (see package comment).
+	p := Params{
+		MZMModulatePJ:      4.66,
+		MRRProgramPJ:       3.2,
+		MRRTransitPJ:       0.20,
+		PDDetectPJ:         3.60,
+		LaserPerMACPJ:      0.50,
+		InputDACPJPerBit:   0.9125,
+		WeightDACPJPerBit:  0.125,
+		ADCWaldenFJPerStep: 21.1,
+		SRAMScale:          1.0,
+		DRAMPJPerBit:       35.0,
+		ClockGHz:           5.0,
+	}
+	var optical, sram float64
+	switch s {
+	case Conservative:
+		optical, sram = 1.0, 1.0
+	case Moderate:
+		optical, sram = 0.465, 0.70
+	case Aggressive:
+		optical, sram = 0.158, 0.50
+	default:
+		optical, sram = 1.0, 1.0
+	}
+	p.MZMModulatePJ *= optical
+	p.MRRProgramPJ *= optical
+	p.MRRTransitPJ *= optical
+	p.PDDetectPJ *= optical
+	p.LaserPerMACPJ *= optical
+	p.InputDACPJPerBit *= optical
+	p.WeightDACPJPerBit *= optical
+	p.ADCWaldenFJPerStep *= optical
+	p.SRAMScale = sram
+	return p
+}

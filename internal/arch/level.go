@@ -1,0 +1,223 @@
+package arch
+
+import (
+	"fmt"
+
+	"photoloop/internal/workload"
+)
+
+// ActionRef names one component action charged some number of times per
+// word (or per MAC, for compute actions). Converter chains are slices of
+// ActionRefs: e.g. a weight fill into Albireo's ring bank costs one DAC
+// "convert" plus one MRR "program" per word.
+type ActionRef struct {
+	// Component is the name of a component in the architecture's library.
+	Component string `json:"component"`
+	// Action is the component action to charge.
+	Action string `json:"action"`
+	// PerWord is the number of actions per word; 0 means 1. Values >1
+	// model bit-serial or multi-phase conversion, <1 models shared
+	// converters.
+	PerWord float64 `json:"per_word,omitempty"`
+	// PerDistinct changes the counting basis: instead of one action per
+	// destination-side word (each receiving instance converts its own
+	// copy), charge one action per distinct word on the shared side of
+	// the distribution network — post-multicast for fills (one modulator
+	// feeding a star coupler), post-reduction for drains (one ADC after
+	// the merge).
+	PerDistinct bool `json:"per_distinct,omitempty"`
+}
+
+// Count returns the action count multiplier (PerWord defaulted to 1).
+func (a ActionRef) Count() float64 {
+	if a.PerWord <= 0 {
+		return 1
+	}
+	return a.PerWord
+}
+
+// Level is one storage level of the hierarchy. Levels are ordered from the
+// outermost backing store (DRAM) down to the innermost operand stations
+// next to the compute array. Each level declares the spatial fan-out of the
+// hierarchy *below* it and the converter chains on its fill (parent→this)
+// and drain (this→parent) paths.
+type Level struct {
+	// Name identifies the level, e.g. "DRAM", "GlobalBuffer", "RingBank".
+	Name string `json:"name"`
+	// Domain is the signaling domain the stored data lives in.
+	Domain Domain `json:"-"`
+	// CapacityBits bounds the total kept-tile footprint; 0 = unbounded.
+	CapacityBits int64 `json:"capacity_bits,omitempty"`
+	// WordBits overrides the architecture default word size at this level.
+	WordBits int `json:"word_bits,omitempty"`
+	// BandwidthWordsPerCycle bounds total words moved per cycle between
+	// this level and its children; 0 = unbounded.
+	BandwidthWordsPerCycle float64 `json:"bandwidth_words_per_cycle,omitempty"`
+	// Keeps lists the tensors stored at this level; others bypass it.
+	Keeps workload.TensorSet `json:"-"`
+	// AccessComponent names the component charged per read/write/update
+	// of this level ("" = free, e.g. a pseudo-station whose cost is
+	// entirely in its converters).
+	AccessComponent string `json:"access_component,omitempty"`
+
+	// Streaming marks a zero-retention station: values pass through (an
+	// optical carrier, a sample-and-hold) and must be refilled every
+	// cycle they are consumed, regardless of loop stationarity. Albireo's
+	// modulated-input station is streaming — light is not storage.
+	Streaming bool `json:"streaming,omitempty"`
+	// MaxTemporalProduct caps the product of temporal loop factors the
+	// mapping may place at this level; 0 = unbounded. A value of 1
+	// forbids temporal loops entirely — e.g. an analog accumulator whose
+	// ADC samples every symbol cannot integrate across cycles.
+	MaxTemporalProduct int `json:"max_temporal_product,omitempty"`
+
+	// Spatial lists the rigid fan-out factors of the hierarchy below
+	// this level; the mapping assigns each factor to one of its allowed
+	// dimensions. Empty means no rigid fan-out.
+	Spatial []SpatialFactor `json:"-"`
+	// MaxFanout additionally permits mapper-chosen ("free") spatial
+	// factors below this level with product up to MaxFanout; 0 = only
+	// the rigid factors.
+	MaxFanout int `json:"max_fanout,omitempty"`
+	// FreeSpatialDims restricts which dimensions free spatial factors
+	// may use; empty = any.
+	FreeSpatialDims []workload.Dim `json:"-"`
+
+	// NoMulticast disables one-to-many distribution of read tensors
+	// below this level (each child fill then charges its own read).
+	NoMulticast bool `json:"no_multicast,omitempty"`
+	// NoSpatialReduce disables merging of partial sums below this level
+	// (each child drain then charges its own write).
+	NoSpatialReduce bool `json:"no_spatial_reduce,omitempty"`
+	// InputOverlapSharing models Albireo's star-coupler broadcast of
+	// overlapped convolution windows: spatially adjacent windows below
+	// this level receive shared input values without refetch or
+	// re-conversion. Only meaningful for unstrided (stride < filter)
+	// layers; the model computes the exact sharing from the halo
+	// geometry.
+	InputOverlapSharing bool `json:"input_overlap_sharing,omitempty"`
+
+	// FillVia charges converter chains per word filled into this level
+	// from its parent keeper, per tensor (e.g. inputs: DAC + MZM). The
+	// default basis is destination-side words (each receiving instance
+	// converts its own copy); PerDistinct switches to post-multicast
+	// distinct words.
+	FillVia map[workload.Tensor][]ActionRef `json:"-"`
+	// UpdateVia charges converter chains per output word arriving at
+	// this level from below, post spatial-reduction (e.g. a photodiode
+	// detecting an optically summed partial).
+	UpdateVia map[workload.Tensor][]ActionRef `json:"-"`
+	// DrainVia charges converter chains per word drained from this level
+	// toward its parent keeper (e.g. outputs: ADC). The default basis is
+	// source-side words (one conversion per draining instance);
+	// PerDistinct switches to post-reduction merged words.
+	DrainVia map[workload.Tensor][]ActionRef `json:"-"`
+}
+
+// EffectiveWordBits returns the level word size given the arch default.
+func (l *Level) EffectiveWordBits(def int) int {
+	if l.WordBits > 0 {
+		return l.WordBits
+	}
+	return def
+}
+
+// RigidFanout returns the product of the rigid spatial factor counts below
+// this level.
+func (l *Level) RigidFanout() int64 {
+	f := int64(1)
+	for i := range l.Spatial {
+		f *= int64(l.Spatial[i].Count)
+	}
+	return f
+}
+
+// MaxTotalFanout returns the maximum fan-out below this level: rigid
+// factors times any mapper-chosen headroom.
+func (l *Level) MaxTotalFanout() int64 {
+	f := l.RigidFanout()
+	if l.MaxFanout > 1 {
+		f *= int64(l.MaxFanout)
+	}
+	return f
+}
+
+// CanonicalSpatial returns the spatial point with every rigid factor
+// assigned to its canonical (first-listed) dimension.
+func (l *Level) CanonicalSpatial() workload.Point {
+	p := workload.Ones()
+	for i := range l.Spatial {
+		d := l.Spatial[i].Dims[0]
+		p[d] *= l.Spatial[i].Count
+	}
+	return p
+}
+
+// AllowsFreeDim reports whether free spatial factors below this level may
+// use dimension d.
+func (l *Level) AllowsFreeDim(d workload.Dim) bool {
+	if len(l.FreeSpatialDims) == 0 {
+		return true
+	}
+	for _, x := range l.FreeSpatialDims {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Compute describes the innermost compute array: one instance performs one
+// MAC per cycle; PerMAC actions (laser supply, ring transit, or a digital
+// MAC) are charged per actual MAC performed.
+type Compute struct {
+	Name   string      `json:"name"`
+	Domain Domain      `json:"-"`
+	PerMAC []ActionRef `json:"per_mac,omitempty"`
+}
+
+func (l *Level) validateRefs(lib componentChecker, strict bool) error {
+	check := func(kind string, refs []ActionRef) error {
+		for _, r := range refs {
+			if err := lib.CheckAction(r.Component, r.Action); err != nil {
+				return fmt.Errorf("arch: level %s %s: %w", l.Name, kind, err)
+			}
+		}
+		return nil
+	}
+	if l.AccessComponent != "" {
+		if err := lib.CheckAction(l.AccessComponent, "read"); err != nil {
+			return fmt.Errorf("arch: level %s access component: %w", l.Name, err)
+		}
+	}
+	for t, refs := range l.FillVia {
+		if strict && !l.Keeps.Has(t) {
+			return fmt.Errorf("arch: level %s has FillVia for bypassed tensor %v", l.Name, t)
+		}
+		if err := check(fmt.Sprintf("FillVia[%v]", t), refs); err != nil {
+			return err
+		}
+	}
+	for t, refs := range l.UpdateVia {
+		if strict && !l.Keeps.Has(t) {
+			return fmt.Errorf("arch: level %s has UpdateVia for bypassed tensor %v", l.Name, t)
+		}
+		if err := check(fmt.Sprintf("UpdateVia[%v]", t), refs); err != nil {
+			return err
+		}
+	}
+	for t, refs := range l.DrainVia {
+		if strict && !l.Keeps.Has(t) {
+			return fmt.Errorf("arch: level %s has DrainVia for bypassed tensor %v", l.Name, t)
+		}
+		if err := check(fmt.Sprintf("DrainVia[%v]", t), refs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// componentChecker abstracts the library for validation.
+type componentChecker interface {
+	CheckAction(component, action string) error
+}

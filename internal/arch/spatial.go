@@ -1,0 +1,63 @@
+package arch
+
+import (
+	"fmt"
+
+	"photoloop/internal/workload"
+)
+
+// SpatialFactor is one rigid fan-out factor of the hierarchy below a level:
+// Count parallel instances that the mapping must assign to exactly one of
+// the allowed Dims. Photonic arrays are structurally rigid (a 3x3 window
+// bank is 9 wavelength slots whether or not the layer has a 3x3 filter),
+// but a slot group can often serve alternative dimensions — e.g. Albireo's
+// wavelength slots carry filter taps (R/S) for convolutions and input
+// channels (C) for fully-connected layers.
+type SpatialFactor struct {
+	// Count is the number of parallel instances (>= 1).
+	Count int `json:"count"`
+	// Dims are the problem dimensions this factor may be assigned to, in
+	// preference order. The first entry is the canonical assignment.
+	Dims []workload.Dim `json:"-"`
+}
+
+// Validate checks the factor.
+func (f *SpatialFactor) Validate() error {
+	if f.Count < 1 {
+		return fmt.Errorf("arch: spatial factor count %d, want >= 1", f.Count)
+	}
+	if len(f.Dims) == 0 {
+		return fmt.Errorf("arch: spatial factor has no assignable dimensions")
+	}
+	seen := map[workload.Dim]bool{}
+	for _, d := range f.Dims {
+		if d >= workload.NumDims {
+			return fmt.Errorf("arch: spatial factor references invalid dimension %v", d)
+		}
+		if seen[d] {
+			return fmt.Errorf("arch: spatial factor lists dimension %v twice", d)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// Allows reports whether the factor may be assigned to dimension d.
+func (f *SpatialFactor) Allows(d workload.Dim) bool {
+	for _, x := range f.Dims {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Fixed builds a single-assignment spatial factor.
+func Fixed(d workload.Dim, count int) SpatialFactor {
+	return SpatialFactor{Count: count, Dims: []workload.Dim{d}}
+}
+
+// Choice builds a spatial factor assignable to any of the listed dims.
+func Choice(count int, dims ...workload.Dim) SpatialFactor {
+	return SpatialFactor{Count: count, Dims: dims}
+}

@@ -1,0 +1,91 @@
+package components
+
+import (
+	"fmt"
+	"math"
+)
+
+// ADCSpec parameterizes an analog-to-digital converter using a Walden
+// figure-of-merit model: energy per conversion = FOM * 2^bits. This is the
+// AE/DE converter of the paper and, with CiM and photonics alike, a
+// dominant energy term unless amortized by analog-domain reuse.
+type ADCSpec struct {
+	Name string
+	// Bits is the conversion resolution.
+	Bits int
+	// WaldenFJPerStep is the figure of merit in femtojoules per
+	// conversion step. Published ADCs span ~5-200 fJ/step depending on
+	// rate and technology.
+	WaldenFJPerStep float64
+	// UM2 is the converter area.
+	UM2 float64
+}
+
+// NewADC builds an ADC component. Its single action is ActionConvert.
+func NewADC(s ADCSpec) (Component, error) {
+	if s.Bits <= 0 || s.Bits > 16 {
+		return nil, fmt.Errorf("components: adc %s: bits = %d, want 1..16", s.Name, s.Bits)
+	}
+	if s.WaldenFJPerStep <= 0 {
+		return nil, fmt.Errorf("components: adc %s: FOM must be positive", s.Name)
+	}
+	pj := s.WaldenFJPerStep * math.Exp2(float64(s.Bits)) / 1000
+	if s.UM2 <= 0 {
+		// Area grows roughly linearly with 2^bits for SAR-class ADCs.
+		s.UM2 = 20 * math.Exp2(float64(s.Bits)) / 16
+	}
+	return NewBase(s.Name, "adc", map[string]float64{ActionConvert: pj}, s.UM2, 0), nil
+}
+
+// DACSpec parameterizes a digital-to-analog converter (the DE/AE converter).
+// DACs are far cheaper than ADCs; energy is modeled as a per-bit switching
+// cost on a capacitive ladder.
+type DACSpec struct {
+	Name string
+	// Bits is the DAC resolution.
+	Bits int
+	// PJPerBit is the switching energy per resolved bit.
+	PJPerBit float64
+	// UM2 is the converter area.
+	UM2 float64
+}
+
+// NewDAC builds a DAC component. Its single action is ActionConvert.
+func NewDAC(s DACSpec) (Component, error) {
+	if s.Bits <= 0 || s.Bits > 16 {
+		return nil, fmt.Errorf("components: dac %s: bits = %d, want 1..16", s.Name, s.Bits)
+	}
+	if s.PJPerBit <= 0 {
+		return nil, fmt.Errorf("components: dac %s: PJPerBit must be positive", s.Name)
+	}
+	pj := s.PJPerBit * float64(s.Bits)
+	if s.UM2 <= 0 {
+		s.UM2 = 6 * float64(s.Bits)
+	}
+	return NewBase(s.Name, "dac", map[string]float64{ActionConvert: pj}, s.UM2, 0), nil
+}
+
+func init() {
+	RegisterClass("adc", func(name string, p Params) (Component, error) {
+		bits, err := p.Require("bits")
+		if err != nil {
+			return nil, err
+		}
+		fom, err := p.Require("walden_fj_per_step")
+		if err != nil {
+			return nil, err
+		}
+		return NewADC(ADCSpec{Name: name, Bits: int(bits), WaldenFJPerStep: fom, UM2: p.Get("um2", 0)})
+	})
+	RegisterClass("dac", func(name string, p Params) (Component, error) {
+		bits, err := p.Require("bits")
+		if err != nil {
+			return nil, err
+		}
+		pjb, err := p.Require("pj_per_bit")
+		if err != nil {
+			return nil, err
+		}
+		return NewDAC(DACSpec{Name: name, Bits: int(bits), PJPerBit: pjb, UM2: p.Get("um2", 0)})
+	})
+}

@@ -1,0 +1,24 @@
+package components
+
+import "math"
+
+// Optical link budgets are naturally expressed in decibels; these helpers
+// keep the dB arithmetic in one place.
+
+// DBToLinear converts a gain in dB to a linear power ratio.
+func DBToLinear(db float64) float64 { return math.Pow(10, db/10) }
+
+// LinearToDB converts a linear power ratio to dB.
+func LinearToDB(ratio float64) float64 { return 10 * math.Log10(ratio) }
+
+// SplitLossDB returns the intrinsic loss of an ideal 1:n power splitter.
+func SplitLossDB(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return LinearToDB(float64(n))
+}
+
+// MilliwattsToPicojoules converts a power in mW sustained for a duration in
+// nanoseconds into picojoules. (1 mW * 1 ns = 1 pJ.)
+func MilliwattsToPicojoules(mw, ns float64) float64 { return mw * ns }

@@ -1,0 +1,314 @@
+package components
+
+import (
+	"fmt"
+	"math"
+)
+
+// MZMSpec parameterizes a Mach-Zehnder modulator: the AE/AO converter used
+// on Albireo's input path. One "modulate" action imprints one analog value
+// onto an optical carrier for one symbol time.
+type MZMSpec struct {
+	Name string
+	// ModulatePJ is the dynamic energy per modulated symbol (CV^2-class
+	// driver energy). Conservative silicon MZMs are ~1 pJ/symbol;
+	// aggressive projections reach tens of fJ.
+	ModulatePJ float64
+	// InsertionLossDB is charged to the optical link budget.
+	InsertionLossDB float64
+	// BiasMW is static bias/thermal power.
+	BiasMW float64
+	// UM2 is device area; MZMs are long devices (~1e4-1e5 um2).
+	UM2 float64
+}
+
+// NewMZM builds a Mach-Zehnder modulator component.
+func NewMZM(s MZMSpec) (Component, error) {
+	if s.ModulatePJ <= 0 {
+		return nil, fmt.Errorf("components: mzm %s: ModulatePJ must be positive", s.Name)
+	}
+	if s.UM2 <= 0 {
+		s.UM2 = 30000
+	}
+	return NewBase(s.Name, "mzm", map[string]float64{
+		ActionModulate: s.ModulatePJ,
+	}, s.UM2, s.BiasMW), nil
+}
+
+// MRRSpec parameterizes a microring resonator weight element: the AE/AO
+// multiplier of Albireo. Two actions matter: "program" retunes the ring to
+// hold a new weight (charged once per weight fill, amortized by reuse — the
+// Fig. 5 lever), and "transit" is the per-MAC optical pass.
+type MRRSpec struct {
+	Name string
+	// ProgramPJ is the energy to retune the ring to a new weight value
+	// (carrier injection / thermal settle).
+	ProgramPJ float64
+	// TransitPJ is the marginal per-pass energy (usually tiny).
+	TransitPJ float64
+	// ThroughLossDB is the per-ring insertion loss for the link budget.
+	ThroughLossDB float64
+	// HeaterMW is the static thermal-stabilization power per ring.
+	HeaterMW float64
+	// UM2 is the ring footprint (~100-400 um2 with drivers).
+	UM2 float64
+}
+
+// NewMRR builds a microring resonator component.
+func NewMRR(s MRRSpec) (Component, error) {
+	if s.ProgramPJ <= 0 {
+		return nil, fmt.Errorf("components: mrr %s: ProgramPJ must be positive", s.Name)
+	}
+	if s.TransitPJ < 0 {
+		return nil, fmt.Errorf("components: mrr %s: TransitPJ must be non-negative", s.Name)
+	}
+	if s.UM2 <= 0 {
+		s.UM2 = 200
+	}
+	return NewBase(s.Name, "mrr", map[string]float64{
+		ActionProgram: s.ProgramPJ,
+		ActionTransit: s.TransitPJ,
+	}, s.UM2, s.HeaterMW), nil
+}
+
+// PhotodiodeSpec parameterizes a photodiode plus transimpedance amplifier:
+// the AO/AE converter. One "detect" action converts one optical partial sum
+// into an analog-electrical value.
+type PhotodiodeSpec struct {
+	Name string
+	// DetectPJ is the energy per detected sample (TIA dominated).
+	DetectPJ float64
+	// SensitivityMW is the minimum optical power for the target SNR —
+	// used by the laser budget model.
+	SensitivityMW float64
+	// UM2 is the detector+TIA area.
+	UM2 float64
+}
+
+// NewPhotodiode builds a photodiode+TIA component.
+func NewPhotodiode(s PhotodiodeSpec) (Component, error) {
+	if s.DetectPJ <= 0 {
+		return nil, fmt.Errorf("components: photodiode %s: DetectPJ must be positive", s.Name)
+	}
+	if s.UM2 <= 0 {
+		s.UM2 = 500
+	}
+	return NewBase(s.Name, "photodiode", map[string]float64{
+		ActionDetect: s.DetectPJ,
+	}, s.UM2, 0), nil
+}
+
+// LaserSpec parameterizes the (off-chip) laser supply from a physical link
+// budget: the photodiode must receive SensitivityMW after the optical path
+// loses PathLossDB, and the wall-plug efficiency inflates the electrical
+// cost. The per-MAC energy divides one wavelength-symbol's energy by the
+// MACs it carries.
+type LaserSpec struct {
+	Name string
+	// WallPlugEfficiency is optical-out / electrical-in (0..1].
+	WallPlugEfficiency float64
+	// PathLossDB is the end-to-end optical loss from laser to detector.
+	PathLossDB float64
+	// DetectorSensitivityMW is the required received power per
+	// wavelength.
+	DetectorSensitivityMW float64
+	// SymbolNS is the optical symbol (cycle) duration in nanoseconds.
+	SymbolNS float64
+	// MACsPerWavelengthSymbol is how many MACs one wavelength-symbol
+	// carries (fan-out of one carrier across parallel multipliers).
+	MACsPerWavelengthSymbol float64
+}
+
+// NewLaser builds a laser component. Its "supply" action is the per-MAC
+// electrical energy drawn from the wall.
+func NewLaser(s LaserSpec) (Component, error) {
+	if s.WallPlugEfficiency <= 0 || s.WallPlugEfficiency > 1 {
+		return nil, fmt.Errorf("components: laser %s: wall-plug efficiency %.3f out of (0,1]", s.Name, s.WallPlugEfficiency)
+	}
+	if s.DetectorSensitivityMW <= 0 || s.SymbolNS <= 0 || s.MACsPerWavelengthSymbol <= 0 {
+		return nil, fmt.Errorf("components: laser %s: sensitivity, symbol time and MACs/symbol must be positive", s.Name)
+	}
+	if s.PathLossDB < 0 {
+		return nil, fmt.Errorf("components: laser %s: negative path loss", s.Name)
+	}
+	launchMW := s.DetectorSensitivityMW * DBToLinear(s.PathLossDB)
+	electricalMW := launchMW / s.WallPlugEfficiency
+	perSymbolPJ := MilliwattsToPicojoules(electricalMW, s.SymbolNS)
+	perMAC := perSymbolPJ / s.MACsPerWavelengthSymbol
+	// The laser is continuously on while the accelerator runs; expose the
+	// electrical power as static power too so utilization studies can
+	// charge idle symbols.
+	return NewBase(s.Name, "laser", map[string]float64{
+		ActionSupply: perMAC,
+	}, 0, electricalMW), nil
+}
+
+// NewLaserPerMAC builds a laser component directly from a per-MAC supply
+// energy, bypassing the link-budget model (used when calibrating to
+// published numbers).
+func NewLaserPerMAC(name string, perMACPJ, staticMW float64) (Component, error) {
+	if perMACPJ <= 0 {
+		return nil, fmt.Errorf("components: laser %s: per-MAC energy must be positive", name)
+	}
+	return NewBase(name, "laser", map[string]float64{ActionSupply: perMACPJ}, 0, staticMW), nil
+}
+
+// StarCouplerSpec parameterizes an NxN star coupler, the passive broadcast
+// element of Albireo. It costs no dynamic energy but contributes split loss
+// to the link budget and occupies area.
+type StarCouplerSpec struct {
+	Name string
+	// Ports is the fan-out N.
+	Ports int
+	// ExcessLossDB is loss beyond the ideal 10*log10(N) split.
+	ExcessLossDB float64
+	// UM2PerPort scales the coupler footprint.
+	UM2PerPort float64
+}
+
+// NewStarCoupler builds a star coupler component.
+func NewStarCoupler(s StarCouplerSpec) (Component, error) {
+	if s.Ports < 1 {
+		return nil, fmt.Errorf("components: star coupler %s: ports = %d, want >= 1", s.Name, s.Ports)
+	}
+	if s.UM2PerPort <= 0 {
+		s.UM2PerPort = 400
+	}
+	return NewBase(s.Name, "star_coupler", map[string]float64{
+		ActionTransit: 0,
+	}, s.UM2PerPort*float64(s.Ports), 0), nil
+}
+
+// TotalLossDB returns the coupler's contribution to the link budget.
+func (s StarCouplerSpec) TotalLossDB() float64 {
+	return SplitLossDB(s.Ports) + s.ExcessLossDB
+}
+
+// WaveguideSpec parameterizes on-chip waveguide routing: passive, lossy,
+// and area-consuming.
+type WaveguideSpec struct {
+	Name string
+	// LengthMM is the routed length.
+	LengthMM float64
+	// LossDBPerMM is propagation loss (silicon ~1-3 dB/cm => 0.1-0.3/mm).
+	LossDBPerMM float64
+	// UM2PerMM is the footprint per routed mm.
+	UM2PerMM float64
+}
+
+// NewWaveguide builds a waveguide component.
+func NewWaveguide(s WaveguideSpec) (Component, error) {
+	if s.LengthMM < 0 {
+		return nil, fmt.Errorf("components: waveguide %s: negative length", s.Name)
+	}
+	if s.UM2PerMM <= 0 {
+		s.UM2PerMM = 500
+	}
+	return NewBase(s.Name, "waveguide", map[string]float64{
+		ActionTransit: 0,
+	}, s.UM2PerMM*s.LengthMM, 0), nil
+}
+
+// LossDB returns the waveguide's contribution to the link budget.
+func (s WaveguideSpec) LossDB() float64 { return s.LossDBPerMM * s.LengthMM }
+
+// LinkBudget accumulates optical losses along a laser-to-detector path and
+// yields the required laser launch power.
+type LinkBudget struct {
+	items []struct {
+		name string
+		db   float64
+	}
+}
+
+// Add appends a named loss contribution in dB.
+func (b *LinkBudget) Add(name string, db float64) *LinkBudget {
+	b.items = append(b.items, struct {
+		name string
+		db   float64
+	}{name, db})
+	return b
+}
+
+// TotalDB returns the summed path loss.
+func (b *LinkBudget) TotalDB() float64 {
+	var total float64
+	for _, it := range b.items {
+		total += it.db
+	}
+	return total
+}
+
+// LaunchPowerMW returns the laser launch power needed to deliver
+// sensitivity mW at the detector through this budget.
+func (b *LinkBudget) LaunchPowerMW(sensitivityMW float64) float64 {
+	return sensitivityMW * DBToLinear(b.TotalDB())
+}
+
+// Margin returns the SNR margin in dB for a given launch power.
+func (b *LinkBudget) Margin(launchMW, sensitivityMW float64) float64 {
+	if launchMW <= 0 || sensitivityMW <= 0 {
+		return math.Inf(-1)
+	}
+	return LinearToDB(launchMW/sensitivityMW) - b.TotalDB()
+}
+
+func init() {
+	RegisterClass("mzm", func(name string, p Params) (Component, error) {
+		e, err := p.Require("modulate_pj")
+		if err != nil {
+			return nil, err
+		}
+		return NewMZM(MZMSpec{Name: name, ModulatePJ: e, BiasMW: p.Get("bias_mw", 0), UM2: p.Get("um2", 0)})
+	})
+	RegisterClass("mrr", func(name string, p Params) (Component, error) {
+		e, err := p.Require("program_pj")
+		if err != nil {
+			return nil, err
+		}
+		return NewMRR(MRRSpec{
+			Name: name, ProgramPJ: e,
+			TransitPJ: p.Get("transit_pj", 0),
+			HeaterMW:  p.Get("heater_mw", 0),
+			UM2:       p.Get("um2", 0),
+		})
+	})
+	RegisterClass("photodiode", func(name string, p Params) (Component, error) {
+		e, err := p.Require("detect_pj")
+		if err != nil {
+			return nil, err
+		}
+		return NewPhotodiode(PhotodiodeSpec{Name: name, DetectPJ: e, UM2: p.Get("um2", 0)})
+	})
+	RegisterClass("laser", func(name string, p Params) (Component, error) {
+		if pj, ok := p["per_mac_pj"]; ok {
+			return NewLaserPerMAC(name, pj, p.Get("static_mw", 0))
+		}
+		wpe, err := p.Require("wall_plug_efficiency")
+		if err != nil {
+			return nil, err
+		}
+		return NewLaser(LaserSpec{
+			Name:                    name,
+			WallPlugEfficiency:      wpe,
+			PathLossDB:              p.Get("path_loss_db", 0),
+			DetectorSensitivityMW:   p.Get("detector_sensitivity_mw", 0.01),
+			SymbolNS:                p.Get("symbol_ns", 0.2),
+			MACsPerWavelengthSymbol: p.Get("macs_per_wavelength_symbol", 1),
+		})
+	})
+	RegisterClass("star_coupler", func(name string, p Params) (Component, error) {
+		ports, err := p.Require("ports")
+		if err != nil {
+			return nil, err
+		}
+		return NewStarCoupler(StarCouplerSpec{Name: name, Ports: int(ports), ExcessLossDB: p.Get("excess_loss_db", 0)})
+	})
+	RegisterClass("waveguide", func(name string, p Params) (Component, error) {
+		return NewWaveguide(WaveguideSpec{
+			Name:        name,
+			LengthMM:    p.Get("length_mm", 0),
+			LossDBPerMM: p.Get("loss_db_per_mm", 0.2),
+		})
+	})
+}

@@ -1,0 +1,38 @@
+package exp
+
+import "testing"
+
+func TestAblations(t *testing.T) {
+	r, err := Ablations(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d ablation rows", len(r.Rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, row := range r.Rows {
+		byName[row.Name] = row
+		if row.Reference <= 0 || row.Variant <= 0 {
+			t.Errorf("%s: non-positive values %g %g", row.Name, row.Reference, row.Variant)
+		}
+	}
+	// Bad permutations must cost real energy (psum spills).
+	if row := byName["loop permutation (psum thrash)"]; row.Ratio < 1.05 {
+		t.Errorf("psum thrash ratio %.2f, want > 1.05", row.Ratio)
+	}
+	// Removing overlap sharing must raise input-conversion energy
+	// substantially (the ~3x window-column factor).
+	if row := byName["window-overlap input sharing"]; row.Ratio < 1.5 {
+		t.Errorf("overlap sharing ablation ratio %.2f, want > 1.5", row.Ratio)
+	}
+	// A hypothetical retaining optical buffer would cut input
+	// conversions hard — streaming is what keeps them expensive.
+	if row := byName["zero-retention optical streaming"]; row.Ratio > 0.7 {
+		t.Errorf("streaming ablation ratio %.2f, want < 0.7", row.Ratio)
+	}
+	// Canonical seeds must not hurt (unseeded >= seeded).
+	if row := byName["canonical mapper seeding"]; row.Ratio < 0.999 {
+		t.Errorf("seeding ablation ratio %.2f, want >= 1", row.Ratio)
+	}
+}

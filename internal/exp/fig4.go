@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"photoloop/internal/albireo"
+	"photoloop/internal/mapper"
+	"photoloop/internal/report"
+	"photoloop/internal/workload"
+)
+
+// Fig4Batch is the batch size used for the batched configurations.
+const Fig4Batch = 8
+
+// Fig4Row is one bar of the memory exploration.
+type Fig4Row struct {
+	Scaling albireo.Scaling
+	Batched bool
+	Fused   bool
+	// PJPerMAC is absolute system energy per MAC.
+	PJPerMAC float64
+	// Normalized is relative to the non-batched, not-fused bar of the
+	// same scaling (the figure normalizes per scaling).
+	Normalized float64
+	// Bins is the role breakdown in pJ/MAC.
+	Bins map[albireo.RoleBin]float64
+	// DRAMShare is the DRAM fraction of total energy.
+	DRAMShare float64
+	// PaperConfig marks the configuration matching the original Albireo
+	// paper's assumptions (non-batched, not fused).
+	PaperConfig bool
+}
+
+// Fig4Result reproduces Fig. 4: full-system (accelerator + DRAM) ResNet18
+// energy under batching and layer fusion, for conservative and aggressive
+// scaling. The paper's findings: DRAM is a small fraction of the
+// conservative system but ~75% of the aggressive one, and batching+fusion
+// recover ~3x on the aggressive system.
+type Fig4Result struct {
+	Rows []Fig4Row
+	// AggressiveBaselineDRAMShare is the DRAM share of the aggressive
+	// non-batched, not-fused system (paper: 0.75).
+	AggressiveBaselineDRAMShare float64
+	// ConservativeBaselineDRAMShare (paper: small).
+	ConservativeBaselineDRAMShare float64
+	// AggressiveCombinedReduction is 1 - normalized energy of the
+	// batched+fused aggressive system (paper: 0.67, i.e. 3x).
+	AggressiveCombinedReduction float64
+}
+
+// Fig4 runs the memory exploration.
+func Fig4(cfg Config) (*Fig4Result, error) {
+	cfg = cfg.withDefaults()
+	net := workload.ResNet18(1)
+	out := &Fig4Result{}
+	for _, s := range fig4Scalings() {
+		var base float64
+		for _, bf := range []struct{ batched, fused bool }{
+			{false, false}, {true, false}, {false, true}, {true, true},
+		} {
+			batch := 1
+			if bf.batched {
+				batch = Fig4Batch
+			}
+			res, err := albireo.EvalNetwork(albireo.Default(s), net, albireo.NetOptions{
+				Batch:  batch,
+				Fused:  bf.fused,
+				Mapper: cfg.mapperOptions(mapper.MinEnergy),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("exp: fig4 %s batched=%v fused=%v: %w", s, bf.batched, bf.fused, err)
+			}
+			macs := float64(res.Total.MACs)
+			bins := map[albireo.RoleBin]float64{}
+			for bin, pj := range albireo.RoleBreakdown(&res.Total) {
+				bins[bin] = pj / macs
+			}
+			row := Fig4Row{
+				Scaling: s, Batched: bf.batched, Fused: bf.fused,
+				PJPerMAC:    res.PJPerMAC(),
+				Bins:        bins,
+				DRAMShare:   res.DRAMShare(),
+				PaperConfig: !bf.batched && !bf.fused,
+			}
+			if base == 0 {
+				base = row.PJPerMAC
+			}
+			row.Normalized = row.PJPerMAC / base
+			out.Rows = append(out.Rows, row)
+
+			if row.PaperConfig {
+				switch s {
+				case albireo.Aggressive:
+					out.AggressiveBaselineDRAMShare = row.DRAMShare
+				case albireo.Conservative:
+					out.ConservativeBaselineDRAMShare = row.DRAMShare
+				}
+			}
+			if s == albireo.Aggressive && bf.batched && bf.fused {
+				out.AggressiveCombinedReduction = 1 - row.Normalized
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table renders the rows.
+func (r *Fig4Result) Table() *report.Table {
+	cols := []string{"Scaling", "Batched", "Fused", "pJ/MAC", "Normalized", "DRAM share"}
+	for _, b := range albireo.RoleBins() {
+		cols = append(cols, string(b))
+	}
+	cols = append(cols, "Note")
+	t := report.NewTable(cols...)
+	for _, row := range r.Rows {
+		vals := []interface{}{row.Scaling.String(), yn(row.Batched), yn(row.Fused),
+			fmt.Sprintf("%.3f", row.PJPerMAC),
+			fmt.Sprintf("%.3f", row.Normalized),
+			report.Pct(row.DRAMShare)}
+		for _, b := range albireo.RoleBins() {
+			vals = append(vals, fmt.Sprintf("%.3f", row.Bins[b]))
+		}
+		note := ""
+		if row.PaperConfig {
+			note = "Albireo paper config"
+		}
+		vals = append(vals, note)
+		t.Row(vals...)
+	}
+	return t
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// Render writes the figure as text.
+func (r *Fig4Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Fig. 4 — Memory exploration: ResNet18 system energy, normalized per scaling")
+	if err := r.Table().Render(w); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		label := fmt.Sprintf("%-12s batch=%v fused=%v", row.Scaling, row.Batched, row.Fused)
+		fmt.Fprintf(w, "%s |%s %.3f\n", label, report.Bar(row.Normalized, 1.2, 48), row.Normalized)
+	}
+	fmt.Fprintf(w, "Aggressive baseline DRAM share: %s (paper: ~75%%)\n", report.Pct(r.AggressiveBaselineDRAMShare))
+	fmt.Fprintf(w, "Conservative baseline DRAM share: %s (paper: small)\n", report.Pct(r.ConservativeBaselineDRAMShare))
+	fmt.Fprintf(w, "Aggressive batching+fusion reduction: %s (paper: 67%%, i.e. 3x)\n", report.Pct(r.AggressiveCombinedReduction))
+	return nil
+}

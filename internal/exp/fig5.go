@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"photoloop/internal/albireo"
+	"photoloop/internal/mapper"
+	"photoloop/internal/report"
+	"photoloop/internal/workload"
+)
+
+// Fig5Row is one architecture variant of the reuse exploration.
+type Fig5Row struct {
+	// WeightReuse marks the "more weight reuse" topology group.
+	WeightReuse bool
+	// OR and IR are the paper's reuse factors (output-reusing AE
+	// components; input-reusing AO components).
+	OR, IR int
+	// AccelPJPerMAC is accelerator+laser energy per MAC (no DRAM — the
+	// figure explores the accelerator).
+	AccelPJPerMAC float64
+	// ConverterPJPerMAC sums all cross-domain conversion energy.
+	ConverterPJPerMAC float64
+	// Bins is the role breakdown (pJ/MAC, accelerator scope).
+	Bins map[albireo.RoleBin]float64
+	// Baseline marks the original Albireo configuration.
+	Baseline bool
+}
+
+// Fig5Result reproduces Fig. 5: ResNet18 energy across reuse-scaled
+// variants of the aggressively-scaled Albireo. The paper's finding:
+// increasing analog/photonic-domain reuse cuts data-converter energy by
+// ~42% and accelerator energy by ~31%.
+type Fig5Result struct {
+	Rows []Fig5Row
+	// BestConverterReduction is 1 - min(converter)/baseline(converter).
+	BestConverterReduction float64
+	// BestAcceleratorReduction is 1 - min(accel)/baseline(accel).
+	BestAcceleratorReduction float64
+}
+
+// Fig5 runs the architecture exploration on the aggressive scaling.
+func Fig5(cfg Config) (*Fig5Result, error) {
+	cfg = cfg.withDefaults()
+	net := workload.ResNet18(1)
+	out := &Fig5Result{}
+	var baseAccel, baseConv float64
+	bestAccel, bestConv := -1.0, -1.0
+	for _, wr := range []bool{false, true} {
+		for _, orLanes := range []int{1, 3, 5} {
+			for _, outLanes := range []int{3, 9, 15} {
+				c := albireo.Default(albireo.Aggressive)
+				c.OutputLanes = outLanes
+				c.ORLanes = orLanes
+				c.WeightReuse = wr
+				res, err := albireo.EvalNetwork(c, net, albireo.NetOptions{
+					Batch:  1,
+					Mapper: cfg.mapperOptions(mapper.MinEnergy),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("exp: fig5 wr=%v or=%d ir=%d: %w", wr, c.OR(), c.IR(), err)
+				}
+				macs := float64(res.Total.MACs)
+				bins := map[albireo.RoleBin]float64{}
+				for bin, pj := range albireo.RoleBreakdown(&res.Total) {
+					if bin == albireo.RoleDRAM {
+						continue
+					}
+					bins[bin] = pj / macs
+				}
+				row := Fig5Row{
+					WeightReuse:       wr,
+					OR:                c.OR(),
+					IR:                c.IR(),
+					AccelPJPerMAC:     albireo.AcceleratorPJ(&res.Total) / macs,
+					ConverterPJPerMAC: albireo.ConverterPJ(&res.Total) / macs,
+					Bins:              bins,
+					Baseline:          !wr && orLanes == 1 && outLanes == 3,
+				}
+				out.Rows = append(out.Rows, row)
+				if row.Baseline {
+					baseAccel, baseConv = row.AccelPJPerMAC, row.ConverterPJPerMAC
+				}
+				if bestAccel < 0 || row.AccelPJPerMAC < bestAccel {
+					bestAccel = row.AccelPJPerMAC
+				}
+				if bestConv < 0 || row.ConverterPJPerMAC < bestConv {
+					bestConv = row.ConverterPJPerMAC
+				}
+			}
+		}
+	}
+	if baseAccel > 0 {
+		out.BestAcceleratorReduction = 1 - bestAccel/baseAccel
+	}
+	if baseConv > 0 {
+		out.BestConverterReduction = 1 - bestConv/baseConv
+	}
+	return out, nil
+}
+
+// Table renders the rows.
+func (r *Fig5Result) Table() *report.Table {
+	cols := []string{"Group", "OR", "IR", "Accel pJ/MAC", "Converter pJ/MAC"}
+	for _, b := range albireo.RoleBins() {
+		if b == albireo.RoleDRAM {
+			continue
+		}
+		cols = append(cols, string(b))
+	}
+	cols = append(cols, "Note")
+	t := report.NewTable(cols...)
+	for _, row := range r.Rows {
+		group := "Original"
+		if row.WeightReuse {
+			group = "More Weight Reuse"
+		}
+		vals := []interface{}{group, row.OR, row.IR,
+			fmt.Sprintf("%.4f", row.AccelPJPerMAC),
+			fmt.Sprintf("%.4f", row.ConverterPJPerMAC)}
+		for _, b := range albireo.RoleBins() {
+			if b == albireo.RoleDRAM {
+				continue
+			}
+			vals = append(vals, fmt.Sprintf("%.4f", row.Bins[b]))
+		}
+		note := ""
+		if row.Baseline {
+			note = "Albireo paper config"
+		}
+		vals = append(vals, note)
+		t.Row(vals...)
+	}
+	return t
+}
+
+// Render writes the figure as text.
+func (r *Fig5Result) Render(w io.Writer) error {
+	fmt.Fprintln(w, "Fig. 5 — Architecture exploration: ResNet18 accelerator energy vs reuse (aggressive scaling)")
+	if err := r.Table().Render(w); err != nil {
+		return err
+	}
+	maxV := 0.0
+	for _, row := range r.Rows {
+		if row.AccelPJPerMAC > maxV {
+			maxV = row.AccelPJPerMAC
+		}
+	}
+	for _, row := range r.Rows {
+		group := "orig"
+		if row.WeightReuse {
+			group = "wr  "
+		}
+		fmt.Fprintf(w, "%s OR=%-2d IR=%-2d |%s %.4f\n", group, row.OR, row.IR,
+			report.Bar(row.AccelPJPerMAC, maxV, 48), row.AccelPJPerMAC)
+	}
+	fmt.Fprintf(w, "Best converter-energy reduction: %s (paper: 42%%)\n", report.Pct(r.BestConverterReduction))
+	fmt.Fprintf(w, "Best accelerator-energy reduction: %s (paper: 31%%)\n", report.Pct(r.BestAcceleratorReduction))
+	return nil
+}

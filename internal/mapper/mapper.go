@@ -1,0 +1,559 @@
+// Package mapper searches the mapping space of a layer on an architecture
+// for schedules minimizing energy, delay, or energy-delay product, in the
+// spirit of Timeloop's mapper: the paper relies on the mapper to find
+// mappings that exploit available reuse to minimize expensive cross-domain
+// conversions and DRAM traffic.
+//
+// The search combines (1) exhaustive enumeration of the architecture's
+// rigid spatial-factor assignments, (2) randomized temporal factorizations
+// with padding-aware candidates, (3) a small library of stationarity-driven
+// loop permutations, and (4) greedy hill climbing on the best random
+// seeds, optionally across parallel workers with a deterministic merge.
+package mapper
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"photoloop/internal/arch"
+	"photoloop/internal/mapping"
+	"photoloop/internal/model"
+	"photoloop/internal/workload"
+)
+
+// Objective selects what the search minimizes.
+type Objective uint8
+
+// Objectives.
+const (
+	MinEnergy Objective = iota // total picojoules
+	MinDelay                   // cycles
+	MinEDP                     // energy-delay product
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MinEnergy:
+		return "energy"
+	case MinDelay:
+		return "delay"
+	case MinEDP:
+		return "edp"
+	}
+	return fmt.Sprintf("Objective(%d)", uint8(o))
+}
+
+// Options configures a search.
+type Options struct {
+	// Objective is what to minimize (default MinEnergy).
+	Objective Objective
+	// Budget caps the number of model evaluations (default 2000).
+	Budget int
+	// Seed makes the search deterministic (default 1).
+	Seed int64
+	// Workers parallelizes the search (default GOMAXPROCS, capped at 8).
+	// Results are deterministic for a fixed (Seed, Workers) pair.
+	Workers int
+	// Eval forwards evaluation options to the model.
+	Eval model.Options
+	// Seeds are mappings evaluated before random exploration (e.g. an
+	// architecture's canonical schedules); the hill climber starts from
+	// the best of seeds and random samples.
+	Seeds []*mapping.Mapping
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Budget <= 0 {
+		out.Budget = 2000
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+		if out.Workers > 8 {
+			out.Workers = 8
+		}
+	}
+	out.Eval.SkipValidate = false
+	return out
+}
+
+// Best is a search outcome.
+type Best struct {
+	Mapping     *mapping.Mapping
+	Result      *model.Result
+	Evaluations int
+}
+
+// Score returns the objective value of a result.
+func Score(obj Objective, r *model.Result) float64 {
+	switch obj {
+	case MinDelay:
+		return r.Cycles
+	case MinEDP:
+		return r.TotalPJ * r.Cycles
+	default:
+		return r.TotalPJ
+	}
+}
+
+// stationarity-driven permutation candidates: placing a tensor's
+// irrelevant dimensions innermost keeps that tensor's inner tiles
+// stationary across those loops.
+var permCandidates = [][]workload.Dim{
+	// Output stationary: reduction loops innermost.
+	{workload.DimN, workload.DimK, workload.DimP, workload.DimQ, workload.DimC, workload.DimR, workload.DimS},
+	// Weight stationary: N, P, Q innermost.
+	{workload.DimK, workload.DimC, workload.DimR, workload.DimS, workload.DimN, workload.DimP, workload.DimQ},
+	// Input stationary: K innermost.
+	{workload.DimC, workload.DimP, workload.DimQ, workload.DimR, workload.DimS, workload.DimN, workload.DimK},
+}
+
+// Search finds the best mapping for the layer under the options.
+func Search(a *arch.Arch, l *workload.Layer, opts Options) (*Best, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	assignments := enumerateSpatialAssignments(a)
+	if len(assignments) == 0 {
+		return nil, errors.New("mapper: no spatial assignments")
+	}
+
+	type outcome struct {
+		best  *Best
+		evals int
+	}
+	results := make([]outcome, o.Workers)
+	var wg sync.WaitGroup
+	perWorker := o.Budget / o.Workers
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919))
+			results[w] = searchWorker(a, l, o, assignments, rng, perWorker)
+		}(w)
+	}
+	wg.Wait()
+
+	var best *Best
+	evals := 0
+	for w := range results {
+		evals += results[w].evals
+		if results[w].best == nil {
+			continue
+		}
+		if best == nil || better(o.Objective, results[w].best, best) {
+			best = results[w].best
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("mapper: no valid mapping found for %s on %s", l.Name, a.Name)
+	}
+	best.Evaluations = evals
+	return best, nil
+}
+
+// better compares candidates with deterministic tie breaks: the objective,
+// then total energy (a bandwidth-bound layer has many equal-delay mappings
+// — prefer the cheapest), then utilization, then a stable textual order.
+func better(obj Objective, x, y *Best) bool {
+	sx, sy := Score(obj, x.Result), Score(obj, y.Result)
+	if sx != sy {
+		return sx < sy
+	}
+	if x.Result.TotalPJ != y.Result.TotalPJ {
+		return x.Result.TotalPJ < y.Result.TotalPJ
+	}
+	if x.Result.Utilization != y.Result.Utilization {
+		return x.Result.Utilization > y.Result.Utilization
+	}
+	return x.Mapping.String() < y.Mapping.String()
+}
+
+func searchWorker(a *arch.Arch, l *workload.Layer, o Options, assignments [][]workload.Dim, rng *rand.Rand, budget int) (out struct {
+	best  *Best
+	evals int
+}) {
+	evalOpts := o.Eval
+	evalOpts.SkipValidate = false
+	try := func(m *mapping.Mapping) *model.Result {
+		if out.evals >= budget {
+			return nil
+		}
+		out.evals++
+		if err := m.Validate(a, l); err != nil {
+			return nil
+		}
+		res, err := model.Evaluate(a, l, m, model.Options{SkipValidate: true, ChargeStatic: evalOpts.ChargeStatic})
+		if err != nil {
+			return nil
+		}
+		return res
+	}
+	consider := func(m *mapping.Mapping, res *model.Result) {
+		if res == nil {
+			return
+		}
+		cand := &Best{Mapping: m, Result: res}
+		if out.best == nil || better(o.Objective, cand, out.best) {
+			out.best = cand
+		}
+	}
+
+	// Phase 0: caller-provided seed mappings.
+	for _, seed := range o.Seeds {
+		m := seed.Clone()
+		consider(m, try(m))
+	}
+
+	// Phase 1: random sampling across spatial assignments. The canonical
+	// assignment (every factor on its first-listed dimension) is the
+	// architect's intended use and gets half the samples; the rest
+	// explore alternates (how FC layers find channel-parallel slots).
+	explorationBudget := budget * 7 / 10
+	for out.evals < explorationBudget {
+		assign := assignments[0]
+		if rng.Intn(2) == 0 {
+			assign = assignments[rng.Intn(len(assignments))]
+		}
+		m := randomMapping(a, l, assign, rng)
+		consider(m, try(m))
+	}
+
+	// Phase 2: hill climb from the best mapping found.
+	if out.best == nil {
+		// Fall back to the trivial all-outer mapping per assignment.
+		for _, assign := range assignments {
+			m := outerMapping(a, l, assign)
+			consider(m, try(m))
+		}
+	}
+	if out.best == nil {
+		return out
+	}
+	cur := out.best
+	for out.evals < budget {
+		improved := false
+		for _, neighbor := range neighbors(a, l, cur.Mapping, rng) {
+			res := try(neighbor)
+			if res == nil {
+				continue
+			}
+			cand := &Best{Mapping: neighbor, Result: res}
+			if better(o.Objective, cand, cur) {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	consider(cur.Mapping, cur.Result)
+	return out
+}
+
+// enumerateSpatialAssignments expands the cross product of every rigid
+// spatial factor's allowed dimensions, capped to avoid explosion.
+func enumerateSpatialAssignments(a *arch.Arch) [][]workload.Dim {
+	var factors []arch.SpatialFactor
+	for i := 0; i < a.NumLevels(); i++ {
+		factors = append(factors, a.Level(i).Spatial...)
+	}
+	out := [][]workload.Dim{{}}
+	for _, f := range factors {
+		var next [][]workload.Dim
+		for _, prefix := range out {
+			for _, d := range f.Dims {
+				assign := append(append([]workload.Dim(nil), prefix...), d)
+				next = append(next, assign)
+			}
+		}
+		out = next
+		if len(out) > 4096 {
+			out = out[:4096]
+		}
+	}
+	return out
+}
+
+// applyAssignment distributes a flat assignment vector back to levels.
+func applyAssignment(a *arch.Arch, m *mapping.Mapping, assign []workload.Dim) {
+	idx := 0
+	for i := 0; i < a.NumLevels(); i++ {
+		n := len(a.Level(i).Spatial)
+		m.Levels[i].SpatialChoice = append([]workload.Dim(nil), assign[idx:idx+n]...)
+		idx += n
+	}
+}
+
+// remaining returns the per-dim temporal bound left after spatial factors.
+func remaining(a *arch.Arch, m *mapping.Mapping, l *workload.Layer) workload.Point {
+	spatial := workload.Ones()
+	for i := 0; i < a.NumLevels(); i++ {
+		spatial = spatial.Mul(m.SpatialAt(a, i))
+	}
+	rem := workload.Ones()
+	for _, d := range workload.AllDims() {
+		rem[d] = workload.CeilDiv(l.Bound(d), spatial[d])
+	}
+	return rem
+}
+
+// minLevels returns, per dimension, the outermost level at which loops over
+// that dimension may legally appear: the innermost of the outermost-keeper
+// levels of the tensors the dimension addresses. (Loops above a tensor's
+// outermost keeper would demand data from a level that does not store it —
+// this is what pins activations on chip in fusion studies.)
+func minLevels(a *arch.Arch) workload.Point {
+	var min workload.Point
+	for _, t := range workload.AllTensors() {
+		keeps := a.KeepLevels(t)
+		if len(keeps) == 0 {
+			continue
+		}
+		k0 := keeps[0]
+		for _, d := range workload.AllDims() {
+			if workload.Relevant(t, d) && k0 > min[d] {
+				min[d] = k0
+			}
+		}
+	}
+	return min
+}
+
+// outerMapping covers each dimension's remaining bound at the outermost
+// level allowed for it.
+func outerMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim) *mapping.Mapping {
+	m := mapping.New(a)
+	applyAssignment(a, m, assign)
+	rem := remaining(a, m, l)
+	min := minLevels(a)
+	for _, d := range workload.AllDims() {
+		m.Levels[min[d]].Temporal[d] = rem[d]
+	}
+	return m
+}
+
+// randomMapping draws a random temporal split and permutation set.
+func randomMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim, rng *rand.Rand) *mapping.Mapping {
+	m := mapping.New(a)
+	applyAssignment(a, m, assign)
+	rem := remaining(a, m, l)
+	min := minLevels(a)
+	n := a.NumLevels()
+	for _, d := range workload.AllDims() {
+		// Pick an inner tile chain: for each level from innermost out,
+		// choose a candidate factor of what remains; the residue lands
+		// on the outermost level allowed for this dimension.
+		left := rem[d]
+		for i := n - 1; i > min[d] && left > 1; i-- {
+			cands := mapping.PaddedCandidates(left)
+			f := cands[rng.Intn(len(cands))]
+			m.Levels[i].Temporal[d] = f
+			left = workload.CeilDiv(left, f)
+		}
+		m.Levels[min[d]].Temporal[d] *= left
+	}
+	for i := 0; i < n; i++ {
+		m.Levels[i].Perm = append([]workload.Dim(nil), permCandidates[rng.Intn(len(permCandidates))]...)
+	}
+	return m
+}
+
+// neighbors generates local moves around a mapping.
+func neighbors(a *arch.Arch, l *workload.Layer, m *mapping.Mapping, rng *rand.Rand) []*mapping.Mapping {
+	var out []*mapping.Mapping
+	n := a.NumLevels()
+	// Move a factor of 2..3 of one dim between adjacent levels.
+	for i := 0; i < n-1; i++ {
+		for _, d := range workload.AllDims() {
+			if m.Levels[i].Temporal[d] > 1 {
+				for _, f := range []int{2, 3} {
+					if m.Levels[i].Temporal[d]%f == 0 {
+						c := m.Clone()
+						c.Levels[i].Temporal[d] /= f
+						c.Levels[i+1].Temporal[d] *= f
+						out = append(out, c)
+					}
+				}
+			}
+			if m.Levels[i+1].Temporal[d] > 1 {
+				for _, f := range []int{2, 3} {
+					if m.Levels[i+1].Temporal[d]%f == 0 {
+						c := m.Clone()
+						c.Levels[i+1].Temporal[d] /= f
+						c.Levels[i].Temporal[d] *= f
+						out = append(out, c)
+					}
+				}
+			}
+		}
+	}
+	// Swap permutations.
+	for i := 0; i < n; i++ {
+		for _, cand := range permCandidates {
+			c := m.Clone()
+			c.Levels[i].Perm = append([]workload.Dim(nil), cand...)
+			out = append(out, c)
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// SearchNetwork maps every layer of a network and returns per-layer bests
+// in layer order. Layers are searched concurrently.
+func SearchNetwork(a *arch.Arch, net *workload.Network, opts Options) ([]*Best, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	bests := make([]*Best, len(net.Layers))
+	errs := make([]error, len(net.Layers))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i := range net.Layers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			bests[i], errs[i] = Search(a, &net.Layers[i], opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mapper: layer %s: %w", net.Layers[i].Name, err)
+		}
+	}
+	return bests, nil
+}
+
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Exhaustive enumerates every combination of spatial assignment, divisor
+// split and candidate permutation for small problems, guaranteeing the
+// optimum within that (restricted-permutation) space. It errors if the
+// space exceeds maxEvals.
+func Exhaustive(a *arch.Arch, l *workload.Layer, obj Objective, maxEvals int) (*Best, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if maxEvals <= 0 {
+		maxEvals = 200000
+	}
+	assignments := enumerateSpatialAssignments(a)
+	n := a.NumLevels()
+
+	// Estimate the space.
+	est := float64(len(assignments)) * math.Pow(float64(len(permCandidates)), float64(n))
+	for _, d := range workload.AllDims() {
+		splits := len(mapping.FactorSplits(l.Bound(d), n))
+		if splits > 0 {
+			est *= float64(splits)
+		}
+		if est > float64(maxEvals)*100 {
+			return nil, fmt.Errorf("mapper: exhaustive space too large (~%g)", est)
+		}
+	}
+
+	var best *Best
+	evals := 0
+	for _, assign := range assignments {
+		base := mapping.New(a)
+		applyAssignment(a, base, assign)
+		rem := remaining(a, base, l)
+		dimSplits := make([][][]int, workload.NumDims)
+		for _, d := range workload.AllDims() {
+			dimSplits[d] = mapping.FactorSplits(rem[d], n)
+		}
+		var walk func(d int, m *mapping.Mapping)
+		walk = func(d int, m *mapping.Mapping) {
+			if evals > maxEvals {
+				return
+			}
+			if d == int(workload.NumDims) {
+				walkPerms(a, l, m, 0, obj, &best, &evals, maxEvals)
+				return
+			}
+			for _, split := range dimSplits[d] {
+				c := m.Clone()
+				for i := 0; i < n; i++ {
+					c.Levels[i].Temporal[workload.Dim(d)] = split[i]
+				}
+				walk(d+1, c)
+			}
+		}
+		walk(0, base)
+	}
+	if best == nil {
+		return nil, errors.New("mapper: exhaustive search found no valid mapping")
+	}
+	best.Evaluations = evals
+	return best, nil
+}
+
+func walkPerms(a *arch.Arch, l *workload.Layer, m *mapping.Mapping, level int, obj Objective, best **Best, evals *int, maxEvals int) {
+	if *evals > maxEvals {
+		return
+	}
+	if level == a.NumLevels() {
+		*evals++
+		if err := m.Validate(a, l); err != nil {
+			return
+		}
+		res, err := model.Evaluate(a, l, m, model.Options{SkipValidate: true})
+		if err != nil {
+			return
+		}
+		cand := &Best{Mapping: m.Clone(), Result: res}
+		if *best == nil || better(obj, cand, *best) {
+			*best = cand
+		}
+		return
+	}
+	// Only permute levels that actually have multiple loops.
+	active := 0
+	for _, d := range workload.AllDims() {
+		if m.Levels[level].Temporal[d] > 1 {
+			active++
+		}
+	}
+	if active <= 1 {
+		walkPerms(a, l, m, level+1, obj, best, evals, maxEvals)
+		return
+	}
+	for _, cand := range permCandidates {
+		m.Levels[level].Perm = append([]workload.Dim(nil), cand...)
+		walkPerms(a, l, m, level+1, obj, best, evals, maxEvals)
+	}
+}
+
+// SortBests orders a slice of bests deterministically by layer name (used
+// by reporting code).
+func SortBests(bests []*Best) {
+	sort.SliceStable(bests, func(i, j int) bool {
+		return bests[i].Result.Layer < bests[j].Result.Layer
+	})
+}

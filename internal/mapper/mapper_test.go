@@ -1,0 +1,221 @@
+package mapper
+
+import (
+	"testing"
+
+	"photoloop/internal/arch"
+	"photoloop/internal/components"
+	"photoloop/internal/mapping"
+	"photoloop/internal/model"
+	"photoloop/internal/workload"
+)
+
+func testArch(t *testing.T, bufCapBits int64) *arch.Arch {
+	t.Helper()
+	lib := components.NewLibrary()
+	mk := func(class, name string, p components.Params) {
+		c, err := components.Build(class, name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib.MustAdd(c)
+	}
+	mk("dram", "DRAM", components.Params{"pj_per_bit": 8})
+	mk("sram", "Buf", components.Params{"capacity_bits": float64(bufCapBits), "access_bits": 8})
+	mk("regfile", "Reg", components.Params{"access_bits": 8})
+	a := &arch.Arch{
+		Name: "searchable", Lib: lib, ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+			{
+				Name: "Buf", Keeps: workload.AllTensorSet(), AccessComponent: "Buf",
+				CapacityBits: bufCapBits,
+				Spatial:      []arch.SpatialFactor{arch.Choice(4, workload.DimK, workload.DimC)},
+			},
+			{Name: "Reg", Keeps: workload.AllTensorSet(), AccessComponent: "Reg", CapacityBits: 2048},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSearchFindsValidMapping(t *testing.T) {
+	a := testArch(t, 1<<20)
+	l := workload.NewConv("l", 1, 16, 8, 8, 8, 3, 3, 1, 1)
+	best, err := Search(a, &l, Options{Budget: 400, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := best.Mapping.Validate(a, &l); err != nil {
+		t.Fatalf("returned invalid mapping: %v", err)
+	}
+	if best.Result.TotalPJ <= 0 {
+		t.Error("zero energy result")
+	}
+	if best.Evaluations == 0 {
+		t.Error("no evaluations recorded")
+	}
+}
+
+func TestSearchDeterministicForSeed(t *testing.T) {
+	a := testArch(t, 1<<20)
+	l := workload.NewConv("l", 1, 16, 8, 8, 8, 3, 3, 1, 1)
+	b1, err := Search(a, &l, Options{Budget: 300, Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Search(a, &l, Options{Budget: 300, Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Result.TotalPJ != b2.Result.TotalPJ {
+		t.Errorf("same seed, different results: %g vs %g", b1.Result.TotalPJ, b2.Result.TotalPJ)
+	}
+	if b1.Mapping.String() != b2.Mapping.String() {
+		t.Error("same seed, different mappings")
+	}
+}
+
+func TestSearchBeatsNaiveOuterMapping(t *testing.T) {
+	a := testArch(t, 1<<20)
+	l := workload.NewConv("l", 1, 16, 16, 8, 8, 3, 3, 1, 1)
+	best, err := Search(a, &l, Options{Budget: 1500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive: everything at DRAM level, canonical spatial choice.
+	assign := []workload.Dim{workload.DimK}
+	naive := outerMapping(a, &l, assign)
+	naiveRes, err := model.Evaluate(a, &l, naive, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Result.TotalPJ >= naiveRes.TotalPJ {
+		t.Errorf("search %g pJ did not beat naive %g pJ", best.Result.TotalPJ, naiveRes.TotalPJ)
+	}
+}
+
+func TestSearchRespectsCapacity(t *testing.T) {
+	// Tiny buffer: the only valid mappings keep tiles small.
+	a := testArch(t, 4096)
+	l := workload.NewConv("l", 1, 8, 8, 8, 8, 3, 3, 1, 1)
+	best, err := Search(a, &l, Options{Budget: 800, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := best.Mapping.Validate(a, &l); err != nil {
+		t.Fatalf("capacity-violating mapping returned: %v", err)
+	}
+}
+
+func TestSearchSpatialChoiceMatters(t *testing.T) {
+	// With K=2 but C=64, assigning the 4-way spatial factor to C must win
+	// on utilization (and it is the only way to reach full throughput).
+	a := testArch(t, 1<<20)
+	l := workload.NewConv("l", 1, 2, 64, 8, 8, 1, 1, 1, 0)
+	best, err := Search(a, &l, Options{Objective: MinDelay, Budget: 1200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice := best.Mapping.Levels[1].SpatialChoice[0]
+	if choice != workload.DimC {
+		t.Errorf("spatial choice = %v, want C (K=2 would waste half the array)", choice)
+	}
+}
+
+func TestExhaustiveMatchesOrBeatsRandom(t *testing.T) {
+	a := testArch(t, 1<<20)
+	l := workload.NewConv("l", 1, 4, 4, 2, 2, 1, 1, 1, 0)
+	ex, err := Exhaustive(a, &l, MinEnergy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := Search(a, &l, Options{Budget: 2000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Result.TotalPJ > rnd.Result.TotalPJ+1e-9 {
+		t.Errorf("exhaustive %g pJ worse than random %g pJ", ex.Result.TotalPJ, rnd.Result.TotalPJ)
+	}
+}
+
+func TestExhaustiveRejectsHugeSpaces(t *testing.T) {
+	a := testArch(t, 1<<20)
+	l := workload.NewConv("l", 1, 512, 512, 56, 56, 3, 3, 1, 1)
+	if _, err := Exhaustive(a, &l, MinEnergy, 1000); err == nil {
+		t.Error("Exhaustive accepted a huge space")
+	}
+}
+
+func TestSearchNetwork(t *testing.T) {
+	a := testArch(t, 1<<20)
+	net := workload.Network{Name: "tiny", Layers: []workload.Layer{
+		workload.NewConv("c1", 1, 8, 4, 8, 8, 3, 3, 1, 1),
+		workload.NewConv("c2", 1, 8, 8, 8, 8, 3, 3, 1, 1),
+		workload.NewFC("fc", 1, 10, 64),
+	}}
+	bests, err := SearchNetwork(a, &net, Options{Budget: 200, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bests) != 3 {
+		t.Fatalf("got %d bests", len(bests))
+	}
+	for i, b := range bests {
+		if b == nil || b.Result == nil {
+			t.Fatalf("layer %d missing result", i)
+		}
+		if err := b.Mapping.Validate(a, &net.Layers[i]); err != nil {
+			t.Errorf("layer %d invalid mapping: %v", i, err)
+		}
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	a := testArch(t, 1<<20)
+	l := workload.NewConv("l", 1, 16, 8, 8, 8, 3, 3, 1, 1)
+	for _, obj := range []Objective{MinEnergy, MinDelay, MinEDP} {
+		best, err := Search(a, &l, Options{Objective: obj, Budget: 300, Seed: 8})
+		if err != nil {
+			t.Fatalf("%v: %v", obj, err)
+		}
+		if Score(obj, best.Result) <= 0 {
+			t.Errorf("%v: non-positive score", obj)
+		}
+	}
+	if MinEnergy.String() != "energy" || MinDelay.String() != "delay" || MinEDP.String() != "edp" {
+		t.Error("objective names wrong")
+	}
+}
+
+func TestScoreDefinition(t *testing.T) {
+	r := &model.Result{TotalPJ: 10, Cycles: 5}
+	if Score(MinEnergy, r) != 10 || Score(MinDelay, r) != 5 || Score(MinEDP, r) != 50 {
+		t.Error("Score definitions wrong")
+	}
+}
+
+func TestEnumerateSpatialAssignments(t *testing.T) {
+	a := testArch(t, 1<<20)
+	assigns := enumerateSpatialAssignments(a)
+	// One factor with two choices (K or C).
+	if len(assigns) != 2 {
+		t.Fatalf("got %d assignments, want 2", len(assigns))
+	}
+}
+
+func TestRemainingAccountsForSpatial(t *testing.T) {
+	a := testArch(t, 1<<20)
+	l := workload.NewConv("l", 1, 16, 8, 8, 8, 3, 3, 1, 1)
+	m := mapping.New(a)
+	applyAssignment(a, m, []workload.Dim{workload.DimK})
+	rem := remaining(a, m, &l)
+	if rem[workload.DimK] != 4 { // 16 / spatial 4
+		t.Errorf("remaining K = %d, want 4", rem[workload.DimK])
+	}
+	if rem[workload.DimC] != 8 {
+		t.Errorf("remaining C = %d, want 8", rem[workload.DimC])
+	}
+}

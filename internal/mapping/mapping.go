@@ -1,0 +1,224 @@
+// Package mapping represents schedules of a workload layer onto an
+// architecture: per-level temporal loop factorizations with permutations,
+// assignments of the architecture's rigid spatial factors to problem
+// dimensions, and optional free spatial factors. Imperfect factorization is
+// first-class — factors may overshoot the problem bounds, and the resulting
+// padding is what produces the under-utilization effects the paper
+// evaluates (Fig. 3).
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"photoloop/internal/arch"
+	"photoloop/internal/workload"
+)
+
+// LevelMapping is the slice of the schedule owned by one storage level.
+type LevelMapping struct {
+	// Temporal holds the temporal loop trip counts at this level; 1
+	// means no loop over that dimension here.
+	Temporal workload.Point `json:"temporal"`
+	// Perm orders this level's temporal loops, outermost first. It must
+	// be a permutation of all seven dimensions; dimensions with a trip
+	// count of 1 are inert placeholders.
+	Perm []workload.Dim `json:"-"`
+	// SpatialChoice assigns each of the level's rigid spatial factors to
+	// a dimension; its length must equal len(level.Spatial).
+	SpatialChoice []workload.Dim `json:"-"`
+	// FreeSpatial holds mapper-chosen spatial factors (all 1 unless the
+	// level declares MaxFanout headroom).
+	FreeSpatial workload.Point `json:"free_spatial"`
+}
+
+// CanonicalPerm returns the canonical loop order (N K C P Q R S).
+func CanonicalPerm() []workload.Dim { return workload.AllDims() }
+
+// NewLevelMapping returns an inert level mapping: unit factors, canonical
+// permutation, canonical spatial choices for the given arch level.
+func NewLevelMapping(l *arch.Level) LevelMapping {
+	lm := LevelMapping{
+		Temporal:    workload.Ones(),
+		Perm:        CanonicalPerm(),
+		FreeSpatial: workload.Ones(),
+	}
+	for i := range l.Spatial {
+		lm.SpatialChoice = append(lm.SpatialChoice, l.Spatial[i].Dims[0])
+	}
+	return lm
+}
+
+// SpatialPoint returns this level's total spatial factors per dimension:
+// the rigid factors (per the chosen assignment) times the free factors.
+func (lm *LevelMapping) SpatialPoint(l *arch.Level) workload.Point {
+	p := lm.FreeSpatial
+	for i := range p {
+		if p[i] < 1 {
+			p[i] = 1
+		}
+	}
+	for i := range l.Spatial {
+		if i < len(lm.SpatialChoice) {
+			p[lm.SpatialChoice[i]] *= l.Spatial[i].Count
+		}
+	}
+	return p
+}
+
+// Loop is one temporal loop in a flattened nest.
+type Loop struct {
+	Dim   workload.Dim
+	Trip  int
+	Level int // storage level owning the loop
+}
+
+// Mapping is a complete schedule: one LevelMapping per storage level,
+// ordered outermost first (parallel to arch.Levels).
+type Mapping struct {
+	Levels []LevelMapping
+}
+
+// New returns an inert mapping for the architecture (all unit factors).
+func New(a *arch.Arch) *Mapping {
+	m := &Mapping{Levels: make([]LevelMapping, a.NumLevels())}
+	for i := range m.Levels {
+		m.Levels[i] = NewLevelMapping(a.Level(i))
+	}
+	return m
+}
+
+// Clone deep-copies the mapping.
+func (m *Mapping) Clone() *Mapping {
+	out := &Mapping{Levels: make([]LevelMapping, len(m.Levels))}
+	for i := range m.Levels {
+		lm := m.Levels[i]
+		out.Levels[i] = LevelMapping{
+			Temporal:    lm.Temporal,
+			Perm:        append([]workload.Dim(nil), lm.Perm...),
+			FreeSpatial: lm.FreeSpatial,
+		}
+		if lm.SpatialChoice != nil {
+			out.Levels[i].SpatialChoice = append([]workload.Dim(nil), lm.SpatialChoice...)
+		}
+	}
+	return out
+}
+
+// SpatialAt returns level i's spatial point under the architecture.
+func (m *Mapping) SpatialAt(a *arch.Arch, i int) workload.Point {
+	return m.Levels[i].SpatialPoint(a.Level(i))
+}
+
+// FactorsAt returns level i's combined temporal x spatial factors.
+func (m *Mapping) FactorsAt(a *arch.Arch, i int) workload.Point {
+	return m.Levels[i].Temporal.Mul(m.SpatialAt(a, i))
+}
+
+// PaddedBounds returns the full (possibly padded) iteration-space bounds:
+// the per-dimension product of all temporal and spatial factors.
+func (m *Mapping) PaddedBounds(a *arch.Arch) workload.Point {
+	p := workload.Ones()
+	for i := range m.Levels {
+		p = p.Mul(m.FactorsAt(a, i))
+	}
+	return p
+}
+
+// TileExtents returns the per-dimension data extents of one instance of
+// level i's tile: the product of all temporal and spatial factors at levels
+// >= i. (Level i's own temporal loops iterate within its tile over child
+// tiles; the tile must cover them.) The extents of the (virtual) innermost
+// level NumLevels() are all ones: one MAC.
+func (m *Mapping) TileExtents(a *arch.Arch, i int) workload.Point {
+	ext := workload.Ones()
+	for j := len(m.Levels) - 1; j >= i && j >= 0; j-- {
+		ext = ext.Mul(m.FactorsAt(a, j))
+	}
+	return ext
+}
+
+// SpatialExtentsBelow returns the per-dimension extents covered purely by
+// spatial factors at levels >= i — the single-cycle working set shape of a
+// streaming station at level i.
+func (m *Mapping) SpatialExtentsBelow(a *arch.Arch, i int) workload.Point {
+	ext := workload.Ones()
+	for j := len(m.Levels) - 1; j >= i; j-- {
+		ext = ext.Mul(m.SpatialAt(a, j))
+	}
+	return ext
+}
+
+// TemporalIterations returns the total number of temporal iterations
+// (compute cycles, assuming one MAC per instance per cycle) of the padded
+// schedule.
+func (m *Mapping) TemporalIterations() int64 {
+	n := int64(1)
+	for i := range m.Levels {
+		n *= m.Levels[i].Temporal.Product()
+	}
+	return n
+}
+
+// Utilization returns actual MACs / padded MACs — the fraction of compute
+// slots doing useful work.
+func (m *Mapping) Utilization(a *arch.Arch, l *workload.Layer) float64 {
+	padded := m.PaddedBounds(a).Product()
+	if padded == 0 {
+		return 0
+	}
+	return float64(l.MACs()) / float64(padded)
+}
+
+// LoopNestAbove returns the flattened temporal loop nest above level i's
+// tiles, outermost first: the temporal loops of levels 0..i-1 in
+// permutation order. Trip-1 loops are omitted (they never iterate and are
+// irrelevant to stationarity).
+func (m *Mapping) LoopNestAbove(i int) []Loop {
+	var nest []Loop
+	for j := 0; j < i && j < len(m.Levels); j++ {
+		lm := &m.Levels[j]
+		for _, d := range lm.Perm {
+			if t := lm.Temporal[d]; t > 1 {
+				nest = append(nest, Loop{Dim: d, Trip: t, Level: j})
+			}
+		}
+	}
+	return nest
+}
+
+// String renders the mapping compactly for debugging and reports.
+func (m *Mapping) String() string {
+	var b strings.Builder
+	for i := range m.Levels {
+		lm := &m.Levels[i]
+		fmt.Fprintf(&b, "L%d:", i)
+		for _, d := range lm.Perm {
+			if lm.Temporal[d] > 1 {
+				fmt.Fprintf(&b, " %s%d", d, lm.Temporal[d])
+			}
+		}
+		wrote := false
+		for _, d := range workload.AllDims() {
+			if lm.FreeSpatial[d] > 1 {
+				if !wrote {
+					b.WriteString(" |")
+					wrote = true
+				}
+				fmt.Fprintf(&b, " s%s%d", d, lm.FreeSpatial[d])
+			}
+		}
+		if len(lm.SpatialChoice) > 0 {
+			fmt.Fprintf(&b, " [")
+			for k, d := range lm.SpatialChoice {
+				if k > 0 {
+					b.WriteString(" ")
+				}
+				fmt.Fprintf(&b, "%s", d)
+			}
+			b.WriteString("]")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

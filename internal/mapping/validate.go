@@ -1,0 +1,134 @@
+package mapping
+
+import (
+	"fmt"
+
+	"photoloop/internal/arch"
+	"photoloop/internal/workload"
+)
+
+// Validate checks the mapping against the architecture and layer:
+// structural shape, permutation well-formedness, spatial assignment
+// legality, coverage of the problem bounds, fan-out limits, and per-level
+// buffer capacity.
+func (m *Mapping) Validate(a *arch.Arch, l *workload.Layer) error {
+	if len(m.Levels) != a.NumLevels() {
+		return fmt.Errorf("mapping: has %d levels, arch %s has %d", len(m.Levels), a.Name, a.NumLevels())
+	}
+	for i := range m.Levels {
+		lm := &m.Levels[i]
+		lv := a.Level(i)
+		// Permutation must cover every dimension exactly once.
+		if len(lm.Perm) != int(workload.NumDims) {
+			return fmt.Errorf("mapping: level %s: permutation has %d entries, want %d", lv.Name, len(lm.Perm), workload.NumDims)
+		}
+		var seen [workload.NumDims]bool
+		for _, d := range lm.Perm {
+			if d >= workload.NumDims {
+				return fmt.Errorf("mapping: level %s: invalid dimension in permutation", lv.Name)
+			}
+			if seen[d] {
+				return fmt.Errorf("mapping: level %s: dimension %v appears twice in permutation", lv.Name, d)
+			}
+			seen[d] = true
+		}
+		for _, d := range workload.AllDims() {
+			if lm.Temporal[d] < 1 {
+				return fmt.Errorf("mapping: level %s: temporal factor %s = %d, want >= 1", lv.Name, d, lm.Temporal[d])
+			}
+			if lm.FreeSpatial[d] < 1 {
+				return fmt.Errorf("mapping: level %s: free spatial factor %s = %d, want >= 1", lv.Name, d, lm.FreeSpatial[d])
+			}
+		}
+		if lv.MaxTemporalProduct > 0 && lm.Temporal.Product() > int64(lv.MaxTemporalProduct) {
+			return fmt.Errorf("mapping: level %s: temporal product %d exceeds cap %d",
+				lv.Name, lm.Temporal.Product(), lv.MaxTemporalProduct)
+		}
+		// Rigid spatial factors must each be assigned a permitted dim.
+		if len(lm.SpatialChoice) != len(lv.Spatial) {
+			return fmt.Errorf("mapping: level %s: %d spatial choices for %d rigid factors", lv.Name, len(lm.SpatialChoice), len(lv.Spatial))
+		}
+		for j, d := range lm.SpatialChoice {
+			if !lv.Spatial[j].Allows(d) {
+				return fmt.Errorf("mapping: level %s: spatial factor %d cannot be assigned to %v", lv.Name, j, d)
+			}
+		}
+		// Free spatial factors need MaxFanout headroom and permitted dims.
+		free := int64(1)
+		for _, d := range workload.AllDims() {
+			if lm.FreeSpatial[d] > 1 {
+				if !lv.AllowsFreeDim(d) {
+					return fmt.Errorf("mapping: level %s: free spatial over %v not permitted", lv.Name, d)
+				}
+				free *= int64(lm.FreeSpatial[d])
+			}
+		}
+		if free > 1 && (lv.MaxFanout == 0 || free > int64(lv.MaxFanout)) {
+			return fmt.Errorf("mapping: level %s: free fan-out %d exceeds MaxFanout %d", lv.Name, free, lv.MaxFanout)
+		}
+	}
+	// Coverage: padded bounds must reach the problem bounds in every dim.
+	padded := m.PaddedBounds(a)
+	bounds := l.Bounds()
+	for _, d := range workload.AllDims() {
+		if padded[d] < bounds[d] {
+			return fmt.Errorf("mapping: dimension %s covered to %d, layer needs %d", d, padded[d], bounds[d])
+		}
+	}
+	// Residency: loops over a tensor's relevant dimensions may not sit
+	// above its outermost keeper — the data would have to reappear from a
+	// level that does not store it. (This is what pins whole activations
+	// to the global buffer in layer-fusion configurations.)
+	for _, t := range workload.AllTensors() {
+		keeps := a.KeepLevels(t)
+		if len(keeps) == 0 {
+			return fmt.Errorf("mapping: no level keeps %v", t)
+		}
+		k0 := keeps[0]
+		for j := 0; j < k0; j++ {
+			for _, d := range workload.AllDims() {
+				if !workload.Relevant(t, d) {
+					continue
+				}
+				if m.Levels[j].Temporal[d] > 1 {
+					return fmt.Errorf("mapping: temporal loop %s%d at %s sits above %v's outermost keeper %s",
+						d, m.Levels[j].Temporal[d], a.Level(j).Name, t, a.Level(k0).Name)
+				}
+				if sp := m.SpatialAt(a, j); sp[d] > 1 {
+					return fmt.Errorf("mapping: spatial factor %s%d at %s sits above %v's outermost keeper %s",
+						d, sp[d], a.Level(j).Name, t, a.Level(k0).Name)
+				}
+			}
+		}
+	}
+	// Capacity: each level must hold its kept tiles.
+	for i := range m.Levels {
+		lv := a.Level(i)
+		if lv.CapacityBits <= 0 {
+			continue
+		}
+		var bits int64
+		ext := m.TileExtents(a, i)
+		for _, t := range lv.Keeps.Tensors() {
+			wb := int64(lv.EffectiveWordBits(a.DefaultWordBits))
+			bits += l.TileElems(t, clampExt(ext, bounds, l)) * wb
+		}
+		if bits > lv.CapacityBits {
+			return fmt.Errorf("mapping: level %s: tile footprint %d bits exceeds capacity %d", lv.Name, bits, lv.CapacityBits)
+		}
+	}
+	return nil
+}
+
+// clampExt limits padded tile extents to the layer bounds for capacity
+// accounting: hardware never stores more than the real data (padding slots
+// are dead lanes, not storage).
+func clampExt(ext, bounds workload.Point, l *workload.Layer) workload.Point {
+	out := ext
+	for i := range out {
+		if out[i] > bounds[i] {
+			out[i] = bounds[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+package model
+
+import (
+	"fmt"
+
+	"photoloop/internal/arch"
+	"photoloop/internal/mapping"
+	"photoloop/internal/workload"
+)
+
+// analysis carries the shared state of one evaluation.
+type analysis struct {
+	a *arch.Arch
+	l *workload.Layer
+	m *mapping.Mapping
+
+	bounds     workload.Point
+	padded     workload.Point
+	actualMACs int64
+	paddedMACs int64
+	cycles     int64 // padded temporal iterations
+
+	sf        []workload.Point // per-level spatial factors
+	ext       []workload.Point // per-level tile extents (padded)
+	extClamp  []workload.Point // per-level tile extents clamped to bounds
+	instances []int64          // per-level instance counts
+}
+
+func newAnalysis(a *arch.Arch, l *workload.Layer, m *mapping.Mapping) *analysis {
+	n := a.NumLevels()
+	an := &analysis{
+		a: a, l: l, m: m,
+		bounds:     l.Bounds(),
+		padded:     m.PaddedBounds(a),
+		actualMACs: l.MACs(),
+		cycles:     m.TemporalIterations(),
+		sf:         make([]workload.Point, n),
+		ext:        make([]workload.Point, n),
+		extClamp:   make([]workload.Point, n),
+		instances:  make([]int64, n),
+	}
+	an.paddedMACs = an.padded.Product()
+	inst := int64(1)
+	for i := 0; i < n; i++ {
+		an.sf[i] = m.SpatialAt(a, i)
+		an.ext[i] = m.TileExtents(a, i)
+		an.extClamp[i] = clamp(an.ext[i], an.bounds)
+		an.instances[i] = inst
+		inst *= an.sf[i].Product()
+	}
+	return an
+}
+
+func clamp(p, bounds workload.Point) workload.Point {
+	out := p
+	for i := range out {
+		if out[i] > bounds[i] {
+			out[i] = bounds[i]
+		}
+	}
+	return out
+}
+
+// naiveInputElems counts input words without window-overlap
+// deduplication: every (output-pixel, filter-tap) consumer demands its own
+// copy.
+func naiveInputElems(ext workload.Point) int64 {
+	return int64(ext[workload.DimN]) * int64(ext[workload.DimC]) *
+		int64(ext[workload.DimP]) * int64(ext[workload.DimR]) *
+		int64(ext[workload.DimQ]) * int64(ext[workload.DimS])
+}
+
+// refetchFactor implements permutation-aware stationarity: given the
+// flattened temporal nest above a tile (outermost first), the tile changes
+// once per iteration of (a) every loop over a dimension relevant to the
+// tensor and (b) every irrelevant loop that has a relevant loop strictly
+// inside it (revisiting evicted tiles). Innermost irrelevant loops keep the
+// tile stationary and contribute nothing.
+func refetchFactor(nest []mapping.Loop, t workload.Tensor) int64 {
+	f := int64(1)
+	relevantInside := false
+	for i := len(nest) - 1; i >= 0; i-- {
+		lp := nest[i]
+		if workload.Relevant(t, lp.Dim) {
+			f *= int64(lp.Trip)
+			relevantInside = true
+		} else if relevantInside {
+			f *= int64(lp.Trip)
+		}
+	}
+	return f
+}
+
+// distinctTiles returns how many distinct tiles of tensor t the nest above
+// a level walks: the product of relevant loop trips.
+func distinctTiles(nest []mapping.Loop, t workload.Tensor) int64 {
+	f := int64(1)
+	for _, lp := range nest {
+		if workload.Relevant(t, lp.Dim) {
+			f *= int64(lp.Trip)
+		}
+	}
+	return f
+}
+
+// multicastAt returns the one-to-many distribution factor of tensor t
+// provided by the spatial fan-out directly below level j: the product of
+// spatial factors over dimensions irrelevant to t, times the window-overlap
+// sharing factor for inputs when the level supports it. Levels with
+// NoMulticast provide no discount.
+func (an *analysis) multicastAt(j int, t workload.Tensor) float64 {
+	lv := an.a.Level(j)
+	if lv.NoMulticast {
+		return 1
+	}
+	mc := 1.0
+	for _, d := range workload.AllDims() {
+		if !workload.Relevant(t, d) && an.sf[j][d] > 1 {
+			mc *= float64(an.sf[j][d])
+		}
+	}
+	if t == workload.Inputs && lv.InputOverlapSharing {
+		mc *= an.overlapSharingAt(j)
+	}
+	return mc
+}
+
+// overlapSharingAt returns the input-sharing factor of the spatial fan-out
+// below level j: the ratio of naively duplicated window inputs to the
+// distinct inputs in the combined (haloed) footprint, per spatial axis.
+// Unstrided 3x3 windows across a 32-wide pixel vector share ~2.8x; strided
+// layers share less; stride >= filter (and 1x1 filters) share nothing.
+func (an *analysis) overlapSharingAt(j int) float64 {
+	childExt := workload.Ones()
+	if j+1 < an.a.NumLevels() {
+		childExt = an.ext[j+1]
+	}
+	sharing := 1.0
+	// Vertical axis: spatial P with filter extent R.
+	if sp := an.sf[j][workload.DimP]; sp > 1 {
+		hChild := workload.InputRange(childExt[workload.DimP], childExt[workload.DimR], an.l.StrideH, an.l.DilationH)
+		hComb := workload.InputRange(sp*childExt[workload.DimP], childExt[workload.DimR], an.l.StrideH, an.l.DilationH)
+		if hComb > 0 {
+			sharing *= float64(sp*hChild) / float64(hComb)
+		}
+	}
+	// Horizontal axis: spatial Q with filter extent S.
+	if sq := an.sf[j][workload.DimQ]; sq > 1 {
+		wChild := workload.InputRange(childExt[workload.DimQ], childExt[workload.DimS], an.l.StrideW, an.l.DilationW)
+		wComb := workload.InputRange(sq*childExt[workload.DimQ], childExt[workload.DimS], an.l.StrideW, an.l.DilationW)
+		if wComb > 0 {
+			sharing *= float64(sq*wChild) / float64(wComb)
+		}
+	}
+	if sharing < 1 {
+		sharing = 1
+	}
+	return sharing
+}
+
+// multicastRange multiplies the multicast factors of levels [from, to).
+func (an *analysis) multicastRange(from, to int, t workload.Tensor) float64 {
+	mc := 1.0
+	for j := from; j < to; j++ {
+		mc *= an.multicastAt(j, t)
+	}
+	return mc
+}
+
+// spatialReduceAt returns the partial-sum merge factor of the fan-out below
+// level j: the product of spatial factors over reduction dimensions.
+func (an *analysis) spatialReduceAt(j int) float64 {
+	lv := an.a.Level(j)
+	if lv.NoSpatialReduce {
+		return 1
+	}
+	sr := 1.0
+	for _, d := range workload.ReductionDims() {
+		if an.sf[j][d] > 1 {
+			sr *= float64(an.sf[j][d])
+		}
+	}
+	return sr
+}
+
+// spatialReduceRange multiplies the reduction factors of levels [from, to).
+func (an *analysis) spatialReduceRange(from, to int) float64 {
+	sr := 1.0
+	for j := from; j < to; j++ {
+		sr *= an.spatialReduceAt(j)
+	}
+	return sr
+}
+
+// readTensorUsage computes the traffic of a read operand (weights or
+// inputs) along its keep chain.
+func (an *analysis) readTensorUsage(t workload.Tensor) ([]Usage, error) {
+	chain := an.a.KeepLevels(t)
+	usages := make([]Usage, len(chain))
+	for pos, li := range chain {
+		lv := an.a.Level(li)
+		u := &usages[pos]
+		u.Level = lv.Name
+		u.LevelIndex = li
+		u.Tensor = t
+		u.Instances = an.instances[li]
+		u.TileElems = an.l.TileElems(t, an.extClamp[li])
+		if lv.Streaming {
+			if pos != len(chain)-1 {
+				return nil, fmt.Errorf("model: streaming level %s must be the innermost keeper of %v", lv.Name, t)
+			}
+			// Zero retention: the working set is refilled every cycle.
+			// With window-overlap sharing, one converted input serves
+			// every window position that touches it (the halo formula
+			// deduplicates); without it, each (pixel, tap) consumer
+			// needs its own conversion.
+			wsExt := clamp(an.m.SpatialExtentsBelow(an.a, li), an.bounds)
+			var ws int64
+			if t == workload.Inputs && !lv.InputOverlapSharing {
+				ws = naiveInputElems(wsExt)
+			} else {
+				ws = an.l.TileElems(t, wsExt)
+			}
+			u.Fills = float64(ws) * float64(an.cycles) * float64(u.Instances)
+		} else if pos > 0 {
+			nest := an.m.LoopNestAbove(li)
+			u.Fills = float64(u.TileElems) * float64(refetchFactor(nest, t)) * float64(u.Instances)
+		}
+		// Writes into the level are its fills.
+		u.Writes = u.Fills
+		if pos > 0 {
+			parent := chain[pos-1]
+			u.FillsDistinct = u.Fills / an.multicastRange(parent, li, t)
+		}
+	}
+	// Reads out of each keeper: distinct fills of the next-inner keeper,
+	// plus compute consumption at the innermost keeper.
+	for pos := range usages {
+		if pos+1 < len(usages) {
+			usages[pos].Reads += usages[pos+1].FillsDistinct
+		}
+	}
+	last := len(usages) - 1
+	li := chain[last]
+	consumption := float64(an.actualMACs) / an.multicastRange(li, an.a.NumLevels(), t)
+	usages[last].Reads += consumption
+	return usages, nil
+}
+
+// outputUsage computes the traffic of the output tensor along its keep
+// chain: per-MAC updates arrive at the innermost keeper (discounted by
+// spatial reduction below it), tiles drain upward on completion, and
+// partial tiles evicted by reduction loops above refill downward.
+func (an *analysis) outputUsage() ([]Usage, error) {
+	t := workload.Outputs
+	chain := an.a.KeepLevels(t)
+	usages := make([]Usage, len(chain))
+	for pos, li := range chain {
+		lv := an.a.Level(li)
+		u := &usages[pos]
+		u.Level = lv.Name
+		u.LevelIndex = li
+		u.Tensor = t
+		u.Instances = an.instances[li]
+		u.TileElems = an.l.TileElems(t, an.extClamp[li])
+		if lv.Streaming {
+			return nil, fmt.Errorf("model: output keeper %s cannot be a streaming level", lv.Name)
+		}
+	}
+
+	// Arrivals at the innermost keeper: one partial per MAC, merged by
+	// spatial reduction below it.
+	last := len(usages) - 1
+	liLast := chain[last]
+	arrivals := float64(an.actualMACs) / an.spatialReduceRange(liLast, an.a.NumLevels())
+	an.chargeArrivals(&usages[last], arrivals, chain[last])
+
+	// Drains from inner keepers to outer ones. Partial sums always merge
+	// upward (fresh-start accumulation): an evicted partial tile is never
+	// refilled — the parent keeper absorbs each partial with a
+	// read-modify-write update, which chargeArrivals accounts for.
+	for pos := last; pos > 0; pos-- {
+		li := chain[pos]
+		u := &usages[pos]
+		nest := an.m.LoopNestAbove(li)
+		changes := refetchFactor(nest, t)
+		u.Drains = float64(u.TileElems) * float64(changes) * float64(u.Instances)
+		// Reading the tile out to drain it.
+		u.Reads += u.Drains
+		parent := chain[pos-1]
+		u.DrainsMerged = u.Drains / an.spatialReduceRange(parent, li)
+		an.chargeArrivals(&usages[pos-1], u.DrainsMerged, parent)
+	}
+	return usages, nil
+}
+
+// chargeArrivals splits words arriving at an output keeper into first
+// writes (one per element per tile residency) and read-modify-write
+// updates.
+func (an *analysis) chargeArrivals(u *Usage, words float64, li int) {
+	nest := an.m.LoopNestAbove(li)
+	residencies := float64(distinctTiles(nest, workload.Outputs)) * float64(u.Instances)
+	firstWrites := float64(u.TileElems) * residencies
+	if firstWrites > words {
+		firstWrites = words
+	}
+	u.Arrivals += words
+	u.Writes += firstWrites
+	u.Updates += words - firstWrites
+}

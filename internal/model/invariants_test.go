@@ -1,0 +1,262 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"photoloop/internal/arch"
+	"photoloop/internal/components"
+	"photoloop/internal/mapping"
+	"photoloop/internal/workload"
+)
+
+// randArch builds a 3-level hierarchy with randomized spatial dimension,
+// flags and capacities — the population over which the invariants below
+// must hold.
+func randArch(t *testing.T, rng *rand.Rand) *arch.Arch {
+	t.Helper()
+	lib := components.NewLibrary()
+	mk := func(class, name string, p components.Params) {
+		c, err := components.Build(class, name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib.MustAdd(c)
+	}
+	mk("dram", "DRAM", components.Params{"pj_per_bit": 8, "access_bits": 8})
+	mk("sram", "Buf", components.Params{"capacity_bits": 1 << 22, "access_bits": 8})
+	mk("regfile", "Reg", components.Params{"access_bits": 8})
+
+	spatialDims := []workload.Dim{workload.DimK, workload.DimC, workload.DimQ, workload.DimN}
+	sd := spatialDims[rng.Intn(len(spatialDims))]
+	a := &arch.Arch{
+		Name: "rand", Lib: lib, ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+			{
+				Name: "Buf", Keeps: workload.AllTensorSet(), AccessComponent: "Buf",
+				Spatial:             []arch.SpatialFactor{arch.Fixed(sd, 1+rng.Intn(3))},
+				NoMulticast:         rng.Intn(3) == 0,
+				NoSpatialReduce:     rng.Intn(3) == 0,
+				InputOverlapSharing: rng.Intn(2) == 0,
+			},
+			{Name: "Reg", Keeps: workload.AllTensorSet(), AccessComponent: "Reg"},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func randLayerAndMapping(t *testing.T, rng *rand.Rand, a *arch.Arch) (workload.Layer, *mapping.Mapping) {
+	t.Helper()
+	l := workload.NewConv("rand",
+		1+rng.Intn(2), 1+rng.Intn(6), 1+rng.Intn(6),
+		1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(3), 1+rng.Intn(3),
+		1+rng.Intn(2), 0)
+	m := mapping.New(a)
+	// Random temporal splits with occasional padding.
+	for _, d := range workload.AllDims() {
+		bound := l.Bound(d)
+		sp := m.SpatialAt(a, 1)[d]
+		rem := workload.CeilDiv(bound, sp)
+		for i := a.NumLevels() - 1; i > 0 && rem > 1; i-- {
+			cands := mapping.PaddedCandidates(rem)
+			f := cands[rng.Intn(len(cands))]
+			m.Levels[i].Temporal[d] = f
+			rem = workload.CeilDiv(rem, f)
+		}
+		m.Levels[0].Temporal[d] *= rem
+	}
+	perms := [][]workload.Dim{
+		{workload.DimN, workload.DimK, workload.DimC, workload.DimP, workload.DimQ, workload.DimR, workload.DimS},
+		{workload.DimC, workload.DimR, workload.DimS, workload.DimN, workload.DimK, workload.DimP, workload.DimQ},
+		{workload.DimK, workload.DimC, workload.DimR, workload.DimS, workload.DimN, workload.DimP, workload.DimQ},
+	}
+	for i := range m.Levels {
+		m.Levels[i].Perm = append([]workload.Dim(nil), perms[rng.Intn(len(perms))]...)
+	}
+	return l, m
+}
+
+// TestModelInvariants checks conservation laws over randomized
+// architectures, layers and (possibly padded) mappings.
+func TestModelInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		a := randArch(t, rng)
+		l, m := randLayerAndMapping(t, rng, a)
+		if err := m.Validate(a, &l); err != nil {
+			continue // random draw violated a structural rule; skip
+		}
+		res, err := Evaluate(a, &l, m, Options{SkipValidate: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checked++
+
+		if res.Utilization <= 0 || res.Utilization > 1+1e-9 {
+			t.Fatalf("trial %d: utilization %g out of (0,1]", trial, res.Utilization)
+		}
+		if res.TotalPJ < 0 || res.Cycles <= 0 {
+			t.Fatalf("trial %d: negative energy or cycles", trial)
+		}
+		for _, u := range res.Usage {
+			// Multicast can only reduce: distinct fills never exceed fills.
+			if u.FillsDistinct > u.Fills+1e-6 {
+				t.Fatalf("trial %d: %s/%v distinct %g > fills %g", trial, u.Level, u.Tensor, u.FillsDistinct, u.Fills)
+			}
+			// Reduction can only reduce: merged drains never exceed drains.
+			if u.DrainsMerged > u.Drains+1e-6 {
+				t.Fatalf("trial %d: %s/%v merged %g > drains %g", trial, u.Level, u.Tensor, u.DrainsMerged, u.Drains)
+			}
+			// Nothing negative, ever.
+			for name, v := range map[string]float64{
+				"fills": u.Fills, "reads": u.Reads, "writes": u.Writes,
+				"updates": u.Updates, "drains": u.Drains, "arrivals": u.Arrivals,
+			} {
+				if v < 0 {
+					t.Fatalf("trial %d: %s/%v negative %s %g", trial, u.Level, u.Tensor, name, v)
+				}
+			}
+			// A non-streaming inner keeper of a read tensor fills at
+			// least one whole tile per instance.
+			lv := a.Level(u.LevelIndex)
+			if u.Tensor.IsRead() && u.LevelIndex > 0 && !lv.Streaming {
+				minFill := float64(u.TileElems) * float64(u.Instances)
+				if u.Fills < minFill-1e-6 {
+					t.Fatalf("trial %d: %s/%v fills %g below one tile per instance %g",
+						trial, u.Level, u.Tensor, u.Fills, minFill)
+				}
+			}
+		}
+		// Every distinct element of a read tensor crosses the DRAM
+		// boundary at least once.
+		for _, tensor := range []workload.Tensor{workload.Weights, workload.Inputs} {
+			dram := res.UsageOf("DRAM", tensor)
+			if dram != nil && dram.Reads < float64(l.TensorElems(tensor))-1e-6 {
+				t.Fatalf("trial %d: DRAM reads %g below %v footprint %d",
+					trial, dram.Reads, tensor, l.TensorElems(tensor))
+			}
+		}
+		// Every output element lands in DRAM at least once.
+		if od := res.UsageOf("DRAM", workload.Outputs); od != nil {
+			if od.Arrivals < float64(l.TensorElems(workload.Outputs))-1e-6 {
+				t.Fatalf("trial %d: DRAM output arrivals %g below footprint %d",
+					trial, od.Arrivals, l.TensorElems(workload.Outputs))
+			}
+		}
+	}
+	if checked < 150 {
+		t.Fatalf("only %d/300 random draws validated; generator too weak", checked)
+	}
+}
+
+// TestEnergyMonotoneInComponentCost doubles the DRAM energy and expects the
+// total to strictly increase (same counts, pricier actions).
+func TestEnergyMonotoneInComponentCost(t *testing.T) {
+	build := func(pjPerBit float64) (*arch.Arch, workload.Layer, *mapping.Mapping) {
+		lib := components.NewLibrary()
+		d, err := components.Build("dram", "DRAM", components.Params{"pj_per_bit": pjPerBit, "access_bits": 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib.MustAdd(d)
+		r, err := components.Build("regfile", "Reg", components.Params{"access_bits": 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib.MustAdd(r)
+		a := &arch.Arch{
+			Name: "m", Lib: lib, ClockGHz: 1, DefaultWordBits: 8,
+			Levels: []arch.Level{
+				{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+				{Name: "Reg", Keeps: workload.AllTensorSet(), AccessComponent: "Reg"},
+			},
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		l := workload.NewConv("l", 1, 4, 4, 4, 4, 3, 3, 1, 1)
+		m := mapping.New(a)
+		for _, d := range workload.AllDims() {
+			m.Levels[0].Temporal[d] = l.Bound(d)
+		}
+		return a, l, m
+	}
+	a1, l1, m1 := build(8)
+	r1, err := Evaluate(a1, &l1, m1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, l2, m2 := build(16)
+	r2, err := Evaluate(a2, &l2, m2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.TotalPJ <= r1.TotalPJ {
+		t.Errorf("doubling DRAM cost did not increase energy: %g vs %g", r2.TotalPJ, r1.TotalPJ)
+	}
+	// And exactly the DRAM delta: counts identical.
+	d1 := r1.EnergyOf("dram", "")
+	d2 := r2.EnergyOf("dram", "")
+	if d2 != 2*d1 {
+		t.Errorf("DRAM energy should exactly double: %g vs %g", d2, d1)
+	}
+}
+
+// TestDeeperBufferingReducesDRAMTraffic moves reuse loops inward and
+// expects backing-store traffic to fall — the whole point of a buffer.
+func TestDeeperBufferingReducesDRAMTraffic(t *testing.T) {
+	lib := components.NewLibrary()
+	d, err := components.Build("dram", "DRAM", components.Params{"pj_per_bit": 8, "access_bits": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib.MustAdd(d)
+	s, err := components.Build("sram", "Buf", components.Params{"capacity_bits": 1 << 22, "access_bits": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib.MustAdd(s)
+	a := &arch.Arch{
+		Name: "buf", Lib: lib, ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+			{Name: "Buf", Keeps: workload.AllTensorSet(), AccessComponent: "Buf", CapacityBits: 1 << 22},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l := workload.NewConv("l", 1, 8, 8, 8, 8, 3, 3, 1, 1)
+
+	// Shallow: everything iterates at DRAM (weights refetched per pixel).
+	shallow := mapping.New(a)
+	for _, d := range workload.AllDims() {
+		shallow.Levels[0].Temporal[d] = l.Bound(d)
+	}
+	// Deep: everything iterates inside the buffer.
+	deep := mapping.New(a)
+	for _, d := range workload.AllDims() {
+		deep.Levels[1].Temporal[d] = l.Bound(d)
+	}
+	rs, err := Evaluate(a, &l, shallow, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Evaluate(a, &l, deep, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sD := rs.UsageOf("DRAM", workload.Weights).Reads
+	dD := rd.UsageOf("DRAM", workload.Weights).Reads
+	if dD >= sD {
+		t.Errorf("deep buffering DRAM weight reads %g should be below shallow %g", dD, sD)
+	}
+	if dD != float64(l.TensorElems(workload.Weights)) {
+		t.Errorf("deep buffering should fetch each weight once: %g vs %d", dD, l.TensorElems(workload.Weights))
+	}
+}

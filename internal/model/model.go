@@ -1,0 +1,238 @@
+package model
+
+import (
+	"fmt"
+
+	"photoloop/internal/arch"
+	"photoloop/internal/components"
+	"photoloop/internal/mapping"
+	"photoloop/internal/workload"
+)
+
+// Options tunes an evaluation.
+type Options struct {
+	// ChargeStatic adds per-cycle static power (laser wall plug, ring
+	// heaters, DRAM refresh) to the ledger over the schedule length.
+	ChargeStatic bool
+	// SkipValidate trusts the mapping (mapper-internal hot path).
+	SkipValidate bool
+}
+
+// Evaluate runs the analytical model for one layer and mapping.
+func Evaluate(a *arch.Arch, l *workload.Layer, m *mapping.Mapping, opts Options) (*Result, error) {
+	if !opts.SkipValidate {
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+		if err := m.Validate(a, l); err != nil {
+			return nil, err
+		}
+	}
+	an := newAnalysis(a, l, m)
+	res := &Result{
+		Layer:         l.Name,
+		MACs:          an.actualMACs,
+		PaddedMACs:    an.paddedMACs,
+		ComputeCycles: an.cycles,
+	}
+	if an.paddedMACs > 0 {
+		res.Utilization = float64(an.actualMACs) / float64(an.paddedMACs)
+	}
+
+	// Traffic analysis per tensor.
+	var all []Usage
+	for _, t := range []workload.Tensor{workload.Weights, workload.Inputs} {
+		us, err := an.readTensorUsage(t)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, us...)
+	}
+	outUs, err := an.outputUsage()
+	if err != nil {
+		return nil, err
+	}
+	all = append(all, outUs...)
+	res.Usage = all
+
+	// Energy ledger.
+	if err := an.chargeEnergy(res, opts); err != nil {
+		return nil, err
+	}
+
+	// Throughput: compute-bound cycles vs per-level bandwidth limits.
+	res.Cycles = float64(res.ComputeCycles)
+	for i := 0; i < a.NumLevels(); i++ {
+		lv := a.Level(i)
+		if lv.BandwidthWordsPerCycle <= 0 {
+			continue
+		}
+		var words float64
+		for j := range all {
+			if all[j].LevelIndex == i {
+				words += all[j].Reads + all[j].Writes + 2*all[j].Updates
+			}
+		}
+		if need := words / lv.BandwidthWordsPerCycle; need > res.Cycles {
+			res.Cycles = need
+			res.BottleneckLevel = lv.Name
+		}
+	}
+	if res.Cycles > 0 {
+		res.MACsPerCycle = float64(res.MACs) / res.Cycles
+	}
+
+	area, err := a.Area()
+	if err != nil {
+		return nil, err
+	}
+	res.AreaUM2 = area
+	return res, nil
+}
+
+// chargeEnergy converts the usage table into the energy ledger.
+func (an *analysis) chargeEnergy(res *Result, opts Options) error {
+	a := an.a
+	add := func(level, componentName, action, tensor string, count float64) error {
+		if count == 0 {
+			return nil
+		}
+		c, err := a.Lib.Get(componentName)
+		if err != nil {
+			return err
+		}
+		pj, err := c.Energy(action)
+		if err != nil {
+			return err
+		}
+		res.Energy = append(res.Energy, EnergyItem{
+			Level:     level,
+			Component: componentName,
+			Class:     c.Class(),
+			Action:    action,
+			Tensor:    tensor,
+			Count:     count,
+			TotalPJ:   pj * count,
+		})
+		return nil
+	}
+	chargeChain := func(level string, refs []arch.ActionRef, tensor string, defaultBasis, distinctBasis float64) error {
+		for _, r := range refs {
+			basis := defaultBasis
+			if r.PerDistinct {
+				basis = distinctBasis
+			}
+			if err := add(level, r.Component, r.Action, tensor, basis*r.Count()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for ui := range res.Usage {
+		u := &res.Usage[ui]
+		lv := a.Level(u.LevelIndex)
+		ts := u.Tensor.String()
+		// Storage access energy.
+		if lv.AccessComponent != "" {
+			if err := add(u.Level, lv.AccessComponent, components.ActionRead, ts, u.Reads); err != nil {
+				return err
+			}
+			if err := add(u.Level, lv.AccessComponent, components.ActionWrite, ts, u.Writes); err != nil {
+				return err
+			}
+			if err := add(u.Level, lv.AccessComponent, components.ActionUpdate, ts, u.Updates); err != nil {
+				return err
+			}
+		}
+		// Converter chains.
+		if refs := lv.FillVia[u.Tensor]; len(refs) > 0 {
+			if err := chargeChain(u.Level, refs, ts, u.Fills, u.FillsDistinct); err != nil {
+				return err
+			}
+		}
+		if refs := lv.UpdateVia[u.Tensor]; len(refs) > 0 {
+			if err := chargeChain(u.Level, refs, ts, u.Arrivals, u.Arrivals); err != nil {
+				return err
+			}
+		}
+		if refs := lv.DrainVia[u.Tensor]; len(refs) > 0 {
+			if err := chargeChain(u.Level, refs, ts, u.Drains, u.DrainsMerged); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Per-MAC compute actions (laser supply, ring transit, digital MAC).
+	for _, r := range an.a.Compute.PerMAC {
+		if err := add("compute", r.Component, r.Action, "", float64(an.actualMACs)*r.Count()); err != nil {
+			return err
+		}
+	}
+
+	// Optional static power over the schedule.
+	if opts.ChargeStatic {
+		ns := float64(an.cycles) / an.a.ClockGHz
+		seen := map[string]int64{}
+		for i := range a.Levels {
+			lv := &a.Levels[i]
+			copies := an.instances[i]
+			if lv.AccessComponent != "" {
+				seen[lv.AccessComponent] += copies
+			}
+			for _, refs := range lv.FillVia {
+				for _, r := range refs {
+					seen[r.Component] += copies
+				}
+			}
+			for _, refs := range lv.UpdateVia {
+				for _, r := range refs {
+					seen[r.Component] += copies
+				}
+			}
+			for _, refs := range lv.DrainVia {
+				for _, r := range refs {
+					seen[r.Component] += copies
+				}
+			}
+		}
+		for _, r := range a.Compute.PerMAC {
+			seen[r.Component] += an.paddedMACs / max64(an.cycles, 1)
+		}
+		for name, copies := range seen {
+			c, err := a.Lib.Get(name)
+			if err != nil {
+				return err
+			}
+			if mw := c.StaticPower(); mw > 0 {
+				res.Energy = append(res.Energy, EnergyItem{
+					Level: "static", Component: name, Class: c.Class(),
+					Action: "static", Count: float64(copies),
+					TotalPJ: mw * ns * float64(copies),
+				})
+			}
+		}
+	}
+
+	for i := range res.Energy {
+		res.TotalPJ += res.Energy[i].TotalPJ
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EvaluateChecked is Evaluate plus domain-gap diagnostics: it fails if the
+// architecture moves tensors across domains without converters, which
+// almost always indicates a specification bug.
+func EvaluateChecked(a *arch.Arch, l *workload.Layer, m *mapping.Mapping, opts Options) (*Result, error) {
+	if gaps := a.DomainGaps(); len(gaps) > 0 {
+		return nil, fmt.Errorf("model: architecture %s has unconverted domain crossings: %v", a.Name, gaps)
+	}
+	return Evaluate(a, l, m, opts)
+}

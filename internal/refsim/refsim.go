@@ -1,0 +1,461 @@
+// Package refsim is a brute-force reference simulator for the analytical
+// model: it walks the mapped loop nest of a (small) layer point by point,
+// simulating single-tile buffer residency per level instance, multicast
+// unions on distribution networks, and partial-sum merging on reduction
+// networks, and counts the same quantities the analytical engine derives in
+// closed form. Property tests assert analytic == simulated.
+//
+// The simulator is exact but exponential in problem size; it is a test
+// oracle, not a tool. It assumes perfect factorizations (no padding) and
+// ideal distribution networks (multicast and overlap sharing available
+// wherever the architecture does not disable them).
+package refsim
+
+import (
+	"fmt"
+
+	"photoloop/internal/arch"
+	"photoloop/internal/mapping"
+	"photoloop/internal/workload"
+)
+
+// Key identifies a (level index, tensor) pair.
+type Key struct {
+	Level  int
+	Tensor workload.Tensor
+}
+
+// Counts are the simulated traffic totals, aggregated over instances.
+type Counts struct {
+	// TileElems is the exact per-instance tile footprint in words.
+	TileElems map[Key]int64
+	// Fills counts destination-side words filled into keepers of read
+	// tensors: residency episodes times tile words, or per-cycle working
+	// sets for streaming stations.
+	Fills map[Key]float64
+	// Reads counts words read out of each keeper: post-multicast unions
+	// serving the next-inner keeper, plus per-cycle consumption at the
+	// innermost keeper.
+	Reads map[Key]float64
+	// Arrivals counts output words arriving at each output keeper from
+	// below, post spatial-reduction.
+	Arrivals map[Key]float64
+	// Drains counts output words drained from each keeper (source side).
+	// Partial sums merge upward (fresh-start accumulation); evicted
+	// partials are never refilled.
+	Drains map[Key]float64
+}
+
+type loopRef struct {
+	dim     workload.Dim
+	trip    int
+	level   int
+	spatial bool
+}
+
+// station tracks one (level, tensor) keeper during simulation.
+type station struct {
+	key       Key
+	pos       int   // position in the keep chain
+	chain     []int // keep chain (level indices, outer to inner)
+	streaming bool
+	innermost bool
+	// Network capabilities.
+	multicastEdge bool // distribution from parent keeper may multicast
+	multicastDown bool // distribution below this keeper may multicast
+	reduceEdge    bool // merge on the way up to the parent keeper
+	reduceDown    bool // merge below this keeper
+
+	// Episode tracking (tile keys are instance independent).
+	lastKey  int64
+	started  bool
+	episodes map[int64]int64 // tileKey -> episode count
+
+	// Residency contents: tileKey -> child-instance -> address set, where
+	// child-instance is split into (parent-side coords, edge coords).
+	contents map[int64]map[[2]int64]map[int64]bool
+
+	// Online per-cycle accounting (innermost keepers). Keyed by the
+	// instance split into (parent-side coords, edge-side coords).
+	cycleAddrs  map[[2]int64]map[int64]bool
+	cycleRaw    map[[2]int64]int64
+	consume     float64 // accumulated consumption reads / arrivals
+	wsFills     float64 // accumulated streaming fills
+	parentServe float64 // words the parent keeper supplies to a streaming keeper
+}
+
+type sim struct {
+	a *arch.Arch
+	l *workload.Layer
+	m *mapping.Mapping
+
+	nest  []loopRef
+	tIdx  []int
+	sIdx  []int
+	tVals []int
+	sVals []int
+}
+
+// Run simulates the mapping and returns the counts. The padded iteration
+// space must be modest; Run refuses spaces above one million points.
+func Run(a *arch.Arch, l *workload.Layer, m *mapping.Mapping) (*Counts, error) {
+	if err := m.Validate(a, l); err != nil {
+		return nil, err
+	}
+	if total := m.PaddedBounds(a).Product(); total > 1_000_000 {
+		return nil, fmt.Errorf("refsim: padded space %d too large to enumerate", total)
+	}
+	s := &sim{a: a, l: l, m: m}
+	s.buildNest()
+	return s.run()
+}
+
+func (s *sim) buildNest() {
+	for i := 0; i < s.a.NumLevels(); i++ {
+		lm := &s.m.Levels[i]
+		for _, d := range lm.Perm {
+			if lm.Temporal[d] > 1 {
+				s.nest = append(s.nest, loopRef{dim: d, trip: lm.Temporal[d], level: i})
+			}
+		}
+		sp := s.m.SpatialAt(s.a, i)
+		for _, d := range workload.AllDims() {
+			if sp[d] > 1 {
+				s.nest = append(s.nest, loopRef{dim: d, trip: sp[d], level: i, spatial: true})
+			}
+		}
+	}
+	for i, lp := range s.nest {
+		if lp.spatial {
+			s.sIdx = append(s.sIdx, i)
+		} else {
+			s.tIdx = append(s.tIdx, i)
+		}
+	}
+	s.tVals = make([]int, len(s.tIdx))
+	s.sVals = make([]int, len(s.sIdx))
+}
+
+func address(t workload.Tensor, l *workload.Layer, idx workload.Point) int64 {
+	switch t {
+	case workload.Weights:
+		return pack4(idx[workload.DimK], idx[workload.DimC], idx[workload.DimR], idx[workload.DimS])
+	case workload.Inputs:
+		h := idx[workload.DimP]*l.StrideH + idx[workload.DimR]*l.DilationH
+		w := idx[workload.DimQ]*l.StrideW + idx[workload.DimS]*l.DilationW
+		return pack4(idx[workload.DimN], idx[workload.DimC], h, w)
+	case workload.Outputs:
+		return pack4(idx[workload.DimN], idx[workload.DimK], idx[workload.DimP], idx[workload.DimQ])
+	}
+	panic("refsim: unknown tensor")
+}
+
+func pack4(a, b, c, d int) int64 {
+	return int64(a)<<48 | int64(b)<<32 | int64(c)<<16 | int64(d)
+}
+
+func (s *sim) run() (*Counts, error) {
+	n := s.a.NumLevels()
+
+	var stations []*station
+	for _, t := range workload.AllTensors() {
+		chain := s.a.KeepLevels(t)
+		for pos, li := range chain {
+			st := &station{
+				key: Key{li, t}, pos: pos, chain: chain,
+				streaming: s.a.Level(li).Streaming,
+				innermost: pos == len(chain)-1,
+				episodes:  map[int64]int64{},
+				contents:  map[int64]map[[2]int64]map[int64]bool{},
+			}
+			st.multicastEdge, st.reduceEdge = true, true
+			if pos > 0 {
+				for j := chain[pos-1]; j < li; j++ {
+					if s.a.Level(j).NoMulticast {
+						st.multicastEdge = false
+					}
+					if s.a.Level(j).NoSpatialReduce {
+						st.reduceEdge = false
+					}
+				}
+			}
+			st.multicastDown, st.reduceDown = true, true
+			for j := li; j < n; j++ {
+				if s.a.Level(j).NoMulticast {
+					st.multicastDown = false
+				}
+				if s.a.Level(j).NoSpatialReduce {
+					st.reduceDown = false
+				}
+			}
+			stations = append(stations, st)
+		}
+	}
+
+	tTrips := make([]int, len(s.tIdx))
+	for i, ni := range s.tIdx {
+		tTrips[i] = s.nest[ni].trip
+	}
+	sTrips := make([]int, len(s.sIdx))
+	for i, ni := range s.sIdx {
+		sTrips[i] = s.nest[ni].trip
+	}
+	fullIdx := make([]int, len(s.nest))
+	bounds := s.l.Bounds()
+
+	globalPoint := func() (workload.Point, bool) {
+		for i, ni := range s.tIdx {
+			fullIdx[ni] = s.tVals[i]
+		}
+		for i, ni := range s.sIdx {
+			fullIdx[ni] = s.sVals[i]
+		}
+		var p workload.Point
+		for i, lp := range s.nest {
+			p[lp.dim] = p[lp.dim]*lp.trip + fullIdx[i]
+		}
+		for _, d := range workload.AllDims() {
+			if p[d] >= bounds[d] {
+				return p, false
+			}
+		}
+		return p, true
+	}
+
+	// spatialID packs spatial loop values at levels in [lo, hi).
+	spatialID := func(lo, hi int) int64 {
+		id := int64(1)
+		for i, ni := range s.sIdx {
+			lv := s.nest[ni].level
+			if lv >= lo && lv < hi {
+				id = id*int64(sTrips[i]+1) + int64(s.sVals[i])
+			}
+		}
+		return id
+	}
+
+	// tileKeyOf packs relevant temporal loop values at levels < li.
+	tileKeyOf := func(li int, t workload.Tensor) int64 {
+		key := int64(1)
+		for i, ni := range s.tIdx {
+			lp := s.nest[ni]
+			if lp.level < li && workload.Relevant(t, lp.dim) {
+				key = key*int64(tTrips[i]+1) + int64(s.tVals[i])
+			}
+		}
+		return key
+	}
+
+	// Main enumeration: cycles (temporal odometer), instances within.
+	for {
+		// Episode bookkeeping at the start of each cycle.
+		for _, st := range stations {
+			k := tileKeyOf(st.key.Level, st.key.Tensor)
+			if !st.started || k != st.lastKey {
+				st.episodes[k]++
+				st.lastKey = k
+				st.started = true
+			}
+			if st.innermost {
+				st.cycleAddrs = map[[2]int64]map[int64]bool{}
+				st.cycleRaw = map[[2]int64]int64{}
+			}
+		}
+
+		// Spatial odometer within the cycle.
+		for {
+			if p, ok := globalPoint(); ok {
+				for _, st := range stations {
+					li := st.key.Level
+					t := st.key.Tensor
+					addr := address(t, s.l, p)
+					// Residency contents, split by parent-side and
+					// edge-side coordinates.
+					parentLevel := 0
+					if st.pos > 0 {
+						parentLevel = st.chain[st.pos-1]
+					}
+					split := [2]int64{spatialID(0, parentLevel), spatialID(parentLevel, li)}
+					tk := st.lastKey
+					byInst := st.contents[tk]
+					if byInst == nil {
+						byInst = map[[2]int64]map[int64]bool{}
+						st.contents[tk] = byInst
+					}
+					set := byInst[split]
+					if set == nil {
+						set = map[int64]bool{}
+						byInst[split] = set
+					}
+					set[addr] = true
+					// Per-cycle demand at innermost keepers.
+					if st.innermost {
+						as := st.cycleAddrs[split]
+						if as == nil {
+							as = map[int64]bool{}
+							st.cycleAddrs[split] = as
+						}
+						as[addr] = true
+						st.cycleRaw[split]++
+					}
+				}
+			}
+			done := true
+			for i := len(s.sVals) - 1; i >= 0; i-- {
+				s.sVals[i]++
+				if s.sVals[i] < sTrips[i] {
+					done = false
+					break
+				}
+				s.sVals[i] = 0
+			}
+			if done {
+				break
+			}
+		}
+
+		// Close out per-cycle demand.
+		for _, st := range stations {
+			if !st.innermost {
+				continue
+			}
+			var cycleWords float64
+			useUnion := st.multicastDown
+			if st.key.Tensor == workload.Outputs {
+				useUnion = st.reduceDown
+			}
+			for inst, as := range st.cycleAddrs {
+				if useUnion {
+					cycleWords += float64(len(as))
+				} else {
+					cycleWords += float64(st.cycleRaw[inst])
+				}
+			}
+			st.consume += cycleWords
+			if st.streaming {
+				st.wsFills += cycleWords
+				// The parent keeper serves the per-cycle union across
+				// edge-side siblings (with multicast), or the raw sum.
+				if st.multicastEdge {
+					unions := map[int64]map[int64]bool{}
+					for split, as := range st.cycleAddrs {
+						u := unions[split[0]]
+						if u == nil {
+							u = map[int64]bool{}
+							unions[split[0]] = u
+						}
+						for a := range as {
+							u[a] = true
+						}
+					}
+					for _, u := range unions {
+						st.parentServe += float64(len(u))
+					}
+				} else {
+					st.parentServe += cycleWords
+				}
+			}
+		}
+
+		done := true
+		for i := len(s.tVals) - 1; i >= 0; i-- {
+			s.tVals[i]++
+			if s.tVals[i] < tTrips[i] {
+				done = false
+				break
+			}
+			s.tVals[i] = 0
+		}
+		if done {
+			break
+		}
+	}
+
+	// Derive aggregate counts.
+	c := &Counts{
+		TileElems: map[Key]int64{}, Fills: map[Key]float64{},
+		Reads: map[Key]float64{}, Arrivals: map[Key]float64{},
+		Drains: map[Key]float64{},
+	}
+	for _, st := range stations {
+		k := st.key
+		t := k.Tensor
+
+		// Tile footprint: largest per-(instance,key) address set.
+		var maxTile int64
+		for _, byInst := range st.contents {
+			for _, set := range byInst {
+				if int64(len(set)) > maxTile {
+					maxTile = int64(len(set))
+				}
+			}
+		}
+		c.TileElems[k] = maxTile
+
+		// Per-key per-instance episode word totals.
+		perKeyWords := func(union bool) float64 {
+			var total float64
+			for tk, byInst := range st.contents {
+				eps := float64(st.episodes[tk])
+				if union {
+					// Union across edge-side siblings per parent-side id.
+					unions := map[int64]map[int64]bool{}
+					for split, set := range byInst {
+						u := unions[split[0]]
+						if u == nil {
+							u = map[int64]bool{}
+							unions[split[0]] = u
+						}
+						for a := range set {
+							u[a] = true
+						}
+					}
+					for _, u := range unions {
+						total += eps * float64(len(u))
+					}
+				} else {
+					for _, set := range byInst {
+						total += eps * float64(len(set))
+					}
+				}
+			}
+			return total
+		}
+
+		if t.IsRead() {
+			if st.streaming {
+				c.Fills[k] = st.wsFills
+			} else if st.pos > 0 {
+				c.Fills[k] = perKeyWords(false)
+			}
+			if st.innermost {
+				c.Reads[k] += st.consume
+			}
+			if st.pos > 0 {
+				parent := Key{st.chain[st.pos-1], t}
+				if st.streaming {
+					c.Reads[parent] += st.parentServe
+				} else if st.multicastEdge {
+					c.Reads[parent] += perKeyWords(true)
+				} else {
+					c.Reads[parent] += perKeyWords(false)
+				}
+			}
+		} else {
+			if st.innermost {
+				c.Arrivals[k] += st.consume
+			}
+			if st.pos > 0 {
+				drains := perKeyWords(false)
+				c.Drains[k] = drains
+				parent := Key{st.chain[st.pos-1], t}
+				if st.reduceEdge {
+					c.Arrivals[parent] += perKeyWords(true)
+				} else {
+					c.Arrivals[parent] += drains
+				}
+			}
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,399 @@
+package refsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"photoloop/internal/arch"
+	"photoloop/internal/components"
+	"photoloop/internal/mapping"
+	"photoloop/internal/model"
+	"photoloop/internal/workload"
+)
+
+func lib(t *testing.T) *components.Library {
+	t.Helper()
+	l := components.NewLibrary()
+	d, err := components.Build("dram", "DRAM", components.Params{"pj_per_bit": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.MustAdd(d)
+	s, err := components.Build("sram", "Buf", components.Params{"capacity_bits": 1 << 24, "access_bits": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.MustAdd(s)
+	r, err := components.Build("regfile", "Reg", components.Params{"access_bits": 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.MustAdd(r)
+	return l
+}
+
+// compare runs both engines and checks every shared quantity.
+func compare(t *testing.T, a *arch.Arch, l *workload.Layer, m *mapping.Mapping, inputTol float64) {
+	t.Helper()
+	res, err := model.Evaluate(a, l, m, model.Options{})
+	if err != nil {
+		t.Fatalf("analytic: %v\n%s", err, m.String())
+	}
+	sim, err := Run(a, l, m)
+	if err != nil {
+		t.Fatalf("sim: %v\n%s", err, m.String())
+	}
+	eq := func(what string, got, want, tol float64) {
+		if want == 0 && got == 0 {
+			return
+		}
+		rel := math.Abs(got-want) / math.Max(math.Abs(want), 1)
+		if rel > tol {
+			t.Errorf("%s: analytic %g vs sim %g (mapping:\n%s)", what, got, want, m.String())
+		}
+	}
+	for _, tensor := range workload.AllTensors() {
+		for _, li := range a.KeepLevels(tensor) {
+			k := Key{li, tensor}
+			name := a.Level(li).Name
+			u := res.UsageOf(name, tensor)
+			if u == nil {
+				t.Fatalf("no usage for %s/%v", name, tensor)
+			}
+			tol := 0.0
+			if tensor == workload.Inputs {
+				tol = inputTol
+			}
+			eq(name+"/"+tensor.String()+"/tile", float64(u.TileElems), float64(sim.TileElems[k]), tol)
+			if tensor.IsRead() {
+				eq(name+"/"+tensor.String()+"/fills", u.Fills, sim.Fills[k], tol)
+				// Analytic Reads at a keeper = child distinct fills +
+				// consumption; sim.Reads mirrors both.
+				eq(name+"/"+tensor.String()+"/reads", u.Reads, sim.Reads[k], tol)
+			} else {
+				eq(name+"/outputs/arrivals", u.Arrivals, sim.Arrivals[k], 0)
+				eq(name+"/outputs/drains", u.Drains, sim.Drains[k], 0)
+			}
+		}
+	}
+}
+
+// randPerm returns a random permutation of all dims.
+func randPerm(rng *rand.Rand) []workload.Dim {
+	p := workload.AllDims()
+	rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// splitRandomly factors bound across n levels of temporal factors.
+func splitRandomly(rng *rand.Rand, bound, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = 1
+	}
+	rem := bound
+	for rem > 1 {
+		divs := mapping.Divisors(rem)
+		d := divs[1+rng.Intn(len(divs)-1)] // skip 1
+		out[rng.Intn(n)] *= d
+		rem /= d
+	}
+	return out
+}
+
+func TestTwoLevelRandomMappings(t *testing.T) {
+	a := &arch.Arch{
+		Name: "two", Lib: lib(t), ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+			{Name: "Reg", Keeps: workload.AllTensorSet(), AccessComponent: "Reg"},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	l := workload.NewConv("rand", 1, 4, 3, 4, 4, 2, 2, 1, 0)
+	for trial := 0; trial < 40; trial++ {
+		m := mapping.New(a)
+		for _, d := range workload.AllDims() {
+			f := splitRandomly(rng, l.Bound(d), 2)
+			m.Levels[0].Temporal[d] = f[0]
+			m.Levels[1].Temporal[d] = f[1]
+		}
+		m.Levels[0].Perm = randPerm(rng)
+		m.Levels[1].Perm = randPerm(rng)
+		compare(t, a, &l, m, 0)
+	}
+}
+
+func TestThreeLevelSpatialRandomMappings(t *testing.T) {
+	mk := func(spatialDim workload.Dim, count int) *arch.Arch {
+		a := &arch.Arch{
+			Name: "three", Lib: lib(t), ClockGHz: 1, DefaultWordBits: 8,
+			Levels: []arch.Level{
+				{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+				{
+					Name: "Buf", Keeps: workload.AllTensorSet(), AccessComponent: "Buf",
+					Spatial: []arch.SpatialFactor{arch.Fixed(spatialDim, count)},
+				},
+				{Name: "Reg", Keeps: workload.AllTensorSet(), AccessComponent: "Reg"},
+			},
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	rng := rand.New(rand.NewSource(11))
+	// Spatial over K (input multicast), C (spatial reduction), N.
+	for _, sd := range []workload.Dim{workload.DimK, workload.DimC, workload.DimN} {
+		a := mk(sd, 2)
+		l := workload.NewConv("rand", 2, 4, 2, 3, 3, 2, 2, 1, 0)
+		for trial := 0; trial < 25; trial++ {
+			m := mapping.New(a)
+			for _, d := range workload.AllDims() {
+				bound := l.Bound(d)
+				if d == sd {
+					bound /= 2 // rigid spatial factor covers a factor of 2
+				}
+				f := splitRandomly(rng, bound, 3)
+				m.Levels[0].Temporal[d] = f[0]
+				m.Levels[1].Temporal[d] = f[1]
+				m.Levels[2].Temporal[d] = f[2]
+			}
+			m.Levels[0].Perm = randPerm(rng)
+			m.Levels[1].Perm = randPerm(rng)
+			m.Levels[2].Perm = randPerm(rng)
+			compare(t, a, &l, m, 0)
+		}
+	}
+}
+
+func TestWeightStationBypassRandomMappings(t *testing.T) {
+	// Inner level keeps only weights; inputs/outputs turn around at Buf.
+	a := &arch.Arch{
+		Name: "wst", Lib: lib(t), ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+			{
+				Name: "Buf", Keeps: workload.AllTensorSet(), AccessComponent: "Buf",
+				Spatial: []arch.SpatialFactor{arch.Fixed(workload.DimK, 2)},
+			},
+			{Name: "WReg", Keeps: workload.NewTensorSet(workload.Weights), AccessComponent: "Reg"},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	l := workload.NewConv("rand", 1, 4, 3, 3, 3, 2, 2, 1, 0)
+	for trial := 0; trial < 25; trial++ {
+		m := mapping.New(a)
+		for _, d := range workload.AllDims() {
+			bound := l.Bound(d)
+			if d == workload.DimK {
+				bound /= 2
+			}
+			f := splitRandomly(rng, bound, 3)
+			m.Levels[0].Temporal[d] = f[0]
+			m.Levels[1].Temporal[d] = f[1]
+			m.Levels[2].Temporal[d] = f[2]
+		}
+		m.Levels[0].Perm = randPerm(rng)
+		m.Levels[1].Perm = randPerm(rng)
+		m.Levels[2].Perm = randPerm(rng)
+		compare(t, a, &l, m, 0)
+	}
+}
+
+func TestOverlapSharingMatchesUnionExactly(t *testing.T) {
+	// One level of Q-spatial fan-out over a 3-wide filter with sharing:
+	// the analytic halo ratio must equal the simulated union.
+	a := &arch.Arch{
+		Name: "share", Lib: lib(t), ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+			{
+				Name: "Buf", Keeps: workload.AllTensorSet(), AccessComponent: "Buf",
+				Spatial:             []arch.SpatialFactor{arch.Fixed(workload.DimQ, 4)},
+				InputOverlapSharing: true,
+			},
+			{Name: "Reg", Keeps: workload.AllTensorSet(), AccessComponent: "Reg"},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, stride := range []int{1, 2} {
+		l := workload.NewConv("share", 1, 2, 2, 2, 4, 3, 3, stride, 0)
+		m := mapping.New(a)
+		m.Levels[0].Temporal[workload.DimK] = 2
+		m.Levels[0].Temporal[workload.DimC] = 2
+		m.Levels[0].Temporal[workload.DimP] = 2
+		m.Levels[2].Temporal[workload.DimR] = 3
+		m.Levels[2].Temporal[workload.DimS] = 3
+		compare(t, a, &l, m, 0)
+	}
+}
+
+func TestStreamingStationAgainstSim(t *testing.T) {
+	// Mini-Albireo input path: Glb -> streaming modulated-input station
+	// with K-broadcast below it.
+	a := &arch.Arch{
+		Name: "mini", Lib: lib(t), ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+			{Name: "Glb", Keeps: workload.AllTensorSet(), AccessComponent: "Buf"},
+			{
+				Name: "Mod", Keeps: workload.NewTensorSet(workload.Inputs), Streaming: true,
+				Spatial:             []arch.SpatialFactor{arch.Fixed(workload.DimK, 2), arch.Fixed(workload.DimS, 3)},
+				InputOverlapSharing: true,
+			},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Careful: Glb keeps inputs and outputs innermost for those tensors.
+	l := workload.NewConv("mini", 1, 2, 2, 2, 4, 1, 3, 1, 0)
+	m := mapping.New(a)
+	m.Levels[0].Temporal[workload.DimC] = 2
+	m.Levels[1].Temporal[workload.DimK] = 1
+	m.Levels[1].Temporal[workload.DimP] = 2
+	m.Levels[1].Temporal[workload.DimQ] = 4
+	// Inputs tolerance: streaming + sharing interact; analytic uses the
+	// halo formula per cycle, the sim counts exact unions.
+	compare(t, a, &l, m, 0.02)
+}
+
+func TestNoMulticastMatchesSim(t *testing.T) {
+	a := &arch.Arch{
+		Name: "nomc", Lib: lib(t), ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+			{
+				Name: "Buf", Keeps: workload.AllTensorSet(), AccessComponent: "Buf",
+				Spatial:     []arch.SpatialFactor{arch.Fixed(workload.DimK, 2)},
+				NoMulticast: true, NoSpatialReduce: true,
+			},
+			{Name: "Reg", Keeps: workload.AllTensorSet(), AccessComponent: "Reg"},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l := workload.NewConv("nomc", 1, 4, 2, 2, 2, 1, 1, 1, 0)
+	m := mapping.New(a)
+	m.Levels[0].Temporal[workload.DimK] = 2
+	m.Levels[0].Temporal[workload.DimC] = 2
+	m.Levels[2].Temporal[workload.DimP] = 2
+	m.Levels[2].Temporal[workload.DimQ] = 2
+	compare(t, a, &l, m, 0)
+}
+
+func TestSimRejectsHugeSpaces(t *testing.T) {
+	a := &arch.Arch{
+		Name: "huge", Lib: lib(t), ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+			{Name: "Reg", Keeps: workload.AllTensorSet(), AccessComponent: "Reg"},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l := workload.NewConv("huge", 1, 512, 512, 64, 64, 3, 3, 1, 1)
+	m := mapping.New(a)
+	for _, d := range workload.AllDims() {
+		m.Levels[0].Temporal[d] = l.Bound(d)
+	}
+	if _, err := Run(a, &l, m); err == nil {
+		t.Error("Run accepted a huge space")
+	}
+}
+
+func TestAlbireoStyleOutputChainAgainstSim(t *testing.T) {
+	// Mirror Albireo's output path: two inner output-only keepers with a
+	// reduction-dimension fan-out between compute and the first keeper
+	// (the optical wavelength sum) and another between the keepers (the
+	// analog OR-lane merge).
+	a := &arch.Arch{
+		Name: "outchain", Lib: lib(t), ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+			{Name: "Glb", Keeps: workload.AllTensorSet(), AccessComponent: "Buf"},
+			{
+				Name: "Accum", Keeps: workload.NewTensorSet(workload.Outputs),
+				Spatial: []arch.SpatialFactor{arch.Fixed(workload.DimC, 2)},
+			},
+			{
+				Name: "PDStation", Keeps: workload.NewTensorSet(workload.Outputs),
+				Spatial: []arch.SpatialFactor{
+					arch.Fixed(workload.DimS, 2),
+					arch.Fixed(workload.DimR, 2),
+				},
+			},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l := workload.NewConv("oc", 1, 2, 4, 3, 3, 2, 2, 1, 0)
+	m := mapping.New(a)
+	m.Levels[0].Temporal[workload.DimK] = 2
+	m.Levels[1].Temporal[workload.DimC] = 2
+	m.Levels[1].Temporal[workload.DimP] = 3
+	m.Levels[1].Temporal[workload.DimQ] = 3
+	compare(t, a, &l, m, 0)
+
+	// The analytic structure on top of the agreement: the PD station
+	// receives one merged partial per 4 MACs (the 2x2 wavelength sum),
+	// and Accum per 8 (the extra C-lane merge).
+	res, err := model.Evaluate(a, &l, m, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	macs := float64(l.MACs())
+	pd := res.UsageOf("PDStation", workload.Outputs)
+	if pd.Arrivals != macs/4 {
+		t.Errorf("PD arrivals = %g, want %g", pd.Arrivals, macs/4)
+	}
+	acc := res.UsageOf("Accum", workload.Outputs)
+	if acc.Arrivals != macs/8 {
+		t.Errorf("Accum arrivals = %g, want %g", acc.Arrivals, macs/8)
+	}
+}
+
+func TestStridedLayersAgainstSim(t *testing.T) {
+	// Stride-2 convolutions exercise the halo geometry hardest: window
+	// overlap vanishes and input tiles become gapped. The analytic halo
+	// formula must still match the simulated address sets.
+	a := &arch.Arch{
+		Name: "strided", Lib: lib(t), ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+			{
+				Name: "Buf", Keeps: workload.AllTensorSet(), AccessComponent: "Buf",
+				Spatial:             []arch.SpatialFactor{arch.Fixed(workload.DimQ, 2)},
+				InputOverlapSharing: true,
+			},
+			{Name: "Reg", Keeps: workload.AllTensorSet(), AccessComponent: "Reg"},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, stride := range []int{2, 3} {
+		l := workload.NewConv("st", 1, 2, 2, 2, 4, 3, 3, stride, 0)
+		m := mapping.New(a)
+		m.Levels[0].Temporal[workload.DimK] = 2
+		m.Levels[0].Temporal[workload.DimC] = 2
+		m.Levels[1].Temporal[workload.DimQ] = 2
+		m.Levels[2].Temporal[workload.DimP] = 2
+		m.Levels[2].Temporal[workload.DimR] = 3
+		m.Levels[2].Temporal[workload.DimS] = 3
+		compare(t, a, &l, m, 0)
+	}
+}

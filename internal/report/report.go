@@ -1,0 +1,149 @@
+// Package report renders experiment results as ASCII tables, horizontal
+// bar charts and CSV — the textual equivalents of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable builds a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v (floats with %.4g).
+func (t *Table) Row(values ...interface{}) *Table {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(sep)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as comma-separated values (no quoting of commas —
+// our cells never contain them).
+func (t *Table) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Bar renders a horizontal bar of the value scaled to maxWidth characters
+// at full scale.
+func Bar(value, fullScale float64, maxWidth int) string {
+	if fullScale <= 0 || value <= 0 || maxWidth <= 0 {
+		return ""
+	}
+	n := int(value / fullScale * float64(maxWidth))
+	if n > maxWidth {
+		n = maxWidth
+	}
+	if n < 1 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}
+
+// StackedBar renders segments (in order) as a proportional stacked bar
+// using one rune per segment class.
+func StackedBar(segments []float64, runes []rune, fullScale float64, maxWidth int) string {
+	if fullScale <= 0 || maxWidth <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, seg := range segments {
+		if seg <= 0 {
+			continue
+		}
+		n := int(seg / fullScale * float64(maxWidth))
+		if n < 1 {
+			n = 1
+		}
+		r := '#'
+		if i < len(runes) {
+			r = runes[i]
+		}
+		for j := 0; j < n; j++ {
+			b.WriteRune(r)
+		}
+	}
+	s := b.String()
+	if len([]rune(s)) > maxWidth {
+		s = string([]rune(s)[:maxWidth])
+	}
+	return s
+}
+
+// Pct formats a ratio as a percentage.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

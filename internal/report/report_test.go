@@ -1,0 +1,84 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendersAligned(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("b", 22.25)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "1.5") {
+		t.Errorf("row: %q", lines[2])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.Row("x", 1)
+	tb.Row("y", 2)
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,1\ny,2\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Errorf("Bar(5,10,10) = %q", got)
+	}
+	if got := Bar(100, 10, 10); len(got) != 10 {
+		t.Errorf("Bar should clamp: %q", got)
+	}
+	if got := Bar(0.001, 10, 10); got != "#" {
+		t.Errorf("tiny positive values render one mark: %q", got)
+	}
+	if got := Bar(0, 10, 10); got != "" {
+		t.Errorf("zero renders empty: %q", got)
+	}
+	if got := Bar(5, 0, 10); got != "" {
+		t.Errorf("zero scale renders empty: %q", got)
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	got := StackedBar([]float64{2, 2}, []rune{'a', 'b'}, 8, 8)
+	if got != "aabb" {
+		t.Errorf("StackedBar = %q", got)
+	}
+	// Clamping to max width.
+	long := StackedBar([]float64{10, 10}, []rune{'a', 'b'}, 8, 8)
+	if len([]rune(long)) != 8 {
+		t.Errorf("StackedBar did not clamp: %q", long)
+	}
+	// Zero segments skipped.
+	if got := StackedBar([]float64{0, 4}, []rune{'a', 'b'}, 8, 8); got != "bbbb" {
+		t.Errorf("StackedBar zero segment: %q", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.756); got != "75.6%" {
+		t.Errorf("Pct = %q", got)
+	}
+}

@@ -1,0 +1,116 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"photoloop/internal/model"
+	"photoloop/internal/workload"
+)
+
+func TestTemplateBuilds(t *testing.T) {
+	a, err := DecodeArch(strings.NewReader(Template))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "mini-photonic" {
+		t.Errorf("name = %s", a.Name)
+	}
+	if a.NumLevels() != 5 {
+		t.Errorf("levels = %d", a.NumLevels())
+	}
+	if got := a.PeakMACsPerCycle(); got != 4*8*3*9 {
+		t.Errorf("peak = %d, want %d", got, 4*8*3*9)
+	}
+	if gaps := a.DomainGaps(); len(gaps) != 0 {
+		t.Errorf("template has domain gaps: %v", gaps)
+	}
+}
+
+func TestTemplateEvaluates(t *testing.T) {
+	a, err := DecodeArch(strings.NewReader(Template))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := workload.NewConv("conv", 1, 6, 8, 8, 8, 3, 3, 1, 1)
+	mspec := MappingSpec{Levels: []MappingLevelSpec{
+		{Temporal: map[string]int{}},
+		{Temporal: map[string]int{"K": 2, "C": 2, "P": 8}, Perm: []string{"K", "C", "N", "P", "Q", "R", "S"}},
+		{},
+		{},
+		{},
+	}}
+	m, err := mspec.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.Evaluate(a, &l, m, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PJPerMAC() <= 0 {
+		t.Error("bad energy")
+	}
+}
+
+func TestDecodeArchRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"garbage", `{"bogus": 1}`},
+		{"unknown component class", `{
+			"name": "x", "clock_ghz": 1, "default_word_bits": 8,
+			"components": [{"class": "flux", "name": "F"}],
+			"levels": [{"name": "D", "keeps": ["Weights","Inputs","Outputs"]}],
+			"compute": {"name": "c"}
+		}`},
+		{"unknown domain", `{
+			"name": "x", "clock_ghz": 1, "default_word_bits": 8,
+			"components": [],
+			"levels": [{"name": "D", "domain": "XY", "keeps": ["Weights","Inputs","Outputs"]}],
+			"compute": {"name": "c"}
+		}`},
+		{"unknown tensor", `{
+			"name": "x", "clock_ghz": 1, "default_word_bits": 8,
+			"components": [],
+			"levels": [{"name": "D", "keeps": ["Psums"]}],
+			"compute": {"name": "c"}
+		}`},
+		{"unknown dim", `{
+			"name": "x", "clock_ghz": 1, "default_word_bits": 8,
+			"components": [],
+			"levels": [{"name": "D", "keeps": ["Weights","Inputs","Outputs"],
+				"spatial": [{"count": 2, "dims": ["Z"]}]}],
+			"compute": {"name": "c"}
+		}`},
+		{"bad converter ref", `{
+			"name": "x", "clock_ghz": 1, "default_word_bits": 8,
+			"components": [],
+			"levels": [{"name": "D", "keeps": ["Weights","Inputs","Outputs"],
+				"fill_via": {"Weights": [{"component": "", "action": ""}]}}],
+			"compute": {"name": "c"}
+		}`},
+	}
+	for _, c := range cases {
+		if _, err := DecodeArch(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestDecodeMappingErrors(t *testing.T) {
+	a, err := DecodeArch(strings.NewReader(Template))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMapping(strings.NewReader(`{"levels":[{}]}`), a); err == nil {
+		t.Error("wrong level count accepted")
+	}
+	if _, err := DecodeMapping(strings.NewReader(`{"levels":[{"temporal":{"Z":2}},{},{},{},{}]}`), a); err == nil {
+		t.Error("unknown dim accepted")
+	}
+	if _, err := DecodeMapping(strings.NewReader(`not json`), a); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package spec
+
+// Template is a complete, buildable example architecture document: a
+// miniature photonic accelerator with a DE global buffer, a streaming
+// AO modulated-input station, an AE accumulator with photodiode and ADC,
+// and a weight ring bank — the same structure as the Albireo model, scaled
+// down. `photoloop template` prints it as a starting point for custom
+// specs.
+const Template = `{
+  "name": "mini-photonic",
+  "clock_ghz": 5,
+  "default_word_bits": 8,
+  "components": [
+    {"class": "dram", "name": "DRAM", "params": {"pj_per_bit": 25, "access_bits": 8}},
+    {"class": "sram", "name": "GLB", "params": {"capacity_bits": 8388608, "access_bits": 8, "banks": 8}},
+    {"class": "dac", "name": "InputDAC", "params": {"bits": 8, "pj_per_bit": 0.9}},
+    {"class": "dac", "name": "WeightDAC", "params": {"bits": 8, "pj_per_bit": 0.125}},
+    {"class": "adc", "name": "ADC", "params": {"bits": 8, "walden_fj_per_step": 21}},
+    {"class": "mzm", "name": "MZM", "params": {"modulate_pj": 4.7}},
+    {"class": "mrr", "name": "MRR", "params": {"program_pj": 3.2, "transit_pj": 0.2}},
+    {"class": "photodiode", "name": "PD", "params": {"detect_pj": 3.6}},
+    {"class": "laser", "name": "Laser", "params": {"per_mac_pj": 0.5}}
+  ],
+  "levels": [
+    {
+      "name": "DRAM", "domain": "DE",
+      "keeps": ["Weights", "Inputs", "Outputs"],
+      "access_component": "DRAM",
+      "bandwidth_words_per_cycle": 32
+    },
+    {
+      "name": "GLB", "domain": "DE",
+      "keeps": ["Weights", "Inputs", "Outputs"],
+      "capacity_bits": 8388608,
+      "access_component": "GLB",
+      "spatial": [{"count": 4, "dims": ["C", "K"]}]
+    },
+    {
+      "name": "ModIn", "domain": "AO",
+      "keeps": ["Inputs"],
+      "streaming": true,
+      "input_overlap_sharing": true,
+      "spatial": [
+        {"count": 8, "dims": ["Q", "P", "N"]},
+        {"count": 3, "dims": ["K", "N"]}
+      ],
+      "fill_via": {
+        "Inputs": [
+          {"component": "InputDAC", "action": "convert"},
+          {"component": "MZM", "action": "modulate"}
+        ]
+      }
+    },
+    {
+      "name": "Accum", "domain": "AE",
+      "keeps": ["Outputs"],
+      "word_bits": 24, "capacity_bits": 24,
+      "max_temporal_product": 1,
+      "spatial": [
+        {"count": 3, "dims": ["S", "C"]},
+        {"count": 3, "dims": ["R", "C"]}
+      ],
+      "update_via": {"Outputs": [{"component": "PD", "action": "detect"}]},
+      "drain_via": {"Outputs": [{"component": "ADC", "action": "convert"}]}
+    },
+    {
+      "name": "Rings", "domain": "AO",
+      "keeps": ["Weights"],
+      "capacity_bits": 8,
+      "max_temporal_product": 1,
+      "fill_via": {
+        "Weights": [
+          {"component": "WeightDAC", "action": "convert"},
+          {"component": "MRR", "action": "program"}
+        ]
+      }
+    }
+  ],
+  "compute": {
+    "name": "OpticalMAC", "domain": "AO",
+    "per_mac": [
+      {"component": "Laser", "action": "supply"},
+      {"component": "MRR", "action": "transit"}
+    ]
+  }
+}
+`

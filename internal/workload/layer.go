@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LayerType classifies a layer for reporting and mapping heuristics. All
+// types share the same 7-dimensional iteration space.
+type LayerType uint8
+
+// Supported layer types. Depthwise/grouped convolutions are not
+// representable in the dense 7-dimensional projection (each output channel
+// would read a disjoint input-channel slice); decompose them into
+// per-group Conv layers instead.
+const (
+	Conv LayerType = iota // spatial convolution
+	FC                    // fully connected (P=Q=R=S=1)
+)
+
+var layerTypeNames = map[LayerType]string{Conv: "Conv", FC: "FC"}
+
+// String returns the layer type's name.
+func (t LayerType) String() string {
+	if n, ok := layerTypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("LayerType(%d)", uint8(t))
+}
+
+// Layer is one DNN layer expressed as a 7-dimensional nested-loop problem.
+// The zero value is not valid; use NewConv/NewFC or fill every field and
+// call Validate.
+type Layer struct {
+	Name string    `json:"name"`
+	Type LayerType `json:"type"`
+
+	// Problem bounds.
+	N int `json:"n"` // batch
+	K int `json:"k"` // output channels
+	C int `json:"c"` // input channels
+	P int `json:"p"` // output rows
+	Q int `json:"q"` // output cols
+	R int `json:"r"` // filter rows
+	S int `json:"s"` // filter cols
+
+	// Geometry.
+	StrideH   int `json:"stride_h"`
+	StrideW   int `json:"stride_w"`
+	DilationH int `json:"dilation_h"`
+	DilationW int `json:"dilation_w"`
+	PadH      int `json:"pad_h"` // top+bottom combined is 2*PadH
+	PadW      int `json:"pad_w"`
+
+	// Operand precisions in bits. Zero means the evaluator's default.
+	WeightBits int `json:"weight_bits,omitempty"`
+	InputBits  int `json:"input_bits,omitempty"`
+	OutputBits int `json:"output_bits,omitempty"`
+}
+
+// NewConv builds a square-filter convolution layer. pad is per-side padding.
+func NewConv(name string, n, k, c, p, q, r, s, stride, pad int) Layer {
+	return Layer{
+		Name: name, Type: Conv,
+		N: n, K: k, C: c, P: p, Q: q, R: r, S: s,
+		StrideH: stride, StrideW: stride,
+		DilationH: 1, DilationW: 1,
+		PadH: pad, PadW: pad,
+	}
+}
+
+// NewFC builds a fully-connected layer treated as a 1x1 convolution over a
+// 1x1 feature map: Outputs[N][K] = Weights[K][C] x Inputs[N][C].
+func NewFC(name string, n, k, c int) Layer {
+	l := NewConv(name, n, k, c, 1, 1, 1, 1, 1, 0)
+	l.Type = FC
+	return l
+}
+
+// Validate checks that the layer describes a consistent problem.
+func (l *Layer) Validate() error {
+	if l.Name == "" {
+		return errors.New("workload: layer has no name")
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"N", l.N}, {"K", l.K}, {"C", l.C}, {"P", l.P},
+		{"Q", l.Q}, {"R", l.R}, {"S", l.S},
+		{"StrideH", l.StrideH}, {"StrideW", l.StrideW},
+		{"DilationH", l.DilationH}, {"DilationW", l.DilationW},
+	} {
+		if f.v < 1 {
+			return fmt.Errorf("workload: layer %s: %s = %d, want >= 1", l.Name, f.name, f.v)
+		}
+	}
+	if l.PadH < 0 || l.PadW < 0 {
+		return fmt.Errorf("workload: layer %s: negative padding", l.Name)
+	}
+	if l.Type == FC && (l.P != 1 || l.Q != 1 || l.R != 1 || l.S != 1) {
+		return fmt.Errorf("workload: layer %s: FC layers require P=Q=R=S=1", l.Name)
+	}
+	return nil
+}
+
+// Bounds returns the problem bounds as a Point.
+func (l *Layer) Bounds() Point {
+	var p Point
+	p[DimN] = l.N
+	p[DimK] = l.K
+	p[DimC] = l.C
+	p[DimP] = l.P
+	p[DimQ] = l.Q
+	p[DimR] = l.R
+	p[DimS] = l.S
+	return p
+}
+
+// Bound returns the bound of a single dimension.
+func (l *Layer) Bound(d Dim) int { return l.Bounds()[d] }
+
+// MACs returns the number of multiply-accumulate operations in the layer.
+func (l *Layer) MACs() int64 { return l.Bounds().Product() }
+
+// InputH returns the height of the input feature-map region touched by the
+// layer (excluding padding contributions beyond the touched window):
+// (P-1)*strideH + (R-1)*dilationH + 1.
+func (l *Layer) InputH() int {
+	return (l.P-1)*l.StrideH + (l.R-1)*l.DilationH + 1
+}
+
+// InputW returns the width of the touched input feature-map region.
+func (l *Layer) InputW() int {
+	return (l.Q-1)*l.StrideW + (l.S-1)*l.DilationW + 1
+}
+
+// InputRange returns the extent of the input feature map touched by tile
+// extents pExt (over P or Q) and rExt (over R or S) in one spatial axis:
+// (pExt-1)*stride + (rExt-1)*dilation + 1. It is the halo formula used for
+// input tile sizing.
+func InputRange(pExt, rExt, stride, dilation int) int {
+	if pExt < 1 || rExt < 1 {
+		return 0
+	}
+	return (pExt-1)*stride + (rExt-1)*dilation + 1
+}
+
+// TensorElems returns the number of elements in tensor t.
+func (l *Layer) TensorElems(t Tensor) int64 {
+	switch t {
+	case Weights:
+		return int64(l.K) * int64(l.C) * int64(l.R) * int64(l.S)
+	case Inputs:
+		return int64(l.N) * int64(l.C) * int64(l.InputH()) * int64(l.InputW())
+	case Outputs:
+		return int64(l.N) * int64(l.K) * int64(l.P) * int64(l.Q)
+	}
+	panic("workload: unknown tensor")
+}
+
+// TensorBits returns the tensor's precision in bits, falling back to def
+// when the layer does not specify one.
+func (l *Layer) TensorBits(t Tensor, def int) int {
+	var b int
+	switch t {
+	case Weights:
+		b = l.WeightBits
+	case Inputs:
+		b = l.InputBits
+	case Outputs:
+		b = l.OutputBits
+	}
+	if b <= 0 {
+		return def
+	}
+	return b
+}
+
+// TileElems returns the number of elements of tensor t covered by a tile
+// whose per-dimension extents are ext. Input tiles use the sliding-window
+// halo formula.
+func (l *Layer) TileElems(t Tensor, ext Point) int64 {
+	switch t {
+	case Weights:
+		return int64(ext[DimK]) * int64(ext[DimC]) * int64(ext[DimR]) * int64(ext[DimS])
+	case Inputs:
+		h := InputRange(ext[DimP], ext[DimR], l.StrideH, l.DilationH)
+		w := InputRange(ext[DimQ], ext[DimS], l.StrideW, l.DilationW)
+		return int64(ext[DimN]) * int64(ext[DimC]) * int64(h) * int64(w)
+	case Outputs:
+		return int64(ext[DimN]) * int64(ext[DimK]) * int64(ext[DimP]) * int64(ext[DimQ])
+	}
+	panic("workload: unknown tensor")
+}
+
+// IsStrided reports whether the layer uses a stride greater than one in
+// either spatial axis.
+func (l *Layer) IsStrided() bool { return l.StrideH > 1 || l.StrideW > 1 }
+
+// IsPointwise reports whether the filter is 1x1.
+func (l *Layer) IsPointwise() bool { return l.R == 1 && l.S == 1 }
+
+// WithBatch returns a copy of the layer with batch size n.
+func (l Layer) WithBatch(n int) Layer {
+	l.N = n
+	return l
+}
+
+// String formats the layer compactly.
+func (l *Layer) String() string {
+	return fmt.Sprintf("%s[%s %s stride %dx%d pad %dx%d]",
+		l.Name, l.Type, l.Bounds(), l.StrideH, l.StrideW, l.PadH, l.PadW)
+}

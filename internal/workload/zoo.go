@@ -1,0 +1,142 @@
+package workload
+
+import "fmt"
+
+// This file contains the layer tables for the three DNNs evaluated in the
+// paper: VGG16 and AlexNet (throughput validation, Fig. 3) and ResNet18
+// (full-system and architecture exploration, Figs. 4 and 5). Shapes follow
+// the original publications with 224x224 ImageNet inputs. AlexNet is
+// modeled ungrouped (the common convention in dataflow-modeling work;
+// grouping does not change the under-utilization phenomena the paper
+// studies: large strided filters and fully-connected layers).
+
+// VGG16 returns the VGG16 network (13 convolutions + 3 fully-connected
+// layers) at the given batch size.
+func VGG16(batch int) Network {
+	type cfg struct {
+		name string
+		k, c int
+		hw   int
+	}
+	convs := []cfg{
+		{"conv1_1", 64, 3, 224}, {"conv1_2", 64, 64, 224},
+		{"conv2_1", 128, 64, 112}, {"conv2_2", 128, 128, 112},
+		{"conv3_1", 256, 128, 56}, {"conv3_2", 256, 256, 56}, {"conv3_3", 256, 256, 56},
+		{"conv4_1", 512, 256, 28}, {"conv4_2", 512, 512, 28}, {"conv4_3", 512, 512, 28},
+		{"conv5_1", 512, 512, 14}, {"conv5_2", 512, 512, 14}, {"conv5_3", 512, 512, 14},
+	}
+	n := Network{Name: "vgg16"}
+	for _, c := range convs {
+		n.Layers = append(n.Layers, NewConv(c.name, batch, c.k, c.c, c.hw, c.hw, 3, 3, 1, 1))
+	}
+	n.Layers = append(n.Layers,
+		NewFC("fc6", batch, 4096, 25088),
+		NewFC("fc7", batch, 4096, 4096),
+		NewFC("fc8", batch, 1000, 4096),
+	)
+	return n
+}
+
+// AlexNet returns the (ungrouped) AlexNet network at the given batch size:
+// five convolutions — including the 11x11 stride-4 first layer and the 5x5
+// second layer that under-utilize window-parallel hardware — plus three
+// fully-connected layers.
+func AlexNet(batch int) Network {
+	n := Network{Name: "alexnet"}
+	n.Layers = append(n.Layers,
+		NewConv("conv1", batch, 96, 3, 55, 55, 11, 11, 4, 2),
+		NewConv("conv2", batch, 256, 96, 27, 27, 5, 5, 1, 2),
+		NewConv("conv3", batch, 384, 256, 13, 13, 3, 3, 1, 1),
+		NewConv("conv4", batch, 384, 384, 13, 13, 3, 3, 1, 1),
+		NewConv("conv5", batch, 256, 384, 13, 13, 3, 3, 1, 1),
+		NewFC("fc6", batch, 4096, 9216),
+		NewFC("fc7", batch, 4096, 4096),
+		NewFC("fc8", batch, 1000, 4096),
+	)
+	return n
+}
+
+// ResNet18 returns the ResNet-18 network at the given batch size: the 7x7
+// stride-2 stem, four stages of basic blocks (including the 1x1 stride-2
+// downsample convolutions on the residual paths), and the final classifier.
+func ResNet18(batch int) Network {
+	n := Network{Name: "resnet18"}
+	add := func(l Layer) { n.Layers = append(n.Layers, l) }
+
+	add(NewConv("conv1", batch, 64, 3, 112, 112, 7, 7, 2, 3))
+	// After 3x3/2 max pooling the feature map is 56x56.
+
+	// Stage 1: 64 channels, 56x56, two basic blocks, no downsample.
+	for b := 1; b <= 2; b++ {
+		add(NewConv(fmt.Sprintf("layer1.%d.conv1", b), batch, 64, 64, 56, 56, 3, 3, 1, 1))
+		add(NewConv(fmt.Sprintf("layer1.%d.conv2", b), batch, 64, 64, 56, 56, 3, 3, 1, 1))
+	}
+
+	stage := func(idx, cin, cout, hw int) {
+		// Block 1 halves the feature map and doubles channels.
+		add(NewConv(fmt.Sprintf("layer%d.1.conv1", idx), batch, cout, cin, hw, hw, 3, 3, 2, 1))
+		add(NewConv(fmt.Sprintf("layer%d.1.conv2", idx), batch, cout, cout, hw, hw, 3, 3, 1, 1))
+		add(NewConv(fmt.Sprintf("layer%d.1.downsample", idx), batch, cout, cin, hw, hw, 1, 1, 2, 0))
+		// Block 2 is shape preserving.
+		add(NewConv(fmt.Sprintf("layer%d.2.conv1", idx), batch, cout, cout, hw, hw, 3, 3, 1, 1))
+		add(NewConv(fmt.Sprintf("layer%d.2.conv2", idx), batch, cout, cout, hw, hw, 3, 3, 1, 1))
+	}
+	stage(2, 64, 128, 28)
+	stage(3, 128, 256, 14)
+	stage(4, 256, 512, 7)
+
+	add(NewFC("fc", batch, 1000, 512))
+	return n
+}
+
+// ResNet34 returns the ResNet-34 network at the given batch size: the same
+// stem and stage structure as ResNet-18 with {3,4,6,3} basic blocks.
+func ResNet34(batch int) Network {
+	n := Network{Name: "resnet34"}
+	add := func(l Layer) { n.Layers = append(n.Layers, l) }
+
+	add(NewConv("conv1", batch, 64, 3, 112, 112, 7, 7, 2, 3))
+
+	stage := func(idx, cin, cout, hw, blocks int, downsample bool) {
+		for b := 1; b <= blocks; b++ {
+			in, stride := cout, 1
+			if b == 1 {
+				in = cin
+				if downsample {
+					stride = 2
+				}
+			}
+			add(NewConv(fmt.Sprintf("layer%d.%d.conv1", idx, b), batch, cout, in, hw, hw, 3, 3, stride, 1))
+			add(NewConv(fmt.Sprintf("layer%d.%d.conv2", idx, b), batch, cout, cout, hw, hw, 3, 3, 1, 1))
+			if b == 1 && downsample {
+				add(NewConv(fmt.Sprintf("layer%d.%d.downsample", idx, b), batch, cout, cin, hw, hw, 1, 1, 2, 0))
+			}
+		}
+	}
+	stage(1, 64, 64, 56, 3, false)
+	stage(2, 64, 128, 28, 4, true)
+	stage(3, 128, 256, 14, 6, true)
+	stage(4, 256, 512, 7, 3, true)
+
+	add(NewFC("fc", batch, 1000, 512))
+	return n
+}
+
+// Zoo returns every built-in network builder keyed by name.
+func Zoo() map[string]func(batch int) Network {
+	return map[string]func(int) Network{
+		"vgg16":    VGG16,
+		"alexnet":  AlexNet,
+		"resnet18": ResNet18,
+		"resnet34": ResNet34,
+	}
+}
+
+// ByName builds a zoo network by name.
+func ByName(name string, batch int) (Network, error) {
+	b, ok := Zoo()[name]
+	if !ok {
+		return Network{}, fmt.Errorf("workload: unknown network %q", name)
+	}
+	return b(batch), nil
+}

@@ -1,0 +1,160 @@
+package workload
+
+import "testing"
+
+func TestVGG16Shape(t *testing.T) {
+	n := VGG16(1)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Layers) != 16 {
+		t.Fatalf("VGG16 has %d layers, want 16", len(n.Layers))
+	}
+	convs, fcs := 0, 0
+	for i := range n.Layers {
+		switch n.Layers[i].Type {
+		case Conv:
+			convs++
+			if n.Layers[i].R != 3 || n.Layers[i].StrideH != 1 {
+				t.Errorf("%s: VGG16 convolutions are all 3x3 stride 1", n.Layers[i].Name)
+			}
+		case FC:
+			fcs++
+		}
+	}
+	if convs != 13 || fcs != 3 {
+		t.Fatalf("VGG16 = %d convs + %d fcs, want 13 + 3", convs, fcs)
+	}
+	// Known totals: ~15.35 GMACs of convolution + ~123.6 MMACs of FC.
+	macs := n.MACs()
+	if macs < 15_300_000_000 || macs > 15_600_000_000 {
+		t.Errorf("VGG16 MACs = %d, want ~15.47G", macs)
+	}
+	// ~138M parameters.
+	if w := n.WeightElems(); w < 130_000_000 || w > 145_000_000 {
+		t.Errorf("VGG16 weights = %d, want ~138M", w)
+	}
+}
+
+func TestAlexNetShape(t *testing.T) {
+	n := AlexNet(1)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Layers) != 8 {
+		t.Fatalf("AlexNet has %d layers, want 8", len(n.Layers))
+	}
+	c1 := n.Layers[0]
+	if c1.R != 11 || c1.StrideH != 4 || c1.K != 96 {
+		t.Errorf("conv1 = %v, want 11x11 stride 4, K=96", c1.String())
+	}
+	if !c1.IsStrided() {
+		t.Error("conv1 should be strided")
+	}
+	// The last three layers are the large FC layers that under-utilize
+	// window-parallel photonic hardware (the Fig. 3 phenomenon).
+	for _, l := range n.Layers[5:] {
+		if l.Type != FC {
+			t.Errorf("%s: want FC", l.Name)
+		}
+	}
+	macs := n.MACs()
+	if macs < 1_000_000_000 || macs > 1_200_000_000 {
+		t.Errorf("AlexNet (ungrouped) MACs = %d, want ~1.13G", macs)
+	}
+}
+
+func TestResNet18Shape(t *testing.T) {
+	n := ResNet18(1)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// conv1 + 4 per stage1 + 5 per stages 2..4 + fc = 1+4+15+1 = 21.
+	if len(n.Layers) != 21 {
+		t.Fatalf("ResNet18 has %d layers, want 21", len(n.Layers))
+	}
+	if n.Layers[0].R != 7 || n.Layers[0].StrideH != 2 {
+		t.Errorf("stem = %v, want 7x7 stride 2", n.Layers[0].String())
+	}
+	downsamples := 0
+	for i := range n.Layers {
+		if n.Layers[i].IsPointwise() && n.Layers[i].Type == Conv {
+			downsamples++
+			if !n.Layers[i].IsStrided() {
+				t.Errorf("%s: downsample convs are stride 2", n.Layers[i].Name)
+			}
+		}
+	}
+	if downsamples != 3 {
+		t.Errorf("ResNet18 has %d 1x1 downsample convs, want 3", downsamples)
+	}
+	macs := n.MACs()
+	if macs < 1_780_000_000 || macs > 1_870_000_000 {
+		t.Errorf("ResNet18 MACs = %d, want ~1.82G", macs)
+	}
+}
+
+func TestZooByName(t *testing.T) {
+	for name := range Zoo() {
+		n, err := ByName(name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Layers[0].N != 2 {
+			t.Errorf("%s: batch not applied", name)
+		}
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("lenet", 1); err == nil {
+		t.Error("ByName(lenet) succeeded, want error")
+	}
+}
+
+func TestWithBatchScalesMACsLinearly(t *testing.T) {
+	n1 := ResNet18(1)
+	n8 := ResNet18(8)
+	if n8.MACs() != 8*n1.MACs() {
+		t.Errorf("batch-8 MACs = %d, want %d", n8.MACs(), 8*n1.MACs())
+	}
+	// Weight footprint is batch independent.
+	if n8.WeightElems() != n1.WeightElems() {
+		t.Errorf("weights changed with batch")
+	}
+}
+
+func TestMaxActivationElems(t *testing.T) {
+	n := ResNet18(1)
+	// The largest activation in ResNet18 at batch 1 is conv1's output
+	// 64x112x112 = 802816 elements (its input is 3x229x229 ~ 157k).
+	got := n.MaxActivationElems()
+	if got != 64*112*112 {
+		t.Errorf("MaxActivationElems = %d, want %d", got, 64*112*112)
+	}
+}
+
+func TestResNet34Shape(t *testing.T) {
+	n := ResNet34(1)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// conv1 + 2*(3+4+6+3) convs + 3 downsamples + fc = 1 + 32 + 3 + 1 = 37.
+	if len(n.Layers) != 37 {
+		t.Fatalf("ResNet34 has %d layers, want 37", len(n.Layers))
+	}
+	// ~3.67 GMACs at 224x224.
+	macs := n.MACs()
+	if macs < 3_500_000_000 || macs > 3_800_000_000 {
+		t.Errorf("ResNet34 MACs = %d, want ~3.67G", macs)
+	}
+	// ~21.8M parameters.
+	if w := n.WeightElems(); w < 20_000_000 || w > 23_000_000 {
+		t.Errorf("ResNet34 weights = %d, want ~21.8M", w)
+	}
+	// Deeper than ResNet18 in both MACs and weights.
+	r18 := ResNet18(1)
+	if macs <= r18.MACs() || n.WeightElems() <= r18.WeightElems() {
+		t.Error("ResNet34 should exceed ResNet18")
+	}
+}

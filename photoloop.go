@@ -1,0 +1,259 @@
+// Package photoloop is an architecture-level modeling framework for
+// photonic deep-neural-network accelerators, reproducing "Architecture-
+// Level Modeling of Photonic Deep Neural Network Accelerators" (Andrulis,
+// Chaudhry, Suriyakumar, Emer, Sze — ISPASS 2024).
+//
+// The framework follows the Timeloop / Accelergy / CiMLoop methodology the
+// paper builds on: a workload is a 7-dimensional convolution problem, an
+// architecture is a hierarchy of storage levels over a compute array, and
+// a mapping schedules the workload onto the architecture. The paper's
+// extension — and this package's focus — is multi-domain modeling: levels
+// live in digital-electrical (DE), analog-electrical (AE), analog-optical
+// (AO) or digital-optical (DO) domains, and data crossing between domains
+// is charged to explicit converter components (DACs, ADCs, Mach-Zehnder
+// modulators, microring programming, photodiodes). Mappings that exploit
+// reuse inside a domain amortize those conversions; the analytical engine
+// counts them exactly (validated against a brute-force simulator) and
+// rolls them up into energy, throughput and area.
+//
+// Quick start:
+//
+//	a, _ := photoloop.Albireo(photoloop.Conservative).Build()
+//	layer := photoloop.NewConv("conv3x3", 1, 96, 64, 32, 32, 3, 3, 1, 1)
+//	best, _ := photoloop.Search(a, &layer, photoloop.SearchOptions{})
+//	fmt.Println(best.Result) // pJ/MAC, MACs/cycle, utilization
+//
+// See examples/ for runnable programs and cmd/albireo-repro for the
+// regeneration of every figure in the paper.
+package photoloop
+
+import (
+	"photoloop/internal/albireo"
+	"photoloop/internal/arch"
+	"photoloop/internal/baseline"
+	"photoloop/internal/components"
+	"photoloop/internal/exp"
+	"photoloop/internal/mapper"
+	"photoloop/internal/mapping"
+	"photoloop/internal/model"
+	"photoloop/internal/workload"
+)
+
+// Workload types and constructors.
+type (
+	// Layer is one DNN layer as a 7-dimensional loop-nest problem.
+	Layer = workload.Layer
+	// Network is an ordered list of layers.
+	Network = workload.Network
+	// Dim identifies a problem dimension (N, K, C, P, Q, R, S).
+	Dim = workload.Dim
+	// Tensor identifies an operand (Weights, Inputs, Outputs).
+	Tensor = workload.Tensor
+	// TensorSet is a set of operands.
+	TensorSet = workload.TensorSet
+	// Point is a per-dimension integer vector.
+	Point = workload.Point
+)
+
+// Problem dimensions.
+const (
+	DimN = workload.DimN
+	DimK = workload.DimK
+	DimC = workload.DimC
+	DimP = workload.DimP
+	DimQ = workload.DimQ
+	DimR = workload.DimR
+	DimS = workload.DimS
+)
+
+// Operand tensors.
+const (
+	Weights = workload.Weights
+	Inputs  = workload.Inputs
+	Outputs = workload.Outputs
+)
+
+// NewConv builds a square-filter convolution layer.
+func NewConv(name string, n, k, c, p, q, r, s, stride, pad int) Layer {
+	return workload.NewConv(name, n, k, c, p, q, r, s, stride, pad)
+}
+
+// NewFC builds a fully-connected layer.
+func NewFC(name string, n, k, c int) Layer { return workload.NewFC(name, n, k, c) }
+
+// VGG16, AlexNet and ResNet18 build the paper's evaluation workloads.
+func VGG16(batch int) Network    { return workload.VGG16(batch) }
+func AlexNet(batch int) Network  { return workload.AlexNet(batch) }
+func ResNet18(batch int) Network { return workload.ResNet18(batch) }
+
+// NetworkByName builds a zoo network ("vgg16", "alexnet", "resnet18").
+func NetworkByName(name string, batch int) (Network, error) {
+	return workload.ByName(name, batch)
+}
+
+// Architecture types.
+type (
+	// Arch is an accelerator: a storage hierarchy over a compute array.
+	Arch = arch.Arch
+	// Level is one storage level.
+	Level = arch.Level
+	// Compute is the compute array description.
+	Compute = arch.Compute
+	// SpatialFactor is a rigid fan-out factor with assignable dimensions.
+	SpatialFactor = arch.SpatialFactor
+	// ActionRef names a component action charged per word.
+	ActionRef = arch.ActionRef
+	// Domain is a signaling domain (DE, AE, AO, DO).
+	Domain = arch.Domain
+	// Component is an energy/area estimator.
+	Component = components.Component
+	// ComponentLibrary holds named component instances.
+	ComponentLibrary = components.Library
+	// ComponentParams parameterizes registry-built components.
+	ComponentParams = components.Params
+)
+
+// Signaling domains.
+const (
+	DE = arch.DE
+	AE = arch.AE
+	AO = arch.AO
+	DO = arch.DO
+)
+
+// NewComponentLibrary builds an empty component library.
+func NewComponentLibrary() *ComponentLibrary { return components.NewLibrary() }
+
+// BuildComponent constructs a component from the class registry ("sram",
+// "dram", "adc", "dac", "mzm", "mrr", "photodiode", "laser",
+// "star_coupler", "waveguide", "digital_mac", "wire", "regfile").
+func BuildComponent(class, name string, p ComponentParams) (Component, error) {
+	return components.Build(class, name, p)
+}
+
+// ComponentClasses lists the registered component classes.
+func ComponentClasses() []string { return components.Classes() }
+
+// Mapping and evaluation types.
+type (
+	// Mapping is a schedule of a layer onto an architecture.
+	Mapping = mapping.Mapping
+	// Result is a full evaluation: counts, energy ledger, throughput.
+	Result = model.Result
+	// EnergyItem is one energy-ledger line.
+	EnergyItem = model.EnergyItem
+	// Usage is per-level per-tensor traffic.
+	Usage = model.Usage
+	// EvalOptions tunes an evaluation.
+	EvalOptions = model.Options
+)
+
+// NewMapping returns an inert mapping for the architecture.
+func NewMapping(a *Arch) *Mapping { return mapping.New(a) }
+
+// Evaluate runs the analytical model for one layer and mapping.
+func Evaluate(a *Arch, l *Layer, m *Mapping, opts EvalOptions) (*Result, error) {
+	return model.Evaluate(a, l, m, opts)
+}
+
+// Mapper types.
+type (
+	// SearchOptions configures the mapping search.
+	SearchOptions = mapper.Options
+	// SearchBest is a search outcome.
+	SearchBest = mapper.Best
+	// Objective selects what the search minimizes.
+	Objective = mapper.Objective
+)
+
+// Search objectives.
+const (
+	MinEnergy = mapper.MinEnergy
+	MinDelay  = mapper.MinDelay
+	MinEDP    = mapper.MinEDP
+)
+
+// Search finds the best mapping for a layer.
+func Search(a *Arch, l *Layer, opts SearchOptions) (*SearchBest, error) {
+	return mapper.Search(a, l, opts)
+}
+
+// SearchNetwork maps every layer of a network.
+func SearchNetwork(a *Arch, net *Network, opts SearchOptions) ([]*SearchBest, error) {
+	return mapper.SearchNetwork(a, net, opts)
+}
+
+// Albireo instantiation.
+type (
+	// AlbireoConfig parameterizes an Albireo instance.
+	AlbireoConfig = albireo.Config
+	// AlbireoScaling is a technology projection.
+	AlbireoScaling = albireo.Scaling
+	// AlbireoNetOptions configures whole-network evaluation.
+	AlbireoNetOptions = albireo.NetOptions
+	// AlbireoNetResult is a whole-network evaluation.
+	AlbireoNetResult = albireo.NetResult
+)
+
+// Albireo scaling projections.
+const (
+	Conservative = albireo.Conservative
+	Moderate     = albireo.Moderate
+	Aggressive   = albireo.Aggressive
+)
+
+// Albireo returns the original Albireo configuration at a scaling point.
+func Albireo(s AlbireoScaling) AlbireoConfig { return albireo.Default(s) }
+
+// AlbireoCanonicalMappings returns the architect-intended schedules for a
+// layer (useful as mapper seeds).
+func AlbireoCanonicalMappings(a *Arch, l *Layer) []*Mapping {
+	return albireo.CanonicalMappings(a, l)
+}
+
+// EvalAlbireoNetwork maps and evaluates a network on an Albireo instance
+// with optional batching and layer fusion.
+func EvalAlbireoNetwork(cfg AlbireoConfig, net Network, opts AlbireoNetOptions) (*AlbireoNetResult, error) {
+	return albireo.EvalNetwork(cfg, net, opts)
+}
+
+// ElectricalBaselineConfig parameterizes the conventional digital
+// accelerator built from the same component library, for photonic-vs-
+// electrical comparisons.
+type ElectricalBaselineConfig = baseline.Config
+
+// ElectricalBaseline returns a weight-stationary digital array matched to
+// Albireo's peak throughput.
+func ElectricalBaseline() ElectricalBaselineConfig { return baseline.Default() }
+
+// AlbireoAcceleratorPJ sums a result's energy excluding DRAM.
+func AlbireoAcceleratorPJ(r *Result) float64 { return albireo.AcceleratorPJ(r) }
+
+// AlbireoConverterPJ sums all cross-domain conversion energy in a result.
+func AlbireoConverterPJ(r *Result) float64 { return albireo.ConverterPJ(r) }
+
+// Experiment harnesses (the paper's figures).
+type (
+	// ExperimentConfig tunes the figure harnesses.
+	ExperimentConfig = exp.Config
+	// Fig2Result is the energy-breakdown validation.
+	Fig2Result = exp.Fig2Result
+	// Fig3Result is the throughput comparison.
+	Fig3Result = exp.Fig3Result
+	// Fig4Result is the full-system memory exploration.
+	Fig4Result = exp.Fig4Result
+	// Fig5Result is the reuse-scaling architecture exploration.
+	Fig5Result = exp.Fig5Result
+	// AblationResult quantifies the model's mechanisms.
+	AblationResult = exp.AblationResult
+)
+
+// Fig2, Fig3, Fig4 and Fig5 regenerate the paper's figures.
+func Fig2(cfg ExperimentConfig) (*Fig2Result, error) { return exp.Fig2(cfg) }
+func Fig3(cfg ExperimentConfig) (*Fig3Result, error) { return exp.Fig3(cfg) }
+func Fig4(cfg ExperimentConfig) (*Fig4Result, error) { return exp.Fig4(cfg) }
+func Fig5(cfg ExperimentConfig) (*Fig5Result, error) { return exp.Fig5(cfg) }
+
+// Ablations quantifies the modeling mechanisms (loop permutations,
+// window-overlap sharing, streaming, mapper seeding) on the Albireo system.
+func Ablations(cfg ExperimentConfig) (*AblationResult, error) { return exp.Ablations(cfg) }
