@@ -71,8 +71,10 @@ func BenchmarkFig5ArchExploration(b *testing.B) {
 	}
 }
 
-// BenchmarkEvaluate measures one analytical evaluation (the mapper's inner
-// loop): Albireo, one ResNet18 layer, canonical mapping.
+// BenchmarkEvaluate measures one analytical evaluation of the mapper's
+// inner loop: Albireo, one ResNet18 layer, canonical mapping, on the
+// compiled allocation-free fast path (aggregate energy, no itemized
+// ledger) — the configuration mapper search actually runs in.
 func BenchmarkEvaluate(b *testing.B) {
 	a, err := photoloop.Albireo(photoloop.Aggressive).Build()
 	if err != nil {
@@ -84,6 +86,65 @@ func BenchmarkEvaluate(b *testing.B) {
 		b.Fatal("no canonical mapping")
 	}
 	m := seeds[0]
+	c, err := photoloop.Compile(a, &layer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := c.Engine().NewScratch()
+	res := &photoloop.Result{}
+	opts := photoloop.EvalOptions{SkipValidate: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.EvaluateInto(scratch, m, res, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateFullLedger measures the compiled path with the
+// itemized energy ledger (the debug/reporting mode).
+func BenchmarkEvaluateFullLedger(b *testing.B) {
+	a, err := photoloop.Albireo(photoloop.Aggressive).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	layer := photoloop.NewConv("l", 1, 128, 128, 28, 28, 3, 3, 1, 1)
+	seeds := photoloop.AlbireoCanonicalMappings(a, &layer)
+	if len(seeds) == 0 {
+		b.Fatal("no canonical mapping")
+	}
+	m := seeds[0]
+	c, err := photoloop.Compile(a, &layer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := c.Engine().NewScratch()
+	res := &photoloop.Result{}
+	opts := photoloop.EvalOptions{SkipValidate: true, FullLedger: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.EvaluateInto(scratch, m, res, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateOneShot measures the uncompiled convenience entry
+// point, which recompiles the (arch, layer) pair on every call.
+func BenchmarkEvaluateOneShot(b *testing.B) {
+	a, err := photoloop.Albireo(photoloop.Aggressive).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	layer := photoloop.NewConv("l", 1, 128, 128, 28, 28, 3, 3, 1, 1)
+	seeds := photoloop.AlbireoCanonicalMappings(a, &layer)
+	if len(seeds) == 0 {
+		b.Fatal("no canonical mapping")
+	}
+	m := seeds[0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := photoloop.Evaluate(a, &layer, m, photoloop.EvalOptions{}); err != nil {

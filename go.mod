@@ -1,0 +1,3 @@
+module photoloop
+
+go 1.24

@@ -56,8 +56,12 @@ func EvalNetwork(cfg Config, net workload.Network, opts NetOptions) (*NetResult,
 	res := &NetResult{Network: net.Name, Config: cfg, Options: opts}
 	res.Total.Layer = net.Name
 
-	for i := range work.Layers {
-		layer := work.Layers[i]
+	// The architecture is identical for every layer unless fusion changes
+	// which tensors the DRAM backs — and even then only the first and last
+	// layers differ. Build each distinct architecture (and the mapper
+	// session caching its invariants) once and share it across layers.
+	sessions := map[workload.TensorSet]*mapper.Session{}
+	sessionFor := func(i int) (*mapper.Session, error) {
 		lcfg := cfg
 		if opts.Fused {
 			// Activations stay on chip: DRAM backs weights always,
@@ -73,13 +77,31 @@ func EvalNetwork(cfg Config, net workload.Network, opts NetOptions) (*NetResult,
 			lcfg.DRAMKeeps = keeps
 			lcfg.GLBMiB = fusedGLBMiB(cfg.GLBMiB, &work, opts.Batch)
 		}
+		if s, ok := sessions[lcfg.DRAMKeeps]; ok {
+			return s, nil
+		}
 		a, err := lcfg.Build()
 		if err != nil {
-			return nil, fmt.Errorf("albireo: building arch for %s: %w", layer.Name, err)
+			return nil, fmt.Errorf("albireo: building arch: %w", err)
 		}
+		s, err := mapper.NewSession(a)
+		if err != nil {
+			return nil, fmt.Errorf("albireo: preparing mapper: %w", err)
+		}
+		sessions[lcfg.DRAMKeeps] = s
+		return s, nil
+	}
+
+	for i := range work.Layers {
+		layer := work.Layers[i]
+		sess, err := sessionFor(i)
+		if err != nil {
+			return nil, fmt.Errorf("albireo: %s: %w", layer.Name, err)
+		}
+		a := sess.Engine().Arch()
 		mopts := opts.Mapper
 		mopts.Seeds = append(CanonicalMappings(a, &layer), mopts.Seeds...)
-		best, err := mapper.Search(a, &layer, mopts)
+		best, err := sess.Search(&layer, mopts)
 		if err != nil {
 			return nil, fmt.Errorf("albireo: mapping %s: %w", layer.Name, err)
 		}

@@ -2,6 +2,7 @@ package arch
 
 import (
 	"fmt"
+	"sync"
 
 	"photoloop/internal/components"
 	"photoloop/internal/workload"
@@ -10,6 +11,13 @@ import (
 // Arch is a complete accelerator description: an ordered storage hierarchy
 // (outermost first), a compute array, and the component library the levels
 // reference.
+//
+// Mapping-independent invariants (total area, per-tensor keep chains) are
+// cached lazily on first use: an Arch must not be structurally modified —
+// levels added or removed, Keeps changed, components swapped — after the
+// first call to Area or KeepLevels. Tuning per-level flags (Streaming,
+// InputOverlapSharing, capacities, bandwidths) stays safe at any time; those
+// do not feed the caches.
 type Arch struct {
 	Name string
 	// Levels is ordered outermost (backing store) to innermost (operand
@@ -22,6 +30,13 @@ type Arch struct {
 	ClockGHz float64
 	// DefaultWordBits is the operand word size unless a level overrides.
 	DefaultWordBits int
+
+	areaOnce sync.Once
+	areaVal  float64
+	areaErr  error
+
+	keepOnce sync.Once
+	keepTab  [workload.NumTensors][]int
 }
 
 // NumLevels returns the number of storage levels.
@@ -44,8 +59,21 @@ func (a *Arch) LevelByName(name string) (*Level, int, error) {
 func (a *Arch) Innermost() *Level { return &a.Levels[len(a.Levels)-1] }
 
 // KeepLevels returns the indices (outermost first) of the levels that keep
-// tensor t.
+// tensor t. The result is computed once and cached; the returned slice is
+// shared — callers must not modify it.
 func (a *Arch) KeepLevels(t workload.Tensor) []int {
+	a.keepOnce.Do(func() {
+		for _, tt := range workload.AllTensors() {
+			a.keepTab[tt] = a.scanKeepLevels(tt)
+		}
+	})
+	return a.keepTab[t]
+}
+
+// scanKeepLevels recomputes the keep chain without touching the cache —
+// validation and diagnostics use it so they stay correct on architectures
+// still under construction or modification.
+func (a *Arch) scanKeepLevels(t workload.Tensor) []int {
 	var out []int
 	for i := range a.Levels {
 		if a.Levels[i].Keeps.Has(t) {
@@ -88,8 +116,16 @@ func (a *Arch) CanonicalSpatial() workload.Point {
 
 // Area sums the area of every component instance, multiplied by its
 // replication across level instances. Components referenced by multiple
-// levels are counted per reference site.
+// levels are counted per reference site. The sum is mapping independent and
+// computed once; subsequent calls return the cached value.
 func (a *Arch) Area() (float64, error) {
+	a.areaOnce.Do(func() {
+		a.areaVal, a.areaErr = a.computeArea()
+	})
+	return a.areaVal, a.areaErr
+}
+
+func (a *Arch) computeArea() (float64, error) {
 	var total float64
 	addRef := func(ref ActionRef, copies int64) error {
 		c, err := a.Lib.Get(ref.Component)
@@ -208,7 +244,7 @@ func (a *Arch) Validate() error {
 	// level usually keeps everything, but layer-fusion studies pin
 	// activations to an inner buffer and bypass DRAM for them.)
 	for _, t := range workload.AllTensors() {
-		if len(a.KeepLevels(t)) == 0 {
+		if len(a.scanKeepLevels(t)) == 0 {
 			return fmt.Errorf("arch: %s: no level keeps %v", a.Name, t)
 		}
 	}
@@ -226,7 +262,7 @@ func (a *Arch) Validate() error {
 func (a *Arch) DomainGaps() []string {
 	var gaps []string
 	for _, t := range workload.AllTensors() {
-		keeps := a.KeepLevels(t)
+		keeps := a.scanKeepLevels(t)
 		for i := 1; i < len(keeps); i++ {
 			outer, inner := &a.Levels[keeps[i-1]], &a.Levels[keeps[i]]
 			if outer.Domain == inner.Domain {

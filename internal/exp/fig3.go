@@ -60,6 +60,13 @@ func Fig3(cfg Config) (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One mapper session serves every layer of both networks: the
+	// architecture invariants (compiled energy tables, spatial
+	// assignments) are hoisted out of the per-layer searches.
+	sess, err := mapper.NewSession(a)
+	if err != nil {
+		return nil, err
+	}
 	refs := albireo.ReportedFig3()
 	out := &Fig3Result{}
 	for _, name := range []string{"vgg16", "alexnet"} {
@@ -74,7 +81,7 @@ func Fig3(cfg Config) (*Fig3Result, error) {
 			l := &net.Layers[i]
 			opts := cfg.mapperOptions(mapper.MinDelay)
 			opts.Seeds = albireo.CanonicalMappings(a, l)
-			best, err := mapper.Search(a, l, opts)
+			best, err := sess.Search(l, opts)
 			if err != nil {
 				return nil, fmt.Errorf("exp: fig3 %s/%s: %w", name, l.Name, err)
 			}

@@ -9,6 +9,14 @@
 // with padding-aware candidates, (3) a small library of stationarity-driven
 // loop permutations, and (4) greedy hill climbing on the best random
 // seeds, optionally across parallel workers with a deterministic merge.
+//
+// The search inner loop runs on the compiled evaluation engine
+// (model.Compiled): per-worker scratch buffers, no itemized energy ledger,
+// and a fingerprint cache that skips re-evaluating schedules already
+// scored. Searching many layers on one architecture should go through a
+// shared Session, which hoists the architecture's invariants (resolved
+// energy tables, spatial-assignment enumeration, minimum loop levels) out
+// of the per-layer calls.
 package mapper
 
 import (
@@ -60,7 +68,10 @@ type Options struct {
 	// Workers parallelizes the search (default GOMAXPROCS, capped at 8).
 	// Results are deterministic for a fixed (Seed, Workers) pair.
 	Workers int
-	// Eval forwards evaluation options to the model.
+	// Eval forwards evaluation options to the model. ChargeStatic changes
+	// what candidate schedules are scored on; SkipValidate skips the
+	// structural validation of candidate mappings (set it only when every
+	// seed and random draw is known valid — the search trusts it).
 	Eval model.Options
 	// Seeds are mappings evaluated before random exploration (e.g. an
 	// architecture's canonical schedules); the hill climber starts from
@@ -82,7 +93,6 @@ func (o *Options) withDefaults() Options {
 			out.Workers = 8
 		}
 	}
-	out.Eval.SkipValidate = false
 	return out
 }
 
@@ -117,15 +127,58 @@ var permCandidates = [][]workload.Dim{
 	{workload.DimC, workload.DimP, workload.DimQ, workload.DimR, workload.DimS, workload.DimN, workload.DimK},
 }
 
-// Search finds the best mapping for the layer under the options.
+// Session caches everything about one architecture that every layer search
+// reuses: the compiled evaluation engine, the enumerated rigid
+// spatial-factor assignments, and the per-dimension minimum loop levels.
+// A Session is immutable after construction and safe for concurrent use.
+type Session struct {
+	a           *arch.Arch
+	eng         *model.Engine
+	assignments [][]workload.Dim
+	minLv       workload.Point
+}
+
+// NewSession prepares an architecture for repeated searches.
+func NewSession(a *arch.Arch) (*Session, error) {
+	eng, err := model.NewEngine(a)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		a:           a,
+		eng:         eng,
+		assignments: enumerateSpatialAssignments(a),
+		minLv:       minLevels(a),
+	}
+	if len(s.assignments) == 0 {
+		return nil, errors.New("mapper: no spatial assignments")
+	}
+	return s, nil
+}
+
+// Engine returns the session's compiled evaluation engine.
+func (s *Session) Engine() *model.Engine { return s.eng }
+
+// Search finds the best mapping for the layer under the options. It is a
+// convenience wrapper building a one-shot Session; prefer NewSession +
+// Session.Search when mapping several layers on the same architecture.
 func Search(a *arch.Arch, l *workload.Layer, opts Options) (*Best, error) {
+	s, err := NewSession(a)
+	if err != nil {
+		return nil, err
+	}
+	return s.Search(l, opts)
+}
+
+// Search finds the best mapping for the layer under the options.
+func (s *Session) Search(l *workload.Layer, opts Options) (*Best, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
 	o := opts.withDefaults()
-	assignments := enumerateSpatialAssignments(a)
-	if len(assignments) == 0 {
-		return nil, errors.New("mapper: no spatial assignments")
+	c, err := s.eng.Compile(l)
+	if err != nil {
+		return nil, err
 	}
 
 	type outcome struct {
@@ -143,7 +196,8 @@ func Search(a *arch.Arch, l *workload.Layer, opts Options) (*Best, error) {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919))
-			results[w] = searchWorker(a, l, o, assignments, rng, perWorker)
+			best, evals := s.searchWorker(c, l, o, rng, perWorker)
+			results[w] = outcome{best, evals}
 		}(w)
 	}
 	wg.Wait()
@@ -160,9 +214,20 @@ func Search(a *arch.Arch, l *workload.Layer, opts Options) (*Best, error) {
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("mapper: no valid mapping found for %s on %s", l.Name, a.Name)
+		return nil, fmt.Errorf("mapper: no valid mapping found for %s on %s", l.Name, s.a.Name)
 	}
 	best.Evaluations = evals
+
+	// The workers score candidates without the itemized energy ledger;
+	// re-evaluate the winner once in full so callers can inspect it.
+	fullOpts := o.Eval
+	fullOpts.SkipValidate = true
+	fullOpts.FullLedger = true
+	full, err := c.Evaluate(best.Mapping, fullOpts)
+	if err != nil {
+		return nil, err
+	}
+	best.Result = full
 	return best, nil
 }
 
@@ -170,46 +235,66 @@ func Search(a *arch.Arch, l *workload.Layer, opts Options) (*Best, error) {
 // then total energy (a bandwidth-bound layer has many equal-delay mappings
 // — prefer the cheapest), then utilization, then a stable textual order.
 func better(obj Objective, x, y *Best) bool {
-	sx, sy := Score(obj, x.Result), Score(obj, y.Result)
+	return betterEval(obj, x.Result, x.Mapping, y)
+}
+
+// betterEval is better() without requiring the candidate to be wrapped in
+// a Best (the hot loop compares scratch-owned results before cloning).
+func betterEval(obj Objective, r *model.Result, m *mapping.Mapping, y *Best) bool {
+	sx, sy := Score(obj, r), Score(obj, y.Result)
 	if sx != sy {
 		return sx < sy
 	}
-	if x.Result.TotalPJ != y.Result.TotalPJ {
-		return x.Result.TotalPJ < y.Result.TotalPJ
+	if r.TotalPJ != y.Result.TotalPJ {
+		return r.TotalPJ < y.Result.TotalPJ
 	}
-	if x.Result.Utilization != y.Result.Utilization {
-		return x.Result.Utilization > y.Result.Utilization
+	if r.Utilization != y.Result.Utilization {
+		return r.Utilization > y.Result.Utilization
 	}
-	return x.Mapping.String() < y.Mapping.String()
+	return m.String() < y.Mapping.String()
 }
 
-func searchWorker(a *arch.Arch, l *workload.Layer, o Options, assignments [][]workload.Dim, rng *rand.Rand, budget int) (out struct {
-	best  *Best
-	evals int
-}) {
-	evalOpts := o.Eval
-	evalOpts.SkipValidate = false
+func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, rng *rand.Rand, budget int) (best *Best, evals int) {
+	a := s.a
+	scratch := s.eng.NewScratch()
+	res := &model.Result{}
+	seen := make(map[uint64]struct{}, budget)
+	evalOpts := model.Options{SkipValidate: true, ChargeStatic: o.Eval.ChargeStatic}
+	validate := !o.Eval.SkipValidate
+
+	// try scores a mapping on the compiled fast path. Budget is consumed
+	// per attempt; schedules already fingerprinted return nil without
+	// re-evaluating (an already-seen schedule was scored — or failed
+	// deterministically — with this exact result, and can never beat the
+	// incumbent, so skipping it is behavior preserving). Mappings that
+	// fail validation are not recorded: a malformed seed must not shadow
+	// a later well-formed schedule that happens to hash equal.
 	try := func(m *mapping.Mapping) *model.Result {
-		if out.evals >= budget {
+		if evals >= budget {
 			return nil
 		}
-		out.evals++
-		if err := m.Validate(a, l); err != nil {
+		evals++
+		fp := m.Fingerprint()
+		if _, dup := seen[fp]; dup {
 			return nil
 		}
-		res, err := model.Evaluate(a, l, m, model.Options{SkipValidate: true, ChargeStatic: evalOpts.ChargeStatic})
-		if err != nil {
+		if validate {
+			if err := m.Validate(a, l); err != nil {
+				return nil
+			}
+		}
+		seen[fp] = struct{}{}
+		if err := c.EvaluateInto(scratch, m, res, evalOpts); err != nil {
 			return nil
 		}
 		return res
 	}
-	consider := func(m *mapping.Mapping, res *model.Result) {
-		if res == nil {
+	consider := func(m *mapping.Mapping, r *model.Result) {
+		if r == nil {
 			return
 		}
-		cand := &Best{Mapping: m, Result: res}
-		if out.best == nil || better(o.Objective, cand, out.best) {
-			out.best = cand
+		if best == nil || betterEval(o.Objective, r, m, best) {
+			best = &Best{Mapping: m, Result: r.Clone()}
 		}
 	}
 
@@ -224,37 +309,36 @@ func searchWorker(a *arch.Arch, l *workload.Layer, o Options, assignments [][]wo
 	// architect's intended use and gets half the samples; the rest
 	// explore alternates (how FC layers find channel-parallel slots).
 	explorationBudget := budget * 7 / 10
-	for out.evals < explorationBudget {
-		assign := assignments[0]
+	for evals < explorationBudget {
+		assign := s.assignments[0]
 		if rng.Intn(2) == 0 {
-			assign = assignments[rng.Intn(len(assignments))]
+			assign = s.assignments[rng.Intn(len(s.assignments))]
 		}
-		m := randomMapping(a, l, assign, rng)
+		m := randomMapping(a, l, assign, s.minLv, rng)
 		consider(m, try(m))
 	}
 
 	// Phase 2: hill climb from the best mapping found.
-	if out.best == nil {
+	if best == nil {
 		// Fall back to the trivial all-outer mapping per assignment.
-		for _, assign := range assignments {
-			m := outerMapping(a, l, assign)
+		for _, assign := range s.assignments {
+			m := outerMapping(a, l, assign, s.minLv)
 			consider(m, try(m))
 		}
 	}
-	if out.best == nil {
-		return out
+	if best == nil {
+		return nil, evals
 	}
-	cur := out.best
-	for out.evals < budget {
+	cur := best
+	for evals < budget {
 		improved := false
 		for _, neighbor := range neighbors(a, l, cur.Mapping, rng) {
-			res := try(neighbor)
-			if res == nil {
+			r := try(neighbor)
+			if r == nil {
 				continue
 			}
-			cand := &Best{Mapping: neighbor, Result: res}
-			if better(o.Objective, cand, cur) {
-				cur = cand
+			if betterEval(o.Objective, r, neighbor, cur) {
+				cur = &Best{Mapping: neighbor, Result: r.Clone()}
 				improved = true
 				break
 			}
@@ -263,40 +347,83 @@ func searchWorker(a *arch.Arch, l *workload.Layer, o Options, assignments [][]wo
 			break
 		}
 	}
-	consider(cur.Mapping, cur.Result)
-	return out
+	if cur != best && betterEval(o.Objective, cur.Result, cur.Mapping, best) {
+		best = cur
+	}
+	return best, evals
 }
 
+// maxSpatialAssignments caps the enumerated cross product of rigid
+// spatial-factor assignments.
+const maxSpatialAssignments = 4096
+
 // enumerateSpatialAssignments expands the cross product of every rigid
-// spatial factor's allowed dimensions, capped to avoid explosion.
+// spatial factor's allowed dimensions. Small products are enumerated in
+// full, in lexicographic order with the first factor most significant
+// (index 0 is the canonical all-first-dimension assignment). Products
+// beyond maxSpatialAssignments are sampled uniformly (and
+// deterministically, from a fixed seed) over the full cross product, so
+// every factor's alternates stay represented regardless of factor order —
+// the straight prefix truncation this replaces silently dropped all
+// alternates of the leading factors.
 func enumerateSpatialAssignments(a *arch.Arch) [][]workload.Dim {
 	var factors []arch.SpatialFactor
 	for i := 0; i < a.NumLevels(); i++ {
 		factors = append(factors, a.Level(i).Spatial...)
 	}
-	out := [][]workload.Dim{{}}
+	total := int64(1)
+	const saturate = int64(1) << 55
 	for _, f := range factors {
-		var next [][]workload.Dim
-		for _, prefix := range out {
-			for _, d := range f.Dims {
-				assign := append(append([]workload.Dim(nil), prefix...), d)
-				next = append(next, assign)
-			}
+		total *= int64(len(f.Dims))
+		if total > saturate {
+			// Sampling below saturation is still deterministic; exact
+			// uniformity over an astronomically large product is moot.
+			total = saturate
+			break
 		}
-		out = next
-		if len(out) > 4096 {
-			out = out[:4096]
+	}
+	if total <= maxSpatialAssignments {
+		out := make([][]workload.Dim, 0, total)
+		for idx := int64(0); idx < total; idx++ {
+			out = append(out, decodeAssignment(factors, idx))
 		}
+		return out
+	}
+	// Canonical assignment first, then distinct uniform samples.
+	rng := rand.New(rand.NewSource(1))
+	seen := map[int64]struct{}{0: {}}
+	out := make([][]workload.Dim, 0, maxSpatialAssignments)
+	out = append(out, decodeAssignment(factors, 0))
+	for len(out) < maxSpatialAssignments {
+		idx := rng.Int63n(total)
+		if _, dup := seen[idx]; dup {
+			continue
+		}
+		seen[idx] = struct{}{}
+		out = append(out, decodeAssignment(factors, idx))
 	}
 	return out
 }
 
-// applyAssignment distributes a flat assignment vector back to levels.
+// decodeAssignment expands one lexicographic index of the assignment cross
+// product (first factor most significant) into per-factor dimensions.
+func decodeAssignment(factors []arch.SpatialFactor, idx int64) []workload.Dim {
+	assign := make([]workload.Dim, len(factors))
+	for j := len(factors) - 1; j >= 0; j-- {
+		n := int64(len(factors[j].Dims))
+		assign[j] = factors[j].Dims[idx%n]
+		idx /= n
+	}
+	return assign
+}
+
+// applyAssignment distributes a flat assignment vector back to levels,
+// reusing the mapping's SpatialChoice backing arrays.
 func applyAssignment(a *arch.Arch, m *mapping.Mapping, assign []workload.Dim) {
 	idx := 0
 	for i := 0; i < a.NumLevels(); i++ {
 		n := len(a.Level(i).Spatial)
-		m.Levels[i].SpatialChoice = append([]workload.Dim(nil), assign[idx:idx+n]...)
+		m.Levels[i].SpatialChoice = append(m.Levels[i].SpatialChoice[:0], assign[idx:idx+n]...)
 		idx += n
 	}
 }
@@ -338,11 +465,10 @@ func minLevels(a *arch.Arch) workload.Point {
 
 // outerMapping covers each dimension's remaining bound at the outermost
 // level allowed for it.
-func outerMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim) *mapping.Mapping {
+func outerMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim, min workload.Point) *mapping.Mapping {
 	m := mapping.New(a)
 	applyAssignment(a, m, assign)
 	rem := remaining(a, m, l)
-	min := minLevels(a)
 	for _, d := range workload.AllDims() {
 		m.Levels[min[d]].Temporal[d] = rem[d]
 	}
@@ -350,11 +476,10 @@ func outerMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim) *mappi
 }
 
 // randomMapping draws a random temporal split and permutation set.
-func randomMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim, rng *rand.Rand) *mapping.Mapping {
+func randomMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim, min workload.Point, rng *rand.Rand) *mapping.Mapping {
 	m := mapping.New(a)
 	applyAssignment(a, m, assign)
 	rem := remaining(a, m, l)
-	min := minLevels(a)
 	n := a.NumLevels()
 	for _, d := range workload.AllDims() {
 		// Pick an inner tile chain: for each level from innermost out,
@@ -370,7 +495,7 @@ func randomMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim, rng *
 		m.Levels[min[d]].Temporal[d] *= left
 	}
 	for i := 0; i < n; i++ {
-		m.Levels[i].Perm = append([]workload.Dim(nil), permCandidates[rng.Intn(len(permCandidates))]...)
+		m.Levels[i].Perm = append(m.Levels[i].Perm[:0], permCandidates[rng.Intn(len(permCandidates))]...)
 	}
 	return m
 }
@@ -417,8 +542,19 @@ func neighbors(a *arch.Arch, l *workload.Layer, m *mapping.Mapping, rng *rand.Ra
 }
 
 // SearchNetwork maps every layer of a network and returns per-layer bests
-// in layer order. Layers are searched concurrently.
+// in layer order, sharing one Session across the layers. Layers are
+// searched concurrently.
 func SearchNetwork(a *arch.Arch, net *workload.Network, opts Options) ([]*Best, error) {
+	s, err := NewSession(a)
+	if err != nil {
+		return nil, err
+	}
+	return s.SearchNetwork(net, opts)
+}
+
+// SearchNetwork maps every layer of a network on the session's
+// architecture; layers are searched concurrently.
+func (s *Session) SearchNetwork(net *workload.Network, opts Options) ([]*Best, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
@@ -432,7 +568,7 @@ func SearchNetwork(a *arch.Arch, net *workload.Network, opts Options) ([]*Best, 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			bests[i], errs[i] = Search(a, &net.Layers[i], opts)
+			bests[i], errs[i] = s.Search(&net.Layers[i], opts)
 		}(i)
 	}
 	wg.Wait()
@@ -457,17 +593,30 @@ func maxParallel() int {
 // optimum within that (restricted-permutation) space. It errors if the
 // space exceeds maxEvals.
 func Exhaustive(a *arch.Arch, l *workload.Layer, obj Objective, maxEvals int) (*Best, error) {
+	s, err := NewSession(a)
+	if err != nil {
+		return nil, err
+	}
+	return s.Exhaustive(l, obj, maxEvals)
+}
+
+// Exhaustive runs the exhaustive search on the session's architecture.
+func (s *Session) Exhaustive(l *workload.Layer, obj Objective, maxEvals int) (*Best, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
 	if maxEvals <= 0 {
 		maxEvals = 200000
 	}
-	assignments := enumerateSpatialAssignments(a)
+	a := s.a
 	n := a.NumLevels()
+	c, err := s.eng.Compile(l)
+	if err != nil {
+		return nil, err
+	}
 
 	// Estimate the space.
-	est := float64(len(assignments)) * math.Pow(float64(len(permCandidates)), float64(n))
+	est := float64(len(s.assignments)) * math.Pow(float64(len(permCandidates)), float64(n))
 	for _, d := range workload.AllDims() {
 		splits := len(mapping.FactorSplits(l.Bound(d), n))
 		if splits > 0 {
@@ -478,9 +627,12 @@ func Exhaustive(a *arch.Arch, l *workload.Layer, obj Objective, maxEvals int) (*
 		}
 	}
 
-	var best *Best
-	evals := 0
-	for _, assign := range assignments {
+	w := &exhaustiveWalk{
+		a: a, l: l, c: c, obj: obj, maxEvals: maxEvals,
+		scratch: s.eng.NewScratch(),
+		res:     &model.Result{},
+	}
+	for _, assign := range s.assignments {
 		base := mapping.New(a)
 		applyAssignment(a, base, assign)
 		rem := remaining(a, base, l)
@@ -490,46 +642,64 @@ func Exhaustive(a *arch.Arch, l *workload.Layer, obj Objective, maxEvals int) (*
 		}
 		var walk func(d int, m *mapping.Mapping)
 		walk = func(d int, m *mapping.Mapping) {
-			if evals > maxEvals {
+			if w.evals > maxEvals {
 				return
 			}
 			if d == int(workload.NumDims) {
-				walkPerms(a, l, m, 0, obj, &best, &evals, maxEvals)
+				w.walkPerms(m, 0)
 				return
 			}
 			for _, split := range dimSplits[d] {
-				c := m.Clone()
+				cm := m.Clone()
 				for i := 0; i < n; i++ {
-					c.Levels[i].Temporal[workload.Dim(d)] = split[i]
+					cm.Levels[i].Temporal[workload.Dim(d)] = split[i]
 				}
-				walk(d+1, c)
+				walk(d+1, cm)
 			}
 		}
 		walk(0, base)
 	}
-	if best == nil {
+	if w.best == nil {
 		return nil, errors.New("mapper: exhaustive search found no valid mapping")
 	}
-	best.Evaluations = evals
-	return best, nil
+	w.best.Evaluations = w.evals
+
+	// Re-evaluate the winner with the full ledger.
+	full, err := c.Evaluate(w.best.Mapping, model.Options{SkipValidate: true, FullLedger: true})
+	if err != nil {
+		return nil, err
+	}
+	w.best.Result = full
+	return w.best, nil
 }
 
-func walkPerms(a *arch.Arch, l *workload.Layer, m *mapping.Mapping, level int, obj Objective, best **Best, evals *int, maxEvals int) {
-	if *evals > maxEvals {
+// exhaustiveWalk carries the shared state of one exhaustive enumeration.
+type exhaustiveWalk struct {
+	a        *arch.Arch
+	l        *workload.Layer
+	c        *model.Compiled
+	obj      Objective
+	maxEvals int
+	scratch  *model.Scratch
+	res      *model.Result
+	best     *Best
+	evals    int
+}
+
+func (w *exhaustiveWalk) walkPerms(m *mapping.Mapping, level int) {
+	if w.evals > w.maxEvals {
 		return
 	}
-	if level == a.NumLevels() {
-		*evals++
-		if err := m.Validate(a, l); err != nil {
+	if level == w.a.NumLevels() {
+		w.evals++
+		if err := m.Validate(w.a, w.l); err != nil {
 			return
 		}
-		res, err := model.Evaluate(a, l, m, model.Options{SkipValidate: true})
-		if err != nil {
+		if err := w.c.EvaluateInto(w.scratch, m, w.res, model.Options{SkipValidate: true}); err != nil {
 			return
 		}
-		cand := &Best{Mapping: m.Clone(), Result: res}
-		if *best == nil || better(obj, cand, *best) {
-			*best = cand
+		if w.best == nil || betterEval(w.obj, w.res, m, w.best) {
+			w.best = &Best{Mapping: m.Clone(), Result: w.res.Clone()}
 		}
 		return
 	}
@@ -541,12 +711,12 @@ func walkPerms(a *arch.Arch, l *workload.Layer, m *mapping.Mapping, level int, o
 		}
 	}
 	if active <= 1 {
-		walkPerms(a, l, m, level+1, obj, best, evals, maxEvals)
+		w.walkPerms(m, level+1)
 		return
 	}
 	for _, cand := range permCandidates {
 		m.Levels[level].Perm = append([]workload.Dim(nil), cand...)
-		walkPerms(a, l, m, level+1, obj, best, evals, maxEvals)
+		w.walkPerms(m, level+1)
 	}
 }
 

@@ -87,7 +87,7 @@ func TestSearchBeatsNaiveOuterMapping(t *testing.T) {
 	}
 	// Naive: everything at DRAM level, canonical spatial choice.
 	assign := []workload.Dim{workload.DimK}
-	naive := outerMapping(a, &l, assign)
+	naive := outerMapping(a, &l, assign, minLevels(a))
 	naiveRes, err := model.Evaluate(a, &l, naive, model.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -203,6 +203,194 @@ func TestEnumerateSpatialAssignments(t *testing.T) {
 	// One factor with two choices (K or C).
 	if len(assigns) != 2 {
 		t.Fatalf("got %d assignments, want 2", len(assigns))
+	}
+}
+
+// TestOptionsEvalForwarded guards the withDefaults fix: caller-set Eval
+// options must survive defaulting (SkipValidate used to be clobbered).
+func TestOptionsEvalForwarded(t *testing.T) {
+	o := Options{Eval: model.Options{SkipValidate: true, ChargeStatic: true}}
+	d := o.withDefaults()
+	if !d.Eval.SkipValidate {
+		t.Error("withDefaults clobbered Eval.SkipValidate")
+	}
+	if !d.Eval.ChargeStatic {
+		t.Error("withDefaults clobbered Eval.ChargeStatic")
+	}
+	if d.Budget != 2000 || d.Seed != 1 || d.Workers < 1 {
+		t.Errorf("defaults wrong: %+v", d)
+	}
+}
+
+// TestSearchWithSkipValidate checks that a trusted search (validation
+// skipped) still completes and matches the validated search on an
+// architecture where every generated candidate is valid anyway — here one
+// with no capacity limits, the only constraint the generators can violate.
+func TestSearchWithSkipValidate(t *testing.T) {
+	lib := components.NewLibrary()
+	mk := func(class, name string, p components.Params) {
+		c, err := components.Build(class, name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib.MustAdd(c)
+	}
+	mk("dram", "DRAM", components.Params{"pj_per_bit": 8})
+	mk("sram", "Buf", components.Params{"capacity_bits": 1 << 22, "access_bits": 8})
+	mk("regfile", "Reg", components.Params{"access_bits": 8})
+	a := &arch.Arch{
+		Name: "uncapped", Lib: lib, ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM"},
+			{
+				Name: "Buf", Keeps: workload.AllTensorSet(), AccessComponent: "Buf",
+				Spatial: []arch.SpatialFactor{arch.Choice(4, workload.DimK, workload.DimC)},
+			},
+			{Name: "Reg", Keeps: workload.AllTensorSet(), AccessComponent: "Reg"},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l := workload.NewConv("l", 1, 16, 8, 8, 8, 3, 3, 1, 1)
+	checked, err := Search(a, &l, Options{Budget: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trusted, err := Search(a, &l, Options{Budget: 300, Seed: 11,
+		Eval: model.Options{SkipValidate: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked.Result.TotalPJ != trusted.Result.TotalPJ {
+		t.Errorf("trusted search diverged: %g vs %g pJ", trusted.Result.TotalPJ, checked.Result.TotalPJ)
+	}
+}
+
+// TestMalformedSeedDoesNotShadow guards the fingerprint-dedup fix: an
+// invalid seed (short permutation) must not block later valid schedules
+// that hash to the same fingerprint (only trip>1 loops are hashed), so a
+// search given a broken seed finds the same optimum as one given none.
+func TestMalformedSeedDoesNotShadow(t *testing.T) {
+	a := testArch(t, 1<<20)
+	l := workload.NewConv("l", 1, 16, 8, 8, 8, 3, 3, 1, 1)
+	bad := mapping.New(a)
+	applyAssignment(a, bad, []workload.Dim{workload.DimK})
+	for _, d := range workload.AllDims() {
+		bad.Levels[0].Temporal[d] = l.Bound(d)
+	}
+	bad.Levels[0].Temporal[workload.DimK] = 4 // spatial covers the rest
+	bad.Levels[0].Perm = bad.Levels[0].Perm[:5] // malformed: 5 of 7 dims
+	opts := Options{Budget: 300, Seed: 13, Workers: 2}
+	clean, err := Search(a, &l, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seededOpts := opts
+	seededOpts.Seeds = []*mapping.Mapping{bad}
+	seeded, err := Search(a, &l, seededOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Result.TotalPJ > clean.Result.TotalPJ {
+		t.Errorf("malformed seed degraded the search: %g > %g pJ",
+			seeded.Result.TotalPJ, clean.Result.TotalPJ)
+	}
+}
+
+// manyFactorArch builds an architecture whose spatial-assignment cross
+// product exceeds the enumeration cap: nFactors two-way (K or C) factors.
+func manyFactorArch(t *testing.T, nFactors int, reversed bool) *arch.Arch {
+	t.Helper()
+	lib := components.NewLibrary()
+	mk := func(class, name string, p components.Params) {
+		c, err := components.Build(class, name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib.MustAdd(c)
+	}
+	mk("dram", "DRAM", components.Params{"pj_per_bit": 8})
+	mk("regfile", "Reg", components.Params{"access_bits": 8})
+	var spatial []arch.SpatialFactor
+	for i := 0; i < nFactors; i++ {
+		f := arch.Choice(2, workload.DimK, workload.DimC)
+		if reversed {
+			f = arch.Choice(2, workload.DimC, workload.DimK)
+		}
+		spatial = append(spatial, f)
+	}
+	a := &arch.Arch{
+		Name: "manyfactor", Lib: lib, ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM", Spatial: spatial},
+			{Name: "Reg", Keeps: workload.AllTensorSet(), AccessComponent: "Reg"},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestEnumerateSpatialAssignmentsCapUnbiased guards the truncation-bias
+// fix: when the cross product exceeds the cap, the sample must still
+// represent both alternates of every factor — the old prefix truncation
+// pinned the leading factors to their canonical dimension.
+func TestEnumerateSpatialAssignmentsCapUnbiased(t *testing.T) {
+	const nFactors = 13 // 2^13 = 8192 > 4096
+	a := manyFactorArch(t, nFactors, false)
+	assigns := enumerateSpatialAssignments(a)
+	if len(assigns) != maxSpatialAssignments {
+		t.Fatalf("got %d assignments, want %d", len(assigns), maxSpatialAssignments)
+	}
+	// Canonical assignment first.
+	for j, d := range assigns[0] {
+		if d != workload.DimK {
+			t.Fatalf("assignment 0 factor %d = %v, want canonical K", j, d)
+		}
+	}
+	// Every factor position must see both alternates somewhere.
+	for j := 0; j < nFactors; j++ {
+		seen := map[workload.Dim]bool{}
+		for _, assign := range assigns {
+			seen[assign[j]] = true
+		}
+		if !seen[workload.DimK] || !seen[workload.DimC] {
+			t.Errorf("factor %d: alternates dropped (saw %v)", j, seen)
+		}
+	}
+	// Deterministic across calls.
+	again := enumerateSpatialAssignments(a)
+	for i := range assigns {
+		for j := range assigns[i] {
+			if assigns[i][j] != again[i][j] {
+				t.Fatalf("enumeration not deterministic at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+// TestEnumerateSpatialAssignmentsFullOrder checks the sub-cap enumeration:
+// lexicographic, first factor most significant, canonical first.
+func TestEnumerateSpatialAssignmentsFullOrder(t *testing.T) {
+	a := manyFactorArch(t, 2, false)
+	assigns := enumerateSpatialAssignments(a)
+	want := [][]workload.Dim{
+		{workload.DimK, workload.DimK},
+		{workload.DimK, workload.DimC},
+		{workload.DimC, workload.DimK},
+		{workload.DimC, workload.DimC},
+	}
+	if len(assigns) != len(want) {
+		t.Fatalf("got %d assignments, want %d", len(assigns), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if assigns[i][j] != want[i][j] {
+				t.Errorf("assignment %d = %v, want %v", i, assigns[i], want[i])
+			}
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package mapping
 
 import (
 	"sort"
+	"sync"
 
 	"photoloop/internal/workload"
 )
@@ -51,15 +52,23 @@ func FactorSplits(n, k int) [][]int {
 	return out
 }
 
+// paddedCandidatesCache memoizes PaddedCandidates — the mapper asks for
+// the same bounds millions of times across random draws.
+var paddedCandidatesCache sync.Map // int -> []int
+
 // PaddedCandidates returns candidate tile factors for covering bound n with
 // possible padding: every divisor of n, plus ceiling-based factors that
 // overshoot (each distinct value of ceil(n/j) for j = 1..n). The result is
 // sorted ascending and deduplicated. These are the factor choices a mapper
 // should consider at a single level — any other factor is dominated by one
-// of these (same coverage, no smaller padding).
+// of these (same coverage, no smaller padding). The result is cached and
+// shared — callers must not modify it.
 func PaddedCandidates(n int) []int {
 	if n < 1 {
 		return nil
+	}
+	if cached, ok := paddedCandidatesCache.Load(n); ok {
+		return cached.([]int)
 	}
 	set := map[int]bool{}
 	for _, d := range Divisors(n) {
@@ -73,6 +82,7 @@ func PaddedCandidates(n int) []int {
 		out = append(out, v)
 	}
 	sort.Ints(out)
+	paddedCandidatesCache.Store(n, out)
 	return out
 }
 

@@ -173,7 +173,8 @@ func (m *Mapping) Utilization(a *arch.Arch, l *workload.Layer) float64 {
 // LoopNestAbove returns the flattened temporal loop nest above level i's
 // tiles, outermost first: the temporal loops of levels 0..i-1 in
 // permutation order. Trip-1 loops are omitted (they never iterate and are
-// irrelevant to stationarity).
+// irrelevant to stationarity). (The compiled evaluator builds the full
+// nest once per evaluation instead — see model/counts.go.)
 func (m *Mapping) LoopNestAbove(i int) []Loop {
 	var nest []Loop
 	for j := 0; j < i && j < len(m.Levels); j++ {
@@ -185,6 +186,40 @@ func (m *Mapping) LoopNestAbove(i int) []Loop {
 		}
 	}
 	return nest
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash identifying the schedule: equal
+// mappings always hash equal, and mappings differing only in the ordering
+// of inert (trip-1) permutation placeholders — which evaluate identically —
+// hash equal too. The mapper uses it to skip re-evaluating schedules it has
+// already scored.
+func (m *Mapping) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	for i := range m.Levels {
+		lm := &m.Levels[i]
+		mix(uint64(i) | 1<<32)
+		for _, d := range workload.AllDims() {
+			mix(uint64(lm.Temporal[d]))
+			mix(uint64(lm.FreeSpatial[d]))
+		}
+		for _, d := range lm.SpatialChoice {
+			mix(uint64(d))
+		}
+		for _, d := range lm.Perm {
+			if lm.Temporal[d] > 1 {
+				mix(uint64(d) | 1<<16)
+			}
+		}
+	}
+	return h
 }
 
 // String renders the mapping compactly for debugging and reports.

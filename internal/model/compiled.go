@@ -1,0 +1,384 @@
+package model
+
+import (
+	"sort"
+
+	"photoloop/internal/arch"
+	"photoloop/internal/components"
+	"photoloop/internal/mapping"
+	"photoloop/internal/workload"
+)
+
+// resolvedRef is one component action with its energy resolved ahead of
+// time, replacing the string-keyed library lookups of the interpreted path.
+// Resolution failures (unknown component, unsupported action) are deferred:
+// the error surfaces only if the action is ever charged with a non-zero
+// count, matching the lazy semantics of the interpreted evaluator.
+type resolvedRef struct {
+	pj          float64 // energy per action, pJ
+	cnt         float64 // actions per word (ActionRef.Count())
+	perDistinct bool
+	err         error
+
+	// Ledger metadata (used only when Options.FullLedger is set).
+	level     string
+	component string
+	class     string
+	action    string
+	tensor    string
+}
+
+// levelEnergy is the resolved per-level energy table: storage access
+// actions and converter chains indexed by tensor instead of map lookups.
+type levelEnergy struct {
+	hasAccess bool
+	access    [3]resolvedRef // read, write, update
+	fill      [workload.NumTensors][]resolvedRef
+	update    [workload.NumTensors][]resolvedRef
+	drain     [workload.NumTensors][]resolvedRef
+}
+
+// staticComp is one distinct component referenced anywhere in the
+// architecture, for static-power charging.
+type staticComp struct {
+	name  string
+	class string
+	mw    float64
+	err   error
+}
+
+// staticSite counts reference sites of one static component at one level
+// (or in the compute array).
+type staticSite struct {
+	idx int   // index into Engine.statics
+	n   int64 // number of reference sites
+}
+
+// Engine caches everything about an architecture that no mapping can
+// change: the component areas, per-tensor keep chains, and per-action
+// energies resolved out of the string-keyed component library. Build one
+// per architecture and share it across layers, mappings and goroutines —
+// it is immutable after construction.
+type Engine struct {
+	a     *arch.Arch
+	area  float64
+	keeps [workload.NumTensors][]int
+
+	levels  []levelEnergy
+	perMAC  []resolvedRef
+	statics []staticComp // sorted by component name
+
+	levelStaticSites [][]staticSite
+	perMACStatic     []staticSite
+}
+
+// NewEngine resolves the architecture's mapping-independent invariants.
+// It fails only where every evaluation would fail: an unresolvable
+// component in the area sum.
+func NewEngine(a *arch.Arch) (*Engine, error) {
+	area, err := a.Area()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{a: a, area: area}
+	for _, t := range workload.AllTensors() {
+		e.keeps[t] = a.KeepLevels(t)
+	}
+
+	resolve := func(level, component, action, tensor string) resolvedRef {
+		rr := resolvedRef{
+			cnt:   1,
+			level: level, component: component, action: action, tensor: tensor,
+		}
+		c, err := a.Lib.Get(component)
+		if err != nil {
+			rr.err = err
+			return rr
+		}
+		rr.class = c.Class()
+		pj, err := c.Energy(action)
+		if err != nil {
+			rr.err = err
+			return rr
+		}
+		rr.pj = pj
+		return rr
+	}
+	resolveChain := func(level string, refs []arch.ActionRef, tensor string) []resolvedRef {
+		if len(refs) == 0 {
+			return nil
+		}
+		out := make([]resolvedRef, len(refs))
+		for i, r := range refs {
+			out[i] = resolve(level, r.Component, r.Action, tensor)
+			out[i].cnt = r.Count()
+			out[i].perDistinct = r.PerDistinct
+		}
+		return out
+	}
+
+	e.levels = make([]levelEnergy, a.NumLevels())
+	for i := range e.levels {
+		lv := a.Level(i)
+		le := &e.levels[i]
+		if lv.AccessComponent != "" {
+			le.hasAccess = true
+			for j, action := range [3]string{components.ActionRead, components.ActionWrite, components.ActionUpdate} {
+				le.access[j] = resolve(lv.Name, lv.AccessComponent, action, "")
+			}
+		}
+		for _, t := range workload.AllTensors() {
+			ts := t.String()
+			le.fill[t] = resolveChain(lv.Name, lv.FillVia[t], ts)
+			le.update[t] = resolveChain(lv.Name, lv.UpdateVia[t], ts)
+			le.drain[t] = resolveChain(lv.Name, lv.DrainVia[t], ts)
+		}
+	}
+	e.perMAC = make([]resolvedRef, len(a.Compute.PerMAC))
+	for i, r := range a.Compute.PerMAC {
+		e.perMAC[i] = resolve("compute", r.Component, r.Action, "")
+		e.perMAC[i].cnt = r.Count()
+	}
+	e.resolveStatics()
+	return e, nil
+}
+
+// resolveStatics builds the deterministic (name-sorted) static-power
+// tables: which components are referenced where, and how many reference
+// sites each level contributes.
+func (e *Engine) resolveStatics() {
+	a := e.a
+	names := map[string]bool{}
+	siteNames := func(lv *arch.Level) map[string]int64 {
+		sites := map[string]int64{}
+		if lv.AccessComponent != "" {
+			sites[lv.AccessComponent]++
+		}
+		for _, refs := range lv.FillVia {
+			for _, r := range refs {
+				sites[r.Component]++
+			}
+		}
+		for _, refs := range lv.UpdateVia {
+			for _, r := range refs {
+				sites[r.Component]++
+			}
+		}
+		for _, refs := range lv.DrainVia {
+			for _, r := range refs {
+				sites[r.Component]++
+			}
+		}
+		return sites
+	}
+	perLevel := make([]map[string]int64, a.NumLevels())
+	for i := range a.Levels {
+		perLevel[i] = siteNames(&a.Levels[i])
+		for n := range perLevel[i] {
+			names[n] = true
+		}
+	}
+	computeSites := map[string]int64{}
+	for _, r := range a.Compute.PerMAC {
+		computeSites[r.Component]++
+		names[r.Component] = true
+	}
+
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	index := make(map[string]int, len(sorted))
+	e.statics = make([]staticComp, len(sorted))
+	for i, n := range sorted {
+		index[n] = i
+		sc := staticComp{name: n}
+		if c, err := a.Lib.Get(n); err != nil {
+			sc.err = err
+		} else {
+			sc.class = c.Class()
+			sc.mw = c.StaticPower()
+		}
+		e.statics[i] = sc
+	}
+	toSites := func(m map[string]int64) []staticSite {
+		if len(m) == 0 {
+			return nil
+		}
+		out := make([]staticSite, 0, len(m))
+		for n, cnt := range m {
+			out = append(out, staticSite{idx: index[n], n: cnt})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].idx < out[j].idx })
+		return out
+	}
+	e.levelStaticSites = make([][]staticSite, a.NumLevels())
+	for i := range perLevel {
+		e.levelStaticSites[i] = toSites(perLevel[i])
+	}
+	e.perMACStatic = toSites(computeSites)
+}
+
+// Arch returns the architecture the engine was built for.
+func (e *Engine) Arch() *arch.Arch { return e.a }
+
+// Area returns the cached architecture area in µm².
+func (e *Engine) Area() float64 { return e.area }
+
+// KeepLevels returns the cached keep chain of tensor t (outermost first).
+// The returned slice is shared — callers must not modify it.
+func (e *Engine) KeepLevels(t workload.Tensor) []int { return e.keeps[t] }
+
+// Compiled is an evaluation engine specialized to one (architecture,
+// layer) pair: the engine's resolved tables plus the layer's bounds and
+// MAC count. It is immutable and safe for concurrent use; per-goroutine
+// mutable state lives in Scratch.
+type Compiled struct {
+	eng        *Engine
+	l          *workload.Layer
+	bounds     workload.Point
+	actualMACs int64
+}
+
+// Compile builds a compiled engine for one architecture and layer.
+func Compile(a *arch.Arch, l *workload.Layer) (*Compiled, error) {
+	e, err := NewEngine(a)
+	if err != nil {
+		return nil, err
+	}
+	return e.Compile(l)
+}
+
+// Compile specializes the engine to a layer. It is cheap — per-layer
+// searches over thousands of mappings share one Compiled.
+func (e *Engine) Compile(l *workload.Layer) (*Compiled, error) {
+	return &Compiled{eng: e, l: l, bounds: l.Bounds(), actualMACs: l.MACs()}, nil
+}
+
+// Engine returns the underlying per-architecture engine.
+func (c *Compiled) Engine() *Engine { return c.eng }
+
+// Layer returns the compiled layer.
+func (c *Compiled) Layer() *workload.Layer { return c.l }
+
+// Scratch holds the reusable working memory of one evaluation: the
+// per-level analysis arrays, the flattened loop-nest buffer, and the
+// static-power counters. One Scratch serves one goroutine; reusing it
+// across EvaluateInto calls makes the fast path allocation free.
+type Scratch struct {
+	an      analysis
+	statics []int64
+}
+
+// NewScratch allocates working memory sized for the engine's architecture.
+func (e *Engine) NewScratch() *Scratch {
+	n := e.a.NumLevels()
+	return &Scratch{
+		an: analysis{
+			sf:        make([]workload.Point, n),
+			ext:       make([]workload.Point, n),
+			extClamp:  make([]workload.Point, n),
+			instances: make([]int64, n),
+		},
+		statics: make([]int64, len(e.statics)),
+	}
+}
+
+var readTensors = [...]workload.Tensor{workload.Weights, workload.Inputs}
+
+// EvaluateInto is the allocation-free fast path of the analytical model:
+// it evaluates mapping m into res, reusing the scratch buffers and res's
+// own backing arrays. Unless opts.FullLedger is set, the itemized Energy
+// ledger is skipped and only the aggregate TotalPJ is produced — every
+// other Result field is identical to Evaluate's.
+func (c *Compiled) EvaluateInto(s *Scratch, m *mapping.Mapping, res *Result, opts Options) error {
+	a := c.eng.a
+	if !opts.SkipValidate {
+		if err := c.l.Validate(); err != nil {
+			return err
+		}
+		if err := m.Validate(a, c.l); err != nil {
+			return err
+		}
+	}
+	an := &s.an
+	an.reset(c, m)
+	if len(s.statics) < len(c.eng.statics) {
+		// The analysis buffers resize to any architecture; keep the
+		// static-power counters in step so a zero-value Scratch (or one
+		// built for another engine) works too.
+		s.statics = make([]int64, len(c.eng.statics))
+	}
+	res.reset()
+	res.Layer = c.l.Name
+	res.MACs = an.actualMACs
+	res.PaddedMACs = an.paddedMACs
+	res.ComputeCycles = an.cycles
+	if an.paddedMACs > 0 {
+		res.Utilization = float64(an.actualMACs) / float64(an.paddedMACs)
+	}
+
+	// Traffic analysis per tensor, written directly into res.Usage.
+	for _, t := range readTensors {
+		chain := c.eng.keeps[t]
+		start := len(res.Usage)
+		res.Usage = extendUsage(res.Usage, len(chain))
+		if err := an.readTensorUsage(t, res.Usage[start:]); err != nil {
+			return err
+		}
+	}
+	outStart := len(res.Usage)
+	res.Usage = extendUsage(res.Usage, len(c.eng.keeps[workload.Outputs]))
+	if err := an.outputUsage(res.Usage[outStart:]); err != nil {
+		return err
+	}
+
+	// Energy: aggregate always; itemized ledger only on request.
+	if err := an.chargeEnergy(res, opts, s.statics); err != nil {
+		return err
+	}
+
+	// Throughput: compute-bound cycles vs per-level bandwidth limits.
+	res.Cycles = float64(res.ComputeCycles)
+	for i := 0; i < a.NumLevels(); i++ {
+		lv := a.Level(i)
+		if lv.BandwidthWordsPerCycle <= 0 {
+			continue
+		}
+		var words float64
+		for j := range res.Usage {
+			if res.Usage[j].LevelIndex == i {
+				u := &res.Usage[j]
+				words += u.Reads + u.Writes + 2*u.Updates
+			}
+		}
+		if need := words / lv.BandwidthWordsPerCycle; need > res.Cycles {
+			res.Cycles = need
+			res.BottleneckLevel = lv.Name
+		}
+	}
+	if res.Cycles > 0 {
+		res.MACsPerCycle = float64(res.MACs) / res.Cycles
+	}
+	res.AreaUM2 = c.eng.area
+	return nil
+}
+
+// Evaluate runs the compiled model with fresh scratch and result
+// allocations — the convenient one-shot entry point.
+func (c *Compiled) Evaluate(m *mapping.Mapping, opts Options) (*Result, error) {
+	res := &Result{}
+	if err := c.EvaluateInto(c.eng.NewScratch(), m, res, opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// extendUsage appends n zeroed usage records, reusing capacity.
+func extendUsage(u []Usage, n int) []Usage {
+	for i := 0; i < n; i++ {
+		u = append(u, Usage{})
+	}
+	return u
+}

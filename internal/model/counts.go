@@ -8,8 +8,10 @@ import (
 	"photoloop/internal/workload"
 )
 
-// analysis carries the shared state of one evaluation.
+// analysis carries the shared state of one evaluation. Its slices live in
+// a Scratch and are reused across evaluations.
 type analysis struct {
+	c *Compiled
 	a *arch.Arch
 	l *workload.Layer
 	m *mapping.Mapping
@@ -24,31 +26,78 @@ type analysis struct {
 	ext       []workload.Point // per-level tile extents (padded)
 	extClamp  []workload.Point // per-level tile extents clamped to bounds
 	instances []int64          // per-level instance counts
+
+	nestBuf []mapping.Loop // full flattened temporal nest, outermost first
+	nestCut []int          // nestBuf[:nestCut[i]] is the nest above level i
 }
 
-func newAnalysis(a *arch.Arch, l *workload.Layer, m *mapping.Mapping) *analysis {
+// reset re-derives the per-mapping state, reusing the analysis' buffers.
+// Tile extents are suffix products of the per-level factors (integer
+// multiplication, so identical to multiplying level by level), and the
+// flattened temporal nest is built once — the nest above level i is a
+// prefix of the full nest.
+func (an *analysis) reset(c *Compiled, m *mapping.Mapping) {
+	a := c.eng.a
 	n := a.NumLevels()
-	an := &analysis{
-		a: a, l: l, m: m,
-		bounds:     l.Bounds(),
-		padded:     m.PaddedBounds(a),
-		actualMACs: l.MACs(),
-		cycles:     m.TemporalIterations(),
-		sf:         make([]workload.Point, n),
-		ext:        make([]workload.Point, n),
-		extClamp:   make([]workload.Point, n),
-		instances:  make([]int64, n),
+	an.c, an.a, an.l, an.m = c, a, c.l, m
+	an.bounds = c.bounds
+	an.actualMACs = c.actualMACs
+	an.cycles = m.TemporalIterations()
+	if cap(an.sf) < n {
+		an.sf = make([]workload.Point, n)
+		an.ext = make([]workload.Point, n)
+		an.extClamp = make([]workload.Point, n)
+		an.instances = make([]int64, n)
 	}
+	an.sf = an.sf[:n]
+	an.ext = an.ext[:n]
+	an.extClamp = an.extClamp[:n]
+	an.instances = an.instances[:n]
+	run := workload.Ones()
+	for i := n - 1; i >= 0; i-- {
+		an.sf[i] = m.SpatialAt(a, i)
+		run = run.Mul(m.Levels[i].Temporal.Mul(an.sf[i]))
+		an.ext[i] = run
+		an.extClamp[i] = clamp(run, an.bounds)
+	}
+	an.padded = run // the outermost tile extent spans the padded bounds
 	an.paddedMACs = an.padded.Product()
 	inst := int64(1)
 	for i := 0; i < n; i++ {
-		an.sf[i] = m.SpatialAt(a, i)
-		an.ext[i] = m.TileExtents(a, i)
-		an.extClamp[i] = clamp(an.ext[i], an.bounds)
 		an.instances[i] = inst
 		inst *= an.sf[i].Product()
 	}
-	return an
+
+	if cap(an.nestCut) < n+1 {
+		an.nestCut = make([]int, n+1)
+	}
+	an.nestCut = an.nestCut[:n+1]
+	an.nestBuf = an.nestBuf[:0]
+	for j := 0; j < n; j++ {
+		an.nestCut[j] = len(an.nestBuf)
+		lm := &m.Levels[j]
+		for _, d := range lm.Perm {
+			if t := lm.Temporal[d]; t > 1 {
+				an.nestBuf = append(an.nestBuf, mapping.Loop{Dim: d, Trip: t, Level: j})
+			}
+		}
+	}
+	an.nestCut[n] = len(an.nestBuf)
+}
+
+// nest returns the flattened temporal loop nest above level li.
+func (an *analysis) nest(li int) []mapping.Loop {
+	return an.nestBuf[:an.nestCut[li]]
+}
+
+// spatialExtentsBelow is Mapping.SpatialExtentsBelow over the cached
+// per-level spatial factors.
+func (an *analysis) spatialExtentsBelow(i int) workload.Point {
+	ext := workload.Ones()
+	for j := len(an.sf) - 1; j >= i; j-- {
+		ext = ext.Mul(an.sf[j])
+	}
+	return ext
 }
 
 func clamp(p, bounds workload.Point) workload.Point {
@@ -193,10 +242,10 @@ func (an *analysis) spatialReduceRange(from, to int) float64 {
 }
 
 // readTensorUsage computes the traffic of a read operand (weights or
-// inputs) along its keep chain.
-func (an *analysis) readTensorUsage(t workload.Tensor) ([]Usage, error) {
-	chain := an.a.KeepLevels(t)
-	usages := make([]Usage, len(chain))
+// inputs) along its keep chain, writing into usages (one zeroed record per
+// keep level, provided by the caller).
+func (an *analysis) readTensorUsage(t workload.Tensor, usages []Usage) error {
+	chain := an.c.eng.keeps[t]
 	for pos, li := range chain {
 		lv := an.a.Level(li)
 		u := &usages[pos]
@@ -207,14 +256,14 @@ func (an *analysis) readTensorUsage(t workload.Tensor) ([]Usage, error) {
 		u.TileElems = an.l.TileElems(t, an.extClamp[li])
 		if lv.Streaming {
 			if pos != len(chain)-1 {
-				return nil, fmt.Errorf("model: streaming level %s must be the innermost keeper of %v", lv.Name, t)
+				return fmt.Errorf("model: streaming level %s must be the innermost keeper of %v", lv.Name, t)
 			}
 			// Zero retention: the working set is refilled every cycle.
 			// With window-overlap sharing, one converted input serves
 			// every window position that touches it (the halo formula
 			// deduplicates); without it, each (pixel, tap) consumer
 			// needs its own conversion.
-			wsExt := clamp(an.m.SpatialExtentsBelow(an.a, li), an.bounds)
+			wsExt := clamp(an.spatialExtentsBelow(li), an.bounds)
 			var ws int64
 			if t == workload.Inputs && !lv.InputOverlapSharing {
 				ws = naiveInputElems(wsExt)
@@ -223,7 +272,7 @@ func (an *analysis) readTensorUsage(t workload.Tensor) ([]Usage, error) {
 			}
 			u.Fills = float64(ws) * float64(an.cycles) * float64(u.Instances)
 		} else if pos > 0 {
-			nest := an.m.LoopNestAbove(li)
+			nest := an.nest(li)
 			u.Fills = float64(u.TileElems) * float64(refetchFactor(nest, t)) * float64(u.Instances)
 		}
 		// Writes into the level are its fills.
@@ -244,17 +293,17 @@ func (an *analysis) readTensorUsage(t workload.Tensor) ([]Usage, error) {
 	li := chain[last]
 	consumption := float64(an.actualMACs) / an.multicastRange(li, an.a.NumLevels(), t)
 	usages[last].Reads += consumption
-	return usages, nil
+	return nil
 }
 
 // outputUsage computes the traffic of the output tensor along its keep
 // chain: per-MAC updates arrive at the innermost keeper (discounted by
 // spatial reduction below it), tiles drain upward on completion, and
-// partial tiles evicted by reduction loops above refill downward.
-func (an *analysis) outputUsage() ([]Usage, error) {
+// partial tiles evicted by reduction loops above refill downward. It
+// writes into usages (one zeroed record per keep level).
+func (an *analysis) outputUsage(usages []Usage) error {
 	t := workload.Outputs
-	chain := an.a.KeepLevels(t)
-	usages := make([]Usage, len(chain))
+	chain := an.c.eng.keeps[t]
 	for pos, li := range chain {
 		lv := an.a.Level(li)
 		u := &usages[pos]
@@ -264,7 +313,7 @@ func (an *analysis) outputUsage() ([]Usage, error) {
 		u.Instances = an.instances[li]
 		u.TileElems = an.l.TileElems(t, an.extClamp[li])
 		if lv.Streaming {
-			return nil, fmt.Errorf("model: output keeper %s cannot be a streaming level", lv.Name)
+			return fmt.Errorf("model: output keeper %s cannot be a streaming level", lv.Name)
 		}
 	}
 
@@ -282,7 +331,7 @@ func (an *analysis) outputUsage() ([]Usage, error) {
 	for pos := last; pos > 0; pos-- {
 		li := chain[pos]
 		u := &usages[pos]
-		nest := an.m.LoopNestAbove(li)
+		nest := an.nest(li)
 		changes := refetchFactor(nest, t)
 		u.Drains = float64(u.TileElems) * float64(changes) * float64(u.Instances)
 		// Reading the tile out to drain it.
@@ -291,14 +340,14 @@ func (an *analysis) outputUsage() ([]Usage, error) {
 		u.DrainsMerged = u.Drains / an.spatialReduceRange(parent, li)
 		an.chargeArrivals(&usages[pos-1], u.DrainsMerged, parent)
 	}
-	return usages, nil
+	return nil
 }
 
 // chargeArrivals splits words arriving at an output keeper into first
 // writes (one per element per tile residency) and read-modify-write
 // updates.
 func (an *analysis) chargeArrivals(u *Usage, words float64, li int) {
-	nest := an.m.LoopNestAbove(li)
+	nest := an.nest(li)
 	residencies := float64(distinctTiles(nest, workload.Outputs)) * float64(u.Instances)
 	firstWrites := float64(u.TileElems) * residencies
 	if firstWrites > words {

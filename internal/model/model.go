@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"photoloop/internal/arch"
-	"photoloop/internal/components"
 	"photoloop/internal/mapping"
 	"photoloop/internal/workload"
 )
@@ -16,113 +15,68 @@ type Options struct {
 	ChargeStatic bool
 	// SkipValidate trusts the mapping (mapper-internal hot path).
 	SkipValidate bool
+	// FullLedger builds the itemized Energy ledger. The package-level
+	// Evaluate always produces the full ledger; the compiled fast path
+	// (Compiled.EvaluateInto) skips it unless this is set, producing only
+	// the aggregate TotalPJ — the ~10x cheaper mode mapper search runs in.
+	FullLedger bool
 }
 
-// Evaluate runs the analytical model for one layer and mapping.
+// Evaluate runs the analytical model for one layer and mapping, producing
+// the full itemized result. It compiles the (architecture, layer) pair on
+// every call — callers evaluating many mappings should Compile once and
+// use the Compiled fast path instead.
 func Evaluate(a *arch.Arch, l *workload.Layer, m *mapping.Mapping, opts Options) (*Result, error) {
-	if !opts.SkipValidate {
-		if err := l.Validate(); err != nil {
-			return nil, err
-		}
-		if err := m.Validate(a, l); err != nil {
-			return nil, err
-		}
-	}
-	an := newAnalysis(a, l, m)
-	res := &Result{
-		Layer:         l.Name,
-		MACs:          an.actualMACs,
-		PaddedMACs:    an.paddedMACs,
-		ComputeCycles: an.cycles,
-	}
-	if an.paddedMACs > 0 {
-		res.Utilization = float64(an.actualMACs) / float64(an.paddedMACs)
-	}
-
-	// Traffic analysis per tensor.
-	var all []Usage
-	for _, t := range []workload.Tensor{workload.Weights, workload.Inputs} {
-		us, err := an.readTensorUsage(t)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, us...)
-	}
-	outUs, err := an.outputUsage()
+	c, err := Compile(a, l)
 	if err != nil {
 		return nil, err
 	}
-	all = append(all, outUs...)
-	res.Usage = all
-
-	// Energy ledger.
-	if err := an.chargeEnergy(res, opts); err != nil {
-		return nil, err
-	}
-
-	// Throughput: compute-bound cycles vs per-level bandwidth limits.
-	res.Cycles = float64(res.ComputeCycles)
-	for i := 0; i < a.NumLevels(); i++ {
-		lv := a.Level(i)
-		if lv.BandwidthWordsPerCycle <= 0 {
-			continue
-		}
-		var words float64
-		for j := range all {
-			if all[j].LevelIndex == i {
-				words += all[j].Reads + all[j].Writes + 2*all[j].Updates
-			}
-		}
-		if need := words / lv.BandwidthWordsPerCycle; need > res.Cycles {
-			res.Cycles = need
-			res.BottleneckLevel = lv.Name
-		}
-	}
-	if res.Cycles > 0 {
-		res.MACsPerCycle = float64(res.MACs) / res.Cycles
-	}
-
-	area, err := a.Area()
-	if err != nil {
-		return nil, err
-	}
-	res.AreaUM2 = area
-	return res, nil
+	opts.FullLedger = true
+	return c.Evaluate(m, opts)
 }
 
-// chargeEnergy converts the usage table into the energy ledger.
-func (an *analysis) chargeEnergy(res *Result, opts Options) error {
-	a := an.a
-	add := func(level, componentName, action, tensor string, count float64) error {
+// chargeEnergy converts the usage table into energy: always the aggregate
+// TotalPJ, and the itemized ledger too when opts.FullLedger is set. Both
+// modes accumulate the identical sequence of terms, so the aggregate is
+// bit-identical either way. statics is the scratch counter array for
+// static-power charging (one slot per Engine.statics entry).
+func (an *analysis) chargeEnergy(res *Result, opts Options, statics []int64) error {
+	eng := an.c.eng
+	total := 0.0
+	ledger := opts.FullLedger
+	// add charges one resolved action; tensor names the operand the charge
+	// arose for (storage-access refs are shared across tensors, so the
+	// per-usage tensor is stamped here rather than baked into the ref).
+	add := func(r *resolvedRef, count float64, tensor string) error {
 		if count == 0 {
 			return nil
 		}
-		c, err := a.Lib.Get(componentName)
-		if err != nil {
-			return err
+		if r.err != nil {
+			return r.err
 		}
-		pj, err := c.Energy(action)
-		if err != nil {
-			return err
+		pj := r.pj * count
+		total += pj
+		if ledger {
+			res.Energy = append(res.Energy, EnergyItem{
+				Level:     r.level,
+				Component: r.component,
+				Class:     r.class,
+				Action:    r.action,
+				Tensor:    tensor,
+				Count:     count,
+				TotalPJ:   pj,
+			})
 		}
-		res.Energy = append(res.Energy, EnergyItem{
-			Level:     level,
-			Component: componentName,
-			Class:     c.Class(),
-			Action:    action,
-			Tensor:    tensor,
-			Count:     count,
-			TotalPJ:   pj * count,
-		})
 		return nil
 	}
-	chargeChain := func(level string, refs []arch.ActionRef, tensor string, defaultBasis, distinctBasis float64) error {
-		for _, r := range refs {
+	chargeChain := func(refs []resolvedRef, defaultBasis, distinctBasis float64) error {
+		for i := range refs {
+			r := &refs[i]
 			basis := defaultBasis
-			if r.PerDistinct {
+			if r.perDistinct {
 				basis = distinctBasis
 			}
-			if err := add(level, r.Component, r.Action, tensor, basis*r.Count()); err != nil {
+			if err := add(r, basis*r.cnt, r.tensor); err != nil {
 				return err
 			}
 		}
@@ -131,92 +85,81 @@ func (an *analysis) chargeEnergy(res *Result, opts Options) error {
 
 	for ui := range res.Usage {
 		u := &res.Usage[ui]
-		lv := a.Level(u.LevelIndex)
-		ts := u.Tensor.String()
+		le := &eng.levels[u.LevelIndex]
 		// Storage access energy.
-		if lv.AccessComponent != "" {
-			if err := add(u.Level, lv.AccessComponent, components.ActionRead, ts, u.Reads); err != nil {
+		if le.hasAccess {
+			ts := u.Tensor.String()
+			if err := add(&le.access[0], u.Reads, ts); err != nil {
 				return err
 			}
-			if err := add(u.Level, lv.AccessComponent, components.ActionWrite, ts, u.Writes); err != nil {
+			if err := add(&le.access[1], u.Writes, ts); err != nil {
 				return err
 			}
-			if err := add(u.Level, lv.AccessComponent, components.ActionUpdate, ts, u.Updates); err != nil {
+			if err := add(&le.access[2], u.Updates, ts); err != nil {
 				return err
 			}
 		}
 		// Converter chains.
-		if refs := lv.FillVia[u.Tensor]; len(refs) > 0 {
-			if err := chargeChain(u.Level, refs, ts, u.Fills, u.FillsDistinct); err != nil {
-				return err
-			}
+		if err := chargeChain(le.fill[u.Tensor], u.Fills, u.FillsDistinct); err != nil {
+			return err
 		}
-		if refs := lv.UpdateVia[u.Tensor]; len(refs) > 0 {
-			if err := chargeChain(u.Level, refs, ts, u.Arrivals, u.Arrivals); err != nil {
-				return err
-			}
+		if err := chargeChain(le.update[u.Tensor], u.Arrivals, u.Arrivals); err != nil {
+			return err
 		}
-		if refs := lv.DrainVia[u.Tensor]; len(refs) > 0 {
-			if err := chargeChain(u.Level, refs, ts, u.Drains, u.DrainsMerged); err != nil {
-				return err
-			}
-		}
-	}
-
-	// Per-MAC compute actions (laser supply, ring transit, digital MAC).
-	for _, r := range an.a.Compute.PerMAC {
-		if err := add("compute", r.Component, r.Action, "", float64(an.actualMACs)*r.Count()); err != nil {
+		if err := chargeChain(le.drain[u.Tensor], u.Drains, u.DrainsMerged); err != nil {
 			return err
 		}
 	}
 
-	// Optional static power over the schedule.
+	// Per-MAC compute actions (laser supply, ring transit, digital MAC).
+	for i := range eng.perMAC {
+		r := &eng.perMAC[i]
+		if err := add(r, float64(an.actualMACs)*r.cnt, ""); err != nil {
+			return err
+		}
+	}
+
+	// Optional static power over the schedule, charged per distinct
+	// component in deterministic (name-sorted) order.
 	if opts.ChargeStatic {
 		ns := float64(an.cycles) / an.a.ClockGHz
-		seen := map[string]int64{}
-		for i := range a.Levels {
-			lv := &a.Levels[i]
+		for i := range statics {
+			statics[i] = 0
+		}
+		for i := range eng.levelStaticSites {
 			copies := an.instances[i]
-			if lv.AccessComponent != "" {
-				seen[lv.AccessComponent] += copies
-			}
-			for _, refs := range lv.FillVia {
-				for _, r := range refs {
-					seen[r.Component] += copies
-				}
-			}
-			for _, refs := range lv.UpdateVia {
-				for _, r := range refs {
-					seen[r.Component] += copies
-				}
-			}
-			for _, refs := range lv.DrainVia {
-				for _, r := range refs {
-					seen[r.Component] += copies
-				}
+			for _, site := range eng.levelStaticSites[i] {
+				statics[site.idx] += site.n * copies
 			}
 		}
-		for _, r := range a.Compute.PerMAC {
-			seen[r.Component] += an.paddedMACs / max64(an.cycles, 1)
+		perMACCopies := an.paddedMACs / max64(an.cycles, 1)
+		for _, site := range eng.perMACStatic {
+			statics[site.idx] += site.n * perMACCopies
 		}
-		for name, copies := range seen {
-			c, err := a.Lib.Get(name)
-			if err != nil {
-				return err
+		for idx := range eng.statics {
+			st := &eng.statics[idx]
+			copies := statics[idx]
+			if copies == 0 {
+				continue
 			}
-			if mw := c.StaticPower(); mw > 0 {
-				res.Energy = append(res.Energy, EnergyItem{
-					Level: "static", Component: name, Class: c.Class(),
-					Action: "static", Count: float64(copies),
-					TotalPJ: mw * ns * float64(copies),
-				})
+			if st.err != nil {
+				return st.err
+			}
+			if st.mw > 0 {
+				pj := st.mw * ns * float64(copies)
+				total += pj
+				if ledger {
+					res.Energy = append(res.Energy, EnergyItem{
+						Level: "static", Component: st.name, Class: st.class,
+						Action: "static", Count: float64(copies),
+						TotalPJ: pj,
+					})
+				}
 			}
 		}
 	}
 
-	for i := range res.Energy {
-		res.TotalPJ += res.Energy[i].TotalPJ
-	}
+	res.TotalPJ = total
 	return nil
 }
 

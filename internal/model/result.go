@@ -106,6 +106,22 @@ type Result struct {
 	AreaUM2 float64
 }
 
+// reset zeroes the result for reuse, keeping the Usage and Energy backing
+// arrays so the compiled fast path stays allocation free.
+func (r *Result) reset() {
+	usage, energy := r.Usage[:0], r.Energy[:0]
+	*r = Result{Usage: usage, Energy: energy}
+}
+
+// Clone deep-copies the result (the mapper retains clones of scratch-owned
+// results when they become the incumbent best).
+func (r *Result) Clone() *Result {
+	out := *r
+	out.Usage = append([]Usage(nil), r.Usage...)
+	out.Energy = append([]EnergyItem(nil), r.Energy...)
+	return &out
+}
+
 // PJPerMAC returns energy per real MAC.
 func (r *Result) PJPerMAC() float64 {
 	if r.MACs == 0 {

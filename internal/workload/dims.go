@@ -49,7 +49,8 @@ func (d Dim) String() string {
 	return fmt.Sprintf("Dim(%d)", uint8(d))
 }
 
-// AllDims lists every dimension in canonical order.
+// AllDims lists every dimension in canonical order. The slice is freshly
+// allocated — callers may modify it.
 func AllDims() []Dim {
 	return []Dim{DimN, DimK, DimC, DimP, DimQ, DimR, DimS}
 }
@@ -86,7 +87,8 @@ func (t Tensor) String() string {
 	return fmt.Sprintf("Tensor(%d)", uint8(t))
 }
 
-// AllTensors lists every tensor.
+// AllTensors lists every tensor. The slice is freshly allocated — callers
+// may modify it.
 func AllTensors() []Tensor {
 	return []Tensor{Weights, Inputs, Outputs}
 }

@@ -146,15 +146,35 @@ type (
 	Usage = model.Usage
 	// EvalOptions tunes an evaluation.
 	EvalOptions = model.Options
+	// Engine is a compiled per-architecture evaluation engine: resolved
+	// per-action energy tables, cached area and keep chains. Build once
+	// per architecture, share across layers and goroutines.
+	Engine = model.Engine
+	// Compiled is an engine specialized to one (architecture, layer)
+	// pair; its EvaluateInto fast path is the mapper's inner loop.
+	Compiled = model.Compiled
+	// EvalScratch is the reusable per-goroutine working memory of the
+	// compiled fast path.
+	EvalScratch = model.Scratch
 )
 
 // NewMapping returns an inert mapping for the architecture.
 func NewMapping(a *Arch) *Mapping { return mapping.New(a) }
 
-// Evaluate runs the analytical model for one layer and mapping.
+// Evaluate runs the analytical model for one layer and mapping, producing
+// the full itemized result. It recompiles the architecture on every call;
+// callers evaluating many mappings should use NewEngine/Compile and the
+// Compiled fast path.
 func Evaluate(a *Arch, l *Layer, m *Mapping, opts EvalOptions) (*Result, error) {
 	return model.Evaluate(a, l, m, opts)
 }
+
+// NewEngine builds the compiled evaluation engine for an architecture.
+func NewEngine(a *Arch) (*Engine, error) { return model.NewEngine(a) }
+
+// Compile builds a compiled engine for one architecture and layer in one
+// step (use Engine.Compile to share the engine across layers).
+func Compile(a *Arch, l *Layer) (*Compiled, error) { return model.Compile(a, l) }
 
 // Mapper types.
 type (
@@ -164,7 +184,13 @@ type (
 	SearchBest = mapper.Best
 	// Objective selects what the search minimizes.
 	Objective = mapper.Objective
+	// MapperSession caches an architecture's search invariants (compiled
+	// engine, spatial assignments) across per-layer searches.
+	MapperSession = mapper.Session
 )
+
+// NewMapperSession prepares an architecture for repeated layer searches.
+func NewMapperSession(a *Arch) (*MapperSession, error) { return mapper.NewSession(a) }
 
 // Search objectives.
 const (
