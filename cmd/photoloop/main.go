@@ -1,38 +1,58 @@
 // Command photoloop is the generic specification-driven front end of the
 // modeling framework: evaluate or map JSON-specified architectures against
-// built-in or JSON-specified DNN workloads.
+// built-in or JSON-specified DNN workloads, run declarative design-space
+// sweeps, or serve the model over HTTP.
 //
 // Subcommands:
 //
-//	photoloop eval -arch a.json -network vgg16 [-layer name] [-mapping m.json] [-budget N] [-objective energy|delay|edp]
+//	photoloop eval -arch a.json -network vgg16 [-layer name] [-mapping m.json] [-json] ...
+//	photoloop sweep (-spec sweep.json | -preset fig4|fig5) [-format json|csv] [-out file] ...
+//	photoloop serve [-addr :8080] [-workers N]
 //	photoloop template          # print an example architecture spec
 //	photoloop networks          # list built-in workloads
 //	photoloop classes           # list component classes
+//	photoloop version           # print the build version
+//	photoloop help              # print this usage
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"runtime/debug"
 	"sort"
 	"text/tabwriter"
+	"time"
 
 	"photoloop/internal/components"
-	"photoloop/internal/mapper"
-	"photoloop/internal/model"
+	"photoloop/internal/exp"
 	"photoloop/internal/spec"
+	"photoloop/internal/sweep"
 	"photoloop/internal/workload"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches a subcommand and returns the process exit code: 0 on
+// success (including an explicit help request), 1 on runtime errors, 2 on
+// usage errors.
+func run(args []string) int {
+	if len(args) == 0 {
+		usage(os.Stderr)
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "eval":
-		err = cmdEval(os.Args[2:])
+		err = cmdEval(args[1:])
+	case "sweep":
+		err = cmdSweep(args[1:])
+	case "serve":
+		err = cmdServe(args[1:])
 	case "template":
 		fmt.Print(spec.Template)
 	case "networks":
@@ -41,25 +61,62 @@ func main() {
 		for _, c := range components.Classes() {
 			fmt.Println(c)
 		}
+	case "version":
+		fmt.Println(version())
 	case "-h", "--help", "help":
-		usage()
+		usage(os.Stdout)
 	default:
-		fmt.Fprintf(os.Stderr, "photoloop: unknown subcommand %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "photoloop: unknown subcommand %q (run 'photoloop help')\n", args[0])
+		return 2
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "photoloop:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  photoloop eval -arch a.json (-network name|file.json) [-layer name] [-mapping m.json] [-batch N] [-budget N] [-objective energy|delay|edp] [-seed N]
-  photoloop template
-  photoloop networks
-  photoloop classes`)
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  photoloop eval -arch a.json (-network name|file.json) [-layer name] [-mapping m.json]
+                 [-batch N] [-budget N] [-objective energy|delay|edp] [-seed N] [-json]
+      Evaluate (or mapper-search) a JSON architecture against a workload.
+      With -mapping, the fixed schedule in m.json is evaluated instead of
+      searching. With -json, the result is the same document POST /v1/eval
+      answers.
+  photoloop sweep (-spec sweep.json | -preset fig4|fig5) [-format json|csv]
+                  [-out file] [-workers N] [-budget N] [-seed N] [-quiet]
+      Run a declarative design-space sweep (variants x workloads x
+      objectives) on a concurrent worker pool with search deduplication.
+  photoloop serve [-addr :8080] [-workers N]
+      Serve the model over HTTP: POST /v1/eval, POST /v1/sweep,
+      GET /v1/networks.
+  photoloop template    print an example architecture spec
+  photoloop networks    list built-in workloads
+  photoloop classes     list component classes
+  photoloop version     print the build version
+  photoloop help        print this usage
+
+-objective selects what the mapper minimizes: "energy" (total pJ), "delay"
+(cycles) or "edp" (energy-delay product).`)
+}
+
+// version reports the module version when built from a tagged module, or
+// the VCS revision, falling back to "devel".
+func version() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return "devel"
 }
 
 func cmdNetworks() error {
@@ -90,6 +147,7 @@ func cmdEval(args []string) error {
 	budget := fs.Int("budget", 2000, "mapper budget per layer")
 	objective := fs.String("objective", "energy", "energy, delay or edp")
 	seed := fs.Int64("seed", 1, "mapper seed")
+	asJSON := fs.Bool("json", false, "emit the /v1/eval JSON document instead of a table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,113 +155,192 @@ func cmdEval(args []string) error {
 		return fmt.Errorf("eval requires -arch and -network")
 	}
 
+	req := &sweep.EvalRequest{
+		Layer: *layerName, Batch: *batch, Objective: *objective,
+		Budget: *budget, Seed: *seed,
+	}
 	af, err := os.Open(*archPath)
 	if err != nil {
 		return err
 	}
-	defer af.Close()
-	a, err := spec.DecodeArch(af)
+	req.Arch, err = spec.ParseArchSpec(af)
+	af.Close()
 	if err != nil {
 		return err
 	}
+	if _, ok := workload.Zoo()[*network]; ok {
+		req.Network = *network
+	} else {
+		nf, err := os.Open(*network)
+		if err != nil {
+			return fmt.Errorf("network %q is not built in and not a readable file: %w", *network, err)
+		}
+		req.Inline, err = workload.DecodeNetworkJSON(nf)
+		nf.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if *mappingPath != "" {
+		mf, err := os.Open(*mappingPath)
+		if err != nil {
+			return err
+		}
+		req.Mapping, err = spec.ParseMappingSpec(mf)
+		mf.Close()
+		if err != nil {
+			return err
+		}
+	}
 
-	net, err := loadNetwork(*network, *batch)
+	resp, err := sweep.Eval(req, nil)
 	if err != nil {
 		return err
 	}
-
-	var obj mapper.Objective
-	switch *objective {
-	case "energy":
-		obj = mapper.MinEnergy
-	case "delay":
-		obj = mapper.MinDelay
-	case "edp":
-		obj = mapper.MinEDP
-	default:
-		return fmt.Errorf("unknown objective %q", *objective)
+	if *asJSON {
+		return writeEvalJSON(os.Stdout, resp)
 	}
+	return renderEval(os.Stdout, resp)
+}
 
-	layers := net.Layers
-	if *layerName != "" {
-		layers = nil
-		for i := range net.Layers {
-			if net.Layers[i].Name == *layerName {
-				layers = append(layers, net.Layers[i])
-			}
-		}
-		if len(layers) == 0 {
-			return fmt.Errorf("network %s has no layer %q", net.Name, *layerName)
-		}
-	}
+func writeEvalJSON(w io.Writer, resp *sweep.EvalResponse) error {
+	// Match the server's encoding exactly (same document, same bytes).
+	return sweep.EncodeResponseJSON(w, resp)
+}
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+// renderEval prints the human-readable evaluation table.
+func renderEval(out io.Writer, resp *sweep.EvalResponse) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "layer\tMACs\tpJ/MAC\tMACs/cycle\tutil\tevals")
-	var totPJ float64
-	var totMACs int64
-	var totCycles float64
-	for i := range layers {
-		l := &layers[i]
-		var res *model.Result
-		evals := 0
-		if *mappingPath != "" {
-			mf, err := os.Open(*mappingPath)
-			if err != nil {
-				return err
-			}
-			m, err := spec.DecodeMapping(mf, a)
-			mf.Close()
-			if err != nil {
-				return err
-			}
-			res, err = model.Evaluate(a, l, m, model.Options{})
-			if err != nil {
-				return fmt.Errorf("layer %s: %w", l.Name, err)
-			}
-		} else {
-			best, err := mapper.Search(a, l, mapper.Options{Objective: obj, Budget: *budget, Seed: *seed})
-			if err != nil {
-				return fmt.Errorf("layer %s: %w", l.Name, err)
-			}
-			res, evals = best.Result, best.Evaluations
-		}
+	for _, l := range resp.Layers {
 		fmt.Fprintf(w, "%s\t%d\t%.4f\t%.1f\t%.1f%%\t%d\n",
-			l.Name, res.MACs, res.PJPerMAC(), res.MACsPerCycle, 100*res.Utilization, evals)
-		totPJ += res.TotalPJ
-		totMACs += res.MACs
-		totCycles += res.Cycles
+			l.Layer, l.MACs, l.PJPerMAC, l.MACsPerCycle, 100*l.Utilization, l.Evaluations)
 	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	if len(layers) > 1 && totMACs > 0 && totCycles > 0 {
-		fmt.Printf("total: %.4f pJ/MAC, %.1f MACs/cycle\n",
-			totPJ/float64(totMACs), float64(totMACs)/totCycles)
+	if len(resp.Layers) > 1 && resp.MACs > 0 && resp.Cycles > 0 {
+		fmt.Fprintf(out, "total: %.4f pJ/MAC, %.1f MACs/cycle\n", resp.PJPerMAC, resp.MACsPerCycle)
 	}
-	area, err := a.Area()
-	if err == nil {
-		fmt.Printf("area: %.3f mm^2, peak %d MACs/cycle\n", area/1e6, a.PeakMACsPerCycle())
-	}
+	fmt.Fprintf(out, "area: %.3f mm^2, peak %d MACs/cycle\n", resp.AreaUM2/1e6, resp.PeakMACsPerCycle)
 	return nil
 }
 
-func loadNetwork(nameOrPath string, batch int) (*workload.Network, error) {
-	if _, ok := workload.Zoo()[nameOrPath]; ok {
-		n, err := workload.ByName(nameOrPath, batch)
-		if err != nil {
-			return nil, err
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	specPath := fs.String("spec", "", "sweep spec JSON file (or - for stdin)")
+	preset := fs.String("preset", "", "built-in sweep: fig4 or fig5 (the paper's explorations)")
+	format := fs.String("format", "json", "output format: json or csv")
+	outPath := fs.String("out", "", "write results to this file (default stdout)")
+	workers := fs.Int("workers", 0, "point-level worker pool size (default GOMAXPROCS)")
+	budget := fs.Int("budget", 0, "override the spec's mapper budget per layer")
+	seed := fs.Int64("seed", 0, "override the spec's mapper seed")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*specPath == "") == (*preset == "") {
+		return fmt.Errorf("sweep requires exactly one of -spec or -preset")
+	}
+	if *format != "json" && *format != "csv" {
+		return fmt.Errorf("unknown format %q (want json or csv)", *format)
+	}
+	var sp sweep.Spec
+	switch {
+	case *preset == "fig4":
+		sp = exp.Fig4SweepSpec(exp.Config{Budget: *budget, Seed: *seed})
+	case *preset == "fig5":
+		sp = exp.Fig5SweepSpec(exp.Config{Budget: *budget, Seed: *seed})
+	case *preset != "":
+		return fmt.Errorf("unknown preset %q (want fig4 or fig5)", *preset)
+	default:
+		var r io.Reader = os.Stdin
+		if *specPath != "-" {
+			f, err := os.Open(*specPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
 		}
-		return &n, nil
+		parsed, err := sweep.DecodeSpec(r)
+		if err != nil {
+			return err
+		}
+		sp = parsed
+		if *budget > 0 {
+			sp.Budget = *budget
+		}
+		if *seed != 0 {
+			sp.Seed = *seed
+		}
 	}
-	f, err := os.Open(nameOrPath)
+
+	// Open the output before spending the compute: a bad path must fail
+	// in milliseconds, not after the sweep.
+	out := io.Writer(os.Stdout)
+	var outFile *os.File
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		out = f
+	}
+	closeOut := func(err error) error {
+		if outFile == nil {
+			return err
+		}
+		// Buffered writes can surface only at Close; a dropped close
+		// error would mean a silently truncated results file.
+		if cerr := outFile.Close(); err == nil {
+			return cerr
+		}
+		return err
+	}
+
+	opts := sweep.Options{Workers: *workers}
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d points", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	res, err := sweep.Run(sp, opts)
 	if err != nil {
-		return nil, fmt.Errorf("network %q is not built in and not a readable file: %w", nameOrPath, err)
+		return closeOut(err)
 	}
-	defer f.Close()
-	n, err := workload.DecodeNetworkJSON(f)
-	if err != nil {
-		return nil, err
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "sweep: %d layer searches, %d deduplicated\n",
+			res.CacheHits+res.CacheMisses, res.CacheHits)
 	}
-	b := n.WithBatch(batch)
-	return &b, nil
+
+	if *format == "csv" {
+		return closeOut(res.WriteCSV(out))
+	}
+	return closeOut(res.WriteJSON(out))
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "per-sweep point pool size (default GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := sweep.NewServer()
+	srv.Workers = *workers
+	fmt.Fprintf(os.Stderr, "photoloop: serving on %s (POST /v1/eval, POST /v1/sweep, GET /v1/networks)\n", *addr)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv,
+		// Sweeps run long, so no WriteTimeout; header and idle timeouts
+		// keep slow-header and abandoned connections from accumulating.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.ListenAndServe()
 }

@@ -1,0 +1,49 @@
+package photoloop_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestFacadeDocComments enforces the documentation contract of the public
+// facade: every exported identifier declared in photoloop.go must carry a
+// doc comment (on its own declaration, its spec, or — for grouped
+// constants — the group). CI runs this as part of the docs job.
+func TestFacadeDocComments(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "photoloop.go", nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := func(name string, pos token.Pos) {
+		t.Errorf("%s: exported identifier %q has no doc comment", fset.Position(pos), name)
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				report(d.Name.Name, d.Pos())
+			}
+		case *ast.GenDecl:
+			for _, s := range d.Specs {
+				switch sp := s.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && sp.Doc == nil && d.Doc == nil {
+						report(sp.Name.Name, sp.Pos())
+					}
+				case *ast.ValueSpec:
+					// Grouped constants (e.g. the Dim values) may share
+					// the group's doc; line comments also count.
+					documented := sp.Doc != nil || sp.Comment != nil || d.Doc != nil
+					for _, name := range sp.Names {
+						if name.IsExported() && !documented {
+							report(name.Name, name.Pos())
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,11 @@
 // levers: IR, OR, weight-reuse topology) plus global-buffer size on
 // ResNet18, and prints the energy/area Pareto frontier — the kind of rapid
 // co-design exploration the paper argues a full-system model enables.
+//
+// The grid is declared as a photoloop.SweepSpec and evaluated by the
+// concurrent sweep engine — the same code path behind `photoloop sweep`
+// and `photoloop serve` — with per-shape search deduplication across the
+// twelve variants.
 package main
 
 import (
@@ -22,38 +27,44 @@ type point struct {
 }
 
 func main() {
-	net := photoloop.ResNet18(1)
-	var points []point
-	for _, wr := range []bool{false, true} {
-		for _, outputLanes := range []int{3, 9, 15} {
-			for _, glbMiB := range []int{1, 2} {
-				cfg := photoloop.Albireo(photoloop.Aggressive)
-				cfg.OutputLanes = outputLanes
-				cfg.WeightReuse = wr
-				cfg.GLBMiB = glbMiB
-				a, err := cfg.Build()
-				if err != nil {
-					log.Fatal(err)
-				}
-				area, err := a.Area()
-				if err != nil {
-					log.Fatal(err)
-				}
-				res, err := photoloop.EvalAlbireoNetwork(cfg, net, photoloop.AlbireoNetOptions{
-					Batch:  1,
-					Mapper: photoloop.SearchOptions{Budget: 500, Seed: 1},
-				})
-				if err != nil {
-					log.Fatal(err)
-				}
-				points = append(points, point{
-					label: fmt.Sprintf("wr=%v IR=%d GLB=%dMiB",
-						wr, cfg.IR(), glbMiB),
-					pjPerMAC: res.PJPerMAC(),
-					areaMM2:  area / 1e6,
-				})
+	spec := photoloop.SweepSpec{
+		Name: "design-space",
+		Base: photoloop.SweepBase{Albireo: &photoloop.SweepAlbireoBase{Scaling: "aggressive"}},
+		Axes: []photoloop.SweepAxis{
+			{Param: "weight_reuse", Values: []any{false, true}},
+			{Param: "output_lanes", Values: []any{3, 9, 15}},
+			{Param: "glb_mib", Values: []any{1, 2}},
+		},
+		Workloads:  []photoloop.SweepWorkload{{Network: "resnet18", Batch: 1}},
+		Objectives: []string{"energy"},
+		Budget:     500,
+		Seed:       1,
+	}
+	res, err := photoloop.Sweep(spec, photoloop.SweepOptions{
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d points", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
 			}
-		}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	points := make([]point, 0, len(res.Points))
+	for i := range res.Points {
+		p := &res.Points[i]
+		// Recover IR through the config so the lane-to-reuse coupling
+		// stays defined in one place.
+		cfg := photoloop.Albireo(photoloop.Aggressive)
+		cfg.OutputLanes = p.Params["output_lanes"].(int)
+		points = append(points, point{
+			label: fmt.Sprintf("wr=%v IR=%d GLB=%dMiB",
+				p.Params["weight_reuse"], cfg.IR(), p.Params["glb_mib"]),
+			pjPerMAC: p.PJPerMAC,
+			areaMM2:  p.AreaUM2 / 1e6,
+		})
 	}
 
 	// Mark the Pareto-optimal points (minimize both energy and area).
@@ -81,5 +92,6 @@ func main() {
 		fmt.Fprintf(w, "%s\t%.4f\t%.2f\t%s\n", p.label, p.pjPerMAC, p.areaMM2, mark)
 	}
 	w.Flush()
-	fmt.Println("\n* = Pareto optimal (no configuration is better on both axes)")
+	fmt.Printf("\n* = Pareto optimal; %d/%d layer searches deduplicated\n",
+		res.CacheHits, res.CacheHits+res.CacheMisses)
 }

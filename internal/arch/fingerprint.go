@@ -1,0 +1,137 @@
+package arch
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+
+	"photoloop/internal/workload"
+)
+
+// Fingerprint returns a 64-bit FNV-1a hash identifying the architecture:
+// two architectures hash equal exactly when every modeling-relevant
+// property matches — level structure, domains, keep sets, capacities,
+// bandwidths, spatial factors, converter chains, clock, word sizes, and
+// the referenced components' per-action energies, areas and static power.
+// The sweep subsystem keys its cross-variant result cache on it, so a
+// collision-free fingerprint is what makes deduplicating identical
+// (architecture, layer) evaluations across sweep points safe.
+//
+// Like Area and KeepLevels, the fingerprint reflects the architecture at
+// call time; it is not cached, so callers mutating an Arch between builds
+// (the sweep's variant expansion does not — it rebuilds) must refingerprint.
+func (a *Arch) Fingerprint() uint64 {
+	h := fnv.New64a()
+	w := fpWriter{h}
+	w.str(a.Name)
+	w.f64(a.ClockGHz)
+	w.i64(int64(a.DefaultWordBits))
+	w.i64(int64(len(a.Levels)))
+	for i := range a.Levels {
+		a.Levels[i].fingerprintInto(w)
+	}
+	w.str(a.Compute.Name)
+	w.i64(int64(a.Compute.Domain))
+	w.refs(a.Compute.PerMAC)
+	// Components referenced anywhere in the architecture, in sorted name
+	// order: name, class, per-action energies, area, static power.
+	if a.Lib != nil {
+		names := a.Lib.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			c, err := a.Lib.Get(name)
+			if err != nil {
+				continue
+			}
+			w.str(c.Name())
+			w.str(c.Class())
+			for _, action := range c.Actions() {
+				e, _ := c.Energy(action)
+				w.str(action)
+				w.f64(e)
+			}
+			w.f64(c.Area())
+			w.f64(c.StaticPower())
+		}
+	}
+	return h.Sum64()
+}
+
+func (l *Level) fingerprintInto(w fpWriter) {
+	w.str(l.Name)
+	w.i64(int64(l.Domain))
+	w.i64(int64(l.Keeps))
+	w.i64(l.CapacityBits)
+	w.i64(int64(l.WordBits))
+	w.f64(l.BandwidthWordsPerCycle)
+	w.str(l.AccessComponent)
+	w.bool(l.Streaming)
+	w.i64(int64(l.MaxTemporalProduct))
+	w.i64(int64(len(l.Spatial)))
+	for _, f := range l.Spatial {
+		w.i64(int64(f.Count))
+		w.i64(int64(len(f.Dims)))
+		for _, d := range f.Dims {
+			w.i64(int64(d))
+		}
+	}
+	w.i64(int64(l.MaxFanout))
+	w.i64(int64(len(l.FreeSpatialDims)))
+	for _, d := range l.FreeSpatialDims {
+		w.i64(int64(d))
+	}
+	w.bool(l.NoMulticast)
+	w.bool(l.NoSpatialReduce)
+	w.bool(l.InputOverlapSharing)
+	w.via(l.FillVia)
+	w.via(l.UpdateVia)
+	w.via(l.DrainVia)
+}
+
+// fpWriter serializes canonical values into a hash. Every field write is
+// self-delimiting (fixed width or length-prefixed) so adjacent fields
+// cannot alias.
+type fpWriter struct{ h io.Writer }
+
+func (w fpWriter) i64(v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	w.h.Write(buf[:])
+}
+
+func (w fpWriter) f64(v float64) { w.i64(int64(math.Float64bits(v))) }
+
+func (w fpWriter) bool(v bool) {
+	if v {
+		w.i64(1)
+	} else {
+		w.i64(0)
+	}
+}
+
+func (w fpWriter) str(s string) {
+	w.i64(int64(len(s)))
+	io.WriteString(w.h, s)
+}
+
+func (w fpWriter) refs(refs []ActionRef) {
+	w.i64(int64(len(refs)))
+	for _, r := range refs {
+		w.str(r.Component)
+		w.str(r.Action)
+		w.f64(r.PerWord)
+		w.bool(r.PerDistinct)
+	}
+}
+
+func (w fpWriter) via(m map[workload.Tensor][]ActionRef) {
+	w.i64(int64(len(m)))
+	for _, t := range workload.AllTensors() {
+		if refs, ok := m[t]; ok {
+			w.i64(int64(t))
+			w.refs(refs)
+		}
+	}
+}

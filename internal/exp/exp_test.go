@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"photoloop/internal/albireo"
+	"photoloop/internal/mapper"
+	"photoloop/internal/workload"
 )
 
 // testCfg keeps mapper budgets small so the full figure suite runs in
@@ -175,6 +177,59 @@ func TestFig5ReuseExploration(t *testing.T) {
 	if wwr.Bins[albireo.RoleWeightConv] >= owr.Bins[albireo.RoleWeightConv] {
 		t.Errorf("weight reuse did not cut weight conversion: %.4f vs %.4f",
 			wwr.Bins[albireo.RoleWeightConv], owr.Bins[albireo.RoleWeightConv])
+	}
+}
+
+// TestFig5MatchesDirectExploration is the sweep-equivalence anchor of the
+// acceptance criteria: Fig5 now shards its 18-variant grid across the
+// concurrent sweep subsystem (with the fingerprint dedupe cache engaged),
+// and must reproduce the original serial exploration — one
+// albireo.EvalNetwork per variant, no cache — bit-identically.
+func TestFig5MatchesDirectExploration(t *testing.T) {
+	cfg := Config{Budget: 120, Seed: 1, Workers: 2}
+	r, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := workload.ResNet18(1)
+	i := 0
+	for _, wr := range []bool{false, true} {
+		for _, orLanes := range []int{1, 3, 5} {
+			for _, outLanes := range []int{3, 9, 15} {
+				c := albireo.Default(albireo.Aggressive)
+				c.OutputLanes = outLanes
+				c.ORLanes = orLanes
+				c.WeightReuse = wr
+				res, err := albireo.EvalNetwork(c, net, albireo.NetOptions{
+					Batch:  1,
+					Mapper: mapper.Options{Objective: mapper.MinEnergy, Budget: 120, Seed: 1, Workers: 2},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				row := r.Rows[i]
+				if row.WeightReuse != wr || row.OR != c.OR() || row.IR != c.IR() {
+					t.Fatalf("row %d is (%v, %d, %d), want (%v, %d, %d)",
+						i, row.WeightReuse, row.OR, row.IR, wr, c.OR(), c.IR())
+				}
+				macs := float64(res.Total.MACs)
+				wantAccel := albireo.AcceleratorPJ(&res.Total) / macs
+				wantConv := albireo.ConverterPJ(&res.Total) / macs
+				if row.AccelPJPerMAC != wantAccel || row.ConverterPJPerMAC != wantConv {
+					t.Errorf("row %d diverged: accel %.12g vs %.12g, conv %.12g vs %.12g",
+						i, row.AccelPJPerMAC, wantAccel, row.ConverterPJPerMAC, wantConv)
+				}
+				for bin, pj := range albireo.RoleBreakdown(&res.Total) {
+					if bin == albireo.RoleDRAM {
+						continue
+					}
+					if row.Bins[bin] != pj/macs {
+						t.Errorf("row %d bin %s: %.12g vs %.12g", i, bin, row.Bins[bin], pj/macs)
+					}
+				}
+				i++
+			}
+		}
 	}
 }
 

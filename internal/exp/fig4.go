@@ -5,9 +5,8 @@ import (
 	"io"
 
 	"photoloop/internal/albireo"
-	"photoloop/internal/mapper"
 	"photoloop/internal/report"
-	"photoloop/internal/workload"
+	"photoloop/internal/sweep"
 )
 
 // Fig4Batch is the batch size used for the batched configurations.
@@ -49,57 +48,82 @@ type Fig4Result struct {
 	AggressiveCombinedReduction float64
 }
 
-// Fig4 runs the memory exploration.
-func Fig4(cfg Config) (*Fig4Result, error) {
+// Fig4SweepSpec is the declarative form of the Fig. 4 memory exploration:
+// per scaling, the four batching × fusion configurations of ResNet18.
+func Fig4SweepSpec(cfg Config) sweep.Spec {
 	cfg = cfg.withDefaults()
-	net := workload.ResNet18(1)
-	out := &Fig4Result{}
+	scalings := make([]any, 0, len(fig4Scalings()))
 	for _, s := range fig4Scalings() {
-		var base float64
-		for _, bf := range []struct{ batched, fused bool }{
-			{false, false}, {true, false}, {false, true}, {true, true},
-		} {
-			batch := 1
-			if bf.batched {
-				batch = Fig4Batch
-			}
-			res, err := albireo.EvalNetwork(albireo.Default(s), net, albireo.NetOptions{
-				Batch:  batch,
-				Fused:  bf.fused,
-				Mapper: cfg.mapperOptions(mapper.MinEnergy),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("exp: fig4 %s batched=%v fused=%v: %w", s, bf.batched, bf.fused, err)
-			}
-			macs := float64(res.Total.MACs)
-			bins := map[albireo.RoleBin]float64{}
-			for bin, pj := range albireo.RoleBreakdown(&res.Total) {
-				bins[bin] = pj / macs
-			}
-			row := Fig4Row{
-				Scaling: s, Batched: bf.batched, Fused: bf.fused,
-				PJPerMAC:    res.PJPerMAC(),
-				Bins:        bins,
-				DRAMShare:   res.DRAMShare(),
-				PaperConfig: !bf.batched && !bf.fused,
-			}
-			if base == 0 {
-				base = row.PJPerMAC
-			}
-			row.Normalized = row.PJPerMAC / base
-			out.Rows = append(out.Rows, row)
+		scalings = append(scalings, s.String())
+	}
+	return sweep.Spec{
+		Name: "fig4",
+		Base: sweep.Base{Albireo: &sweep.AlbireoBase{}},
+		Axes: []sweep.Axis{{Param: "scaling", Values: scalings}},
+		Workloads: []sweep.Workload{
+			{Network: "resnet18", Batch: 1},
+			{Network: "resnet18", Batch: Fig4Batch},
+			{Network: "resnet18", Batch: 1, Fused: true},
+			{Network: "resnet18", Batch: Fig4Batch, Fused: true},
+		},
+		Objectives:    []string{"energy"},
+		Budget:        cfg.Budget,
+		Seed:          cfg.Seed,
+		SearchWorkers: cfg.Workers,
+	}
+}
 
-			if row.PaperConfig {
-				switch s {
-				case albireo.Aggressive:
-					out.AggressiveBaselineDRAMShare = row.DRAMShare
-				case albireo.Conservative:
-					out.ConservativeBaselineDRAMShare = row.DRAMShare
-				}
+// Fig4 runs the memory exploration through the sweep subsystem.
+func Fig4(cfg Config) (*Fig4Result, error) {
+	res, err := sweep.Run(Fig4SweepSpec(cfg), sweep.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig4: %w", err)
+	}
+	out := &Fig4Result{}
+	var base float64
+	for i := range res.Points {
+		pt := &res.Points[i]
+		s, err := albireo.ParseScaling(pt.Params["scaling"].(string))
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig4: %w", err)
+		}
+		batched := pt.Batch == Fig4Batch
+		macs := float64(pt.Total.MACs)
+		breakdown := albireo.RoleBreakdown(pt.Total)
+		bins := map[albireo.RoleBin]float64{}
+		for bin, pj := range breakdown {
+			bins[bin] = pj / macs
+		}
+		dramShare := 0.0
+		if pt.Total.TotalPJ > 0 {
+			dramShare = breakdown[albireo.RoleDRAM] / pt.Total.TotalPJ
+		}
+		row := Fig4Row{
+			Scaling: s, Batched: batched, Fused: pt.Fused,
+			PJPerMAC:    pt.Total.PJPerMAC(),
+			Bins:        bins,
+			DRAMShare:   dramShare,
+			PaperConfig: !batched && !pt.Fused,
+		}
+		// The sweep walks workloads in order per scaling, so the first
+		// point of each scaling is the non-batched, not-fused baseline
+		// the figure normalizes against.
+		if row.PaperConfig {
+			base = row.PJPerMAC
+		}
+		row.Normalized = row.PJPerMAC / base
+		out.Rows = append(out.Rows, row)
+
+		if row.PaperConfig {
+			switch s {
+			case albireo.Aggressive:
+				out.AggressiveBaselineDRAMShare = row.DRAMShare
+			case albireo.Conservative:
+				out.ConservativeBaselineDRAMShare = row.DRAMShare
 			}
-			if s == albireo.Aggressive && bf.batched && bf.fused {
-				out.AggressiveCombinedReduction = 1 - row.Normalized
-			}
+		}
+		if s == albireo.Aggressive && batched && pt.Fused {
+			out.AggressiveCombinedReduction = 1 - row.Normalized
 		}
 	}
 	return out, nil

@@ -5,9 +5,8 @@ import (
 	"io"
 
 	"photoloop/internal/albireo"
-	"photoloop/internal/mapper"
 	"photoloop/internal/report"
-	"photoloop/internal/workload"
+	"photoloop/internal/sweep"
 )
 
 // Fig5Row is one architecture variant of the reuse exploration.
@@ -40,55 +39,75 @@ type Fig5Result struct {
 	BestAcceleratorReduction float64
 }
 
-// Fig5 runs the architecture exploration on the aggressive scaling.
-func Fig5(cfg Config) (*Fig5Result, error) {
+// Fig5SweepSpec is the declarative form of the Fig. 5 exploration: the
+// same grid the paper walks, as a sweep document. `photoloop sweep` can run
+// it from JSON, and Fig5 runs it through the same engine — one code path
+// from figure reproduction to serving.
+func Fig5SweepSpec(cfg Config) sweep.Spec {
 	cfg = cfg.withDefaults()
-	net := workload.ResNet18(1)
+	return sweep.Spec{
+		Name: "fig5",
+		Base: sweep.Base{Albireo: &sweep.AlbireoBase{Scaling: "aggressive"}},
+		Axes: []sweep.Axis{
+			{Param: "weight_reuse", Values: []any{false, true}},
+			{Param: "or_lanes", Values: []any{1, 3, 5}},
+			{Param: "output_lanes", Values: []any{3, 9, 15}},
+		},
+		Workloads:     []sweep.Workload{{Network: "resnet18", Batch: 1}},
+		Objectives:    []string{"energy"},
+		Budget:        cfg.Budget,
+		Seed:          cfg.Seed,
+		SearchWorkers: cfg.Workers,
+	}
+}
+
+// Fig5 runs the architecture exploration on the aggressive scaling. The
+// grid is evaluated concurrently by the sweep subsystem; results are
+// bit-identical to evaluating each variant serially (guarded by
+// TestFig5MatchesDirectExploration).
+func Fig5(cfg Config) (*Fig5Result, error) {
+	res, err := sweep.Run(Fig5SweepSpec(cfg), sweep.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("exp: fig5: %w", err)
+	}
 	out := &Fig5Result{}
 	var baseAccel, baseConv float64
 	bestAccel, bestConv := -1.0, -1.0
-	for _, wr := range []bool{false, true} {
-		for _, orLanes := range []int{1, 3, 5} {
-			for _, outLanes := range []int{3, 9, 15} {
-				c := albireo.Default(albireo.Aggressive)
-				c.OutputLanes = outLanes
-				c.ORLanes = orLanes
-				c.WeightReuse = wr
-				res, err := albireo.EvalNetwork(c, net, albireo.NetOptions{
-					Batch:  1,
-					Mapper: cfg.mapperOptions(mapper.MinEnergy),
-				})
-				if err != nil {
-					return nil, fmt.Errorf("exp: fig5 wr=%v or=%d ir=%d: %w", wr, c.OR(), c.IR(), err)
-				}
-				macs := float64(res.Total.MACs)
-				bins := map[albireo.RoleBin]float64{}
-				for bin, pj := range albireo.RoleBreakdown(&res.Total) {
-					if bin == albireo.RoleDRAM {
-						continue
-					}
-					bins[bin] = pj / macs
-				}
-				row := Fig5Row{
-					WeightReuse:       wr,
-					OR:                c.OR(),
-					IR:                c.IR(),
-					AccelPJPerMAC:     albireo.AcceleratorPJ(&res.Total) / macs,
-					ConverterPJPerMAC: albireo.ConverterPJ(&res.Total) / macs,
-					Bins:              bins,
-					Baseline:          !wr && orLanes == 1 && outLanes == 3,
-				}
-				out.Rows = append(out.Rows, row)
-				if row.Baseline {
-					baseAccel, baseConv = row.AccelPJPerMAC, row.ConverterPJPerMAC
-				}
-				if bestAccel < 0 || row.AccelPJPerMAC < bestAccel {
-					bestAccel = row.AccelPJPerMAC
-				}
-				if bestConv < 0 || row.ConverterPJPerMAC < bestConv {
-					bestConv = row.ConverterPJPerMAC
-				}
+	for i := range res.Points {
+		pt := &res.Points[i]
+		wr := pt.Params["weight_reuse"].(bool)
+		orLanes := pt.Params["or_lanes"].(int)
+		outLanes := pt.Params["output_lanes"].(int)
+		// Recover the point's reuse factors through Config so the
+		// lane-to-factor coupling stays defined in one place.
+		c := albireo.Default(albireo.Aggressive)
+		c.ORLanes, c.OutputLanes, c.WeightReuse = orLanes, outLanes, wr
+		macs := float64(pt.Total.MACs)
+		bins := map[albireo.RoleBin]float64{}
+		for bin, pj := range albireo.RoleBreakdown(pt.Total) {
+			if bin == albireo.RoleDRAM {
+				continue
 			}
+			bins[bin] = pj / macs
+		}
+		row := Fig5Row{
+			WeightReuse:       wr,
+			OR:                c.OR(),
+			IR:                c.IR(),
+			AccelPJPerMAC:     albireo.AcceleratorPJ(pt.Total) / macs,
+			ConverterPJPerMAC: albireo.ConverterPJ(pt.Total) / macs,
+			Bins:              bins,
+			Baseline:          !wr && orLanes == 1 && outLanes == 3,
+		}
+		out.Rows = append(out.Rows, row)
+		if row.Baseline {
+			baseAccel, baseConv = row.AccelPJPerMAC, row.ConverterPJPerMAC
+		}
+		if bestAccel < 0 || row.AccelPJPerMAC < bestAccel {
+			bestAccel = row.AccelPJPerMAC
+		}
+		if bestConv < 0 || row.ConverterPJPerMAC < bestConv {
+			bestConv = row.ConverterPJPerMAC
 		}
 	}
 	if baseAccel > 0 {

@@ -1,0 +1,131 @@
+package mapper
+
+import (
+	"sync"
+
+	"photoloop/internal/workload"
+)
+
+// cacheKey identifies one deduplicatable search: the architecture's
+// fingerprint, the layer's shape fingerprint (name excluded — equal shapes
+// search identically), and the fingerprint of every option that can change
+// the outcome (objective, budget, seed, workers, eval flags, seed
+// mappings).
+type cacheKey struct {
+	arch  uint64
+	layer uint64
+	opts  uint64
+}
+
+// Cache deduplicates identical (architecture, layer shape, options)
+// searches across callers: design-space sweeps evaluate many variants whose
+// networks repeat layer shapes (all of ResNet's basic blocks, VGG's paired
+// convolutions), and with a shared Cache each distinct search runs exactly
+// once. Because a search is deterministic for a fixed (Seed, Workers) pair,
+// serving a cached result is bit-identical to re-running the search.
+//
+// A Cache is safe for concurrent use; concurrent requests for the same key
+// block on a single computation rather than duplicating it. An unbounded
+// Cache (NewCache) suits sweep-scoped use, where the grid bounds the key
+// space; long-lived services should bound it with NewCacheLimit.
+type Cache struct {
+	mu    sync.Mutex
+	m     map[cacheKey]*cacheEntry
+	limit int
+
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	best *Best
+	err  error
+}
+
+// NewCache returns an empty, unbounded search-result cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[cacheKey]*cacheEntry)}
+}
+
+// NewCacheLimit returns a cache holding at most limit entries: inserting
+// past the limit flushes the cache and starts fresh (an epoch flush —
+// correctness is unaffected, flushed searches are simply recomputed).
+// A limit <= 0 means unbounded.
+func NewCacheLimit(limit int) *Cache {
+	c := NewCache()
+	c.limit = limit
+	return c
+}
+
+// Stats returns how many searches were served from the cache versus
+// computed. A request that joins an in-flight computation counts as a hit.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// search runs (or joins, or reuses) the deduplicated search for the layer.
+// The options must already have defaults applied, since the defaults feed
+// the key.
+func (c *Cache) search(s *Session, l *workload.Layer, o Options) (*Best, error) {
+	key := cacheKey{arch: s.fp, layer: l.ShapeFingerprint(), opts: o.fingerprint()}
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+		if c.limit > 0 && len(c.m) >= c.limit {
+			c.m = make(map[cacheKey]*cacheEntry)
+		}
+		e = &cacheEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.best, e.err = s.search(l, o) })
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.best.cloneFor(l.Name), nil
+}
+
+// cloneFor deep-copies a best for a caller evaluating a same-shaped layer
+// under a different name: the mapping and counts are shape properties, only
+// the result's layer label differs.
+func (b *Best) cloneFor(layer string) *Best {
+	out := &Best{
+		Mapping:     b.Mapping.Clone(),
+		Result:      b.Result.Clone(),
+		Evaluations: b.Evaluations,
+	}
+	out.Result.Layer = layer
+	return out
+}
+
+// fingerprint hashes every option that can alter a search outcome. The
+// Cache pointer itself is deliberately excluded.
+func (o *Options) fingerprint() uint64 {
+	h := workload.NewFnv64a()
+	h.Mix(uint64(o.Objective))
+	h.Mix(uint64(o.Budget))
+	h.Mix(uint64(o.Seed))
+	h.Mix(uint64(o.Workers))
+	flags := uint64(0)
+	if o.Eval.ChargeStatic {
+		flags |= 1
+	}
+	if o.Eval.SkipValidate {
+		flags |= 2
+	}
+	if o.Eval.FullLedger {
+		flags |= 4
+	}
+	h.Mix(flags)
+	h.Mix(uint64(len(o.Seeds)))
+	for _, seed := range o.Seeds {
+		h.Mix(seed.Fingerprint())
+	}
+	return h.Sum()
+}

@@ -44,6 +44,19 @@ const (
 	MinEDP                     // energy-delay product
 )
 
+// ParseObjective converts an objective name ("energy", "delay", "edp").
+func ParseObjective(name string) (Objective, error) {
+	switch name {
+	case "energy":
+		return MinEnergy, nil
+	case "delay":
+		return MinDelay, nil
+	case "edp":
+		return MinEDP, nil
+	}
+	return 0, fmt.Errorf("mapper: unknown objective %q (want energy, delay or edp)", name)
+}
+
 // String names the objective.
 func (o Objective) String() string {
 	switch o {
@@ -77,6 +90,11 @@ type Options struct {
 	// architecture's canonical schedules); the hill climber starts from
 	// the best of seeds and random samples.
 	Seeds []*mapping.Mapping
+	// Cache, when non-nil, deduplicates searches across calls: searches
+	// with equal (architecture, layer shape, options) fingerprints run
+	// once and share the result. Sweeps and long-lived services set it;
+	// results are bit-identical with or without a cache.
+	Cache *Cache
 }
 
 func (o *Options) withDefaults() Options {
@@ -88,12 +106,24 @@ func (o *Options) withDefaults() Options {
 		out.Seed = 1
 	}
 	if out.Workers <= 0 {
-		out.Workers = runtime.GOMAXPROCS(0)
-		if out.Workers > 8 {
-			out.Workers = 8
-		}
+		out.Workers = DefaultSearchWorkers()
 	}
 	return out
+}
+
+// DefaultSearchWorkers is the per-search worker pool size used when
+// Options.Workers is unset: GOMAXPROCS capped at 8. Outer pools (the
+// sweep's point pool) divide their own defaults by it to avoid
+// oversubscribing the CPU.
+func DefaultSearchWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Best is a search outcome.
@@ -136,6 +166,7 @@ type Session struct {
 	eng         *model.Engine
 	assignments [][]workload.Dim
 	minLv       workload.Point
+	fp          uint64
 }
 
 // NewSession prepares an architecture for repeated searches.
@@ -149,6 +180,7 @@ func NewSession(a *arch.Arch) (*Session, error) {
 		eng:         eng,
 		assignments: enumerateSpatialAssignments(a),
 		minLv:       minLevels(a),
+		fp:          a.Fingerprint(),
 	}
 	if len(s.assignments) == 0 {
 		return nil, errors.New("mapper: no spatial assignments")
@@ -176,6 +208,14 @@ func (s *Session) Search(l *workload.Layer, opts Options) (*Best, error) {
 		return nil, err
 	}
 	o := opts.withDefaults()
+	if o.Cache != nil {
+		return o.Cache.search(s, l, o)
+	}
+	return s.search(l, o)
+}
+
+// search runs the uncached search; o must have defaults applied.
+func (s *Session) search(l *workload.Layer, o Options) (*Best, error) {
 	c, err := s.eng.Compile(l)
 	if err != nil {
 		return nil, err

@@ -279,7 +279,7 @@ func TestMalformedSeedDoesNotShadow(t *testing.T) {
 	for _, d := range workload.AllDims() {
 		bad.Levels[0].Temporal[d] = l.Bound(d)
 	}
-	bad.Levels[0].Temporal[workload.DimK] = 4 // spatial covers the rest
+	bad.Levels[0].Temporal[workload.DimK] = 4   // spatial covers the rest
 	bad.Levels[0].Perm = bad.Levels[0].Perm[:5] // malformed: 5 of 7 dims
 	opts := Options{Budget: 300, Seed: 13, Workers: 2}
 	clean, err := Search(a, &l, opts)

@@ -194,32 +194,24 @@ func (m *Mapping) LoopNestAbove(i int) []Loop {
 // hash equal too. The mapper uses it to skip re-evaluating schedules it has
 // already scored.
 func (m *Mapping) Fingerprint() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(v uint64) {
-		h ^= v
-		h *= prime64
-	}
+	h := workload.NewFnv64a()
 	for i := range m.Levels {
 		lm := &m.Levels[i]
-		mix(uint64(i) | 1<<32)
+		h.Mix(uint64(i) | 1<<32)
 		for _, d := range workload.AllDims() {
-			mix(uint64(lm.Temporal[d]))
-			mix(uint64(lm.FreeSpatial[d]))
+			h.Mix(uint64(lm.Temporal[d]))
+			h.Mix(uint64(lm.FreeSpatial[d]))
 		}
 		for _, d := range lm.SpatialChoice {
-			mix(uint64(d))
+			h.Mix(uint64(d))
 		}
 		for _, d := range lm.Perm {
 			if lm.Temporal[d] > 1 {
-				mix(uint64(d) | 1<<16)
+				h.Mix(uint64(d) | 1<<16)
 			}
 		}
 	}
-	return h
+	return h.Sum()
 }
 
 // String renders the mapping compactly for debugging and reports.

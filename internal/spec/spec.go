@@ -75,27 +75,39 @@ type ArchSpec struct {
 	Compute         ComputeSpec     `json:"compute"`
 }
 
-// DecodeArch reads and builds an architecture from JSON.
-func DecodeArch(r io.Reader) (*arch.Arch, error) {
+// ParseArchSpec decodes an architecture document without building it:
+// callers that re-marshal, mutate (sweep variants) or embed the document
+// (eval requests) keep the spec form.
+func ParseArchSpec(r io.Reader) (*ArchSpec, error) {
 	var s ArchSpec
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("spec: decoding architecture: %w", err)
 	}
+	return &s, nil
+}
+
+// DecodeArch reads and builds an architecture from JSON.
+func DecodeArch(r io.Reader) (*arch.Arch, error) {
+	s, err := ParseArchSpec(r)
+	if err != nil {
+		return nil, err
+	}
 	return s.Build()
 }
 
-// Build constructs the architecture described by the spec.
+// Build constructs the architecture described by the spec. Errors name
+// the offending JSON path (e.g. "levels[2].spatial[0]").
 func (s *ArchSpec) Build() (*arch.Arch, error) {
 	lib := components.NewLibrary()
-	for _, cs := range s.Components {
+	for i, cs := range s.Components {
 		c, err := components.Build(cs.Class, cs.Name, cs.Params)
 		if err != nil {
-			return nil, fmt.Errorf("spec: component %s: %w", cs.Name, err)
+			return nil, fmt.Errorf("spec: components[%d] (%s): %w", i, cs.Name, err)
 		}
 		if err := lib.Add(c); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("spec: components[%d]: %w", i, err)
 		}
 	}
 	a := &arch.Arch{
@@ -104,8 +116,9 @@ func (s *ArchSpec) Build() (*arch.Arch, error) {
 		ClockGHz:        s.ClockGHz,
 		DefaultWordBits: s.DefaultWordBits,
 	}
-	for _, ls := range s.Levels {
-		lvl, err := ls.build()
+	for i := range s.Levels {
+		ls := &s.Levels[i]
+		lvl, err := ls.build(fmt.Sprintf("levels[%d] (%s)", i, ls.Name))
 		if err != nil {
 			return nil, err
 		}
@@ -113,11 +126,11 @@ func (s *ArchSpec) Build() (*arch.Arch, error) {
 	}
 	dom, err := arch.ParseDomain(orDefault(s.Compute.Domain, "DE"))
 	if err != nil {
-		return nil, fmt.Errorf("spec: compute: %w", err)
+		return nil, fmt.Errorf("spec: compute.domain: %w", err)
 	}
 	refs, err := buildRefs(s.Compute.PerMAC)
 	if err != nil {
-		return nil, fmt.Errorf("spec: compute: %w", err)
+		return nil, fmt.Errorf("spec: compute.per_mac: %w", err)
 	}
 	a.Compute = arch.Compute{Name: s.Compute.Name, Domain: dom, PerMAC: refs}
 	if err := a.Validate(); err != nil {
@@ -126,14 +139,16 @@ func (s *ArchSpec) Build() (*arch.Arch, error) {
 	return a, nil
 }
 
-func (ls *LevelSpec) build() (*arch.Level, error) {
+// build constructs one level; path is the level's JSON path for error
+// messages.
+func (ls *LevelSpec) build(path string) (*arch.Level, error) {
 	dom, err := arch.ParseDomain(orDefault(ls.Domain, "DE"))
 	if err != nil {
-		return nil, fmt.Errorf("spec: level %s: %w", ls.Name, err)
+		return nil, fmt.Errorf("spec: %s.domain: %w", path, err)
 	}
 	keeps, err := parseTensorSet(ls.Keeps)
 	if err != nil {
-		return nil, fmt.Errorf("spec: level %s: %w", ls.Name, err)
+		return nil, fmt.Errorf("spec: %s.keeps: %w", path, err)
 	}
 	lvl := &arch.Level{
 		Name:                   ls.Name,
@@ -150,28 +165,28 @@ func (ls *LevelSpec) build() (*arch.Level, error) {
 		NoSpatialReduce:        ls.NoSpatialReduce,
 		InputOverlapSharing:    ls.InputOverlapSharing,
 	}
-	for _, fs := range ls.Spatial {
+	for i, fs := range ls.Spatial {
 		dims, err := parseDims(fs.Dims)
 		if err != nil {
-			return nil, fmt.Errorf("spec: level %s: %w", ls.Name, err)
+			return nil, fmt.Errorf("spec: %s.spatial[%d]: %w", path, i, err)
 		}
 		lvl.Spatial = append(lvl.Spatial, arch.SpatialFactor{Count: fs.Count, Dims: dims})
 	}
 	if len(ls.FreeSpatialDims) > 0 {
 		dims, err := parseDims(ls.FreeSpatialDims)
 		if err != nil {
-			return nil, fmt.Errorf("spec: level %s: %w", ls.Name, err)
+			return nil, fmt.Errorf("spec: %s.free_spatial_dims: %w", path, err)
 		}
 		lvl.FreeSpatialDims = dims
 	}
 	if lvl.FillVia, err = buildVia(ls.FillVia); err != nil {
-		return nil, fmt.Errorf("spec: level %s: %w", ls.Name, err)
+		return nil, fmt.Errorf("spec: %s.fill_via: %w", path, err)
 	}
 	if lvl.UpdateVia, err = buildVia(ls.UpdateVia); err != nil {
-		return nil, fmt.Errorf("spec: level %s: %w", ls.Name, err)
+		return nil, fmt.Errorf("spec: %s.update_via: %w", path, err)
 	}
 	if lvl.DrainVia, err = buildVia(ls.DrainVia); err != nil {
-		return nil, fmt.Errorf("spec: level %s: %w", ls.Name, err)
+		return nil, fmt.Errorf("spec: %s.drain_via: %w", path, err)
 	}
 	return lvl, nil
 }
@@ -256,13 +271,22 @@ type MappingSpec struct {
 	Levels []MappingLevelSpec `json:"levels"`
 }
 
-// DecodeMapping reads a mapping for an architecture from JSON.
-func DecodeMapping(r io.Reader, a *arch.Arch) (*mapping.Mapping, error) {
+// ParseMappingSpec decodes a mapping document without building it.
+func ParseMappingSpec(r io.Reader) (*MappingSpec, error) {
 	var s MappingSpec
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("spec: decoding mapping: %w", err)
+	}
+	return &s, nil
+}
+
+// DecodeMapping reads a mapping for an architecture from JSON.
+func DecodeMapping(r io.Reader, a *arch.Arch) (*mapping.Mapping, error) {
+	s, err := ParseMappingSpec(r)
+	if err != nil {
+		return nil, err
 	}
 	return s.Build(a)
 }
@@ -277,28 +301,28 @@ func (s *MappingSpec) Build(a *arch.Arch) (*mapping.Mapping, error) {
 		for name, f := range ls.Temporal {
 			d, err := workload.ParseDim(name)
 			if err != nil {
-				return nil, fmt.Errorf("spec: mapping level %d: %w", i, err)
+				return nil, fmt.Errorf("spec: levels[%d].temporal: %w", i, err)
 			}
 			m.Levels[i].Temporal[d] = f
 		}
 		if len(ls.Perm) > 0 {
 			dims, err := parseDims(ls.Perm)
 			if err != nil {
-				return nil, fmt.Errorf("spec: mapping level %d: %w", i, err)
+				return nil, fmt.Errorf("spec: levels[%d].perm: %w", i, err)
 			}
 			m.Levels[i].Perm = dims
 		}
 		if len(ls.SpatialChoice) > 0 {
 			dims, err := parseDims(ls.SpatialChoice)
 			if err != nil {
-				return nil, fmt.Errorf("spec: mapping level %d: %w", i, err)
+				return nil, fmt.Errorf("spec: levels[%d].spatial_choice: %w", i, err)
 			}
 			m.Levels[i].SpatialChoice = dims
 		}
 		for name, f := range ls.FreeSpatial {
 			d, err := workload.ParseDim(name)
 			if err != nil {
-				return nil, fmt.Errorf("spec: mapping level %d: %w", i, err)
+				return nil, fmt.Errorf("spec: levels[%d].free_spatial: %w", i, err)
 			}
 			m.Levels[i].FreeSpatial[d] = f
 		}

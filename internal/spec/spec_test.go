@@ -1,6 +1,9 @@
 package spec
 
 import (
+	"bytes"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -50,6 +53,144 @@ func TestTemplateEvaluates(t *testing.T) {
 	}
 	if res.PJPerMAC() <= 0 {
 		t.Error("bad energy")
+	}
+}
+
+// TestArchSpecRoundTrip: template -> parse -> re-marshal -> parse must be
+// stable — the parsed documents deep-equal, the re-marshaled bytes
+// reproduce themselves, and both documents build fingerprint-identical
+// architectures. This is what lets tools (the sweep's variant expansion,
+// config generators) treat ArchSpec as a faithful interchange form.
+func TestArchSpecRoundTrip(t *testing.T) {
+	first, err := ParseArchSpec(strings.NewReader(Template))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remarshaled, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ParseArchSpec(bytes.NewReader(remarshaled))
+	if err != nil {
+		t.Fatalf("re-marshaled template does not parse: %v", err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("round trip changed the document:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+	again, err := json.Marshal(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(remarshaled, again) {
+		t.Errorf("re-marshaling is not a fixed point:\n%s\nvs\n%s", remarshaled, again)
+	}
+	a1, err := first.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := second.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Fingerprint() != a2.Fingerprint() {
+		t.Error("round-tripped spec builds a different architecture")
+	}
+}
+
+func TestMappingSpecRoundTrip(t *testing.T) {
+	doc := `{"levels":[{"temporal":{"K":2,"P":8},"perm":["K","C","N","P","Q","R","S"]},{},{},{},{}]}`
+	first, err := ParseMappingSpec(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remarshaled, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ParseMappingSpec(bytes.NewReader(remarshaled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("mapping round trip changed the document")
+	}
+	a, err := DecodeArch(strings.NewReader(Template))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := first.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := second.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Fingerprint() != m2.Fingerprint() {
+		t.Error("round-tripped mapping differs")
+	}
+}
+
+// TestErrorsNameJSONPath: build failures must point at the offending JSON
+// path so users can fix multi-hundred-line documents.
+func TestErrorsNameJSONPath(t *testing.T) {
+	cases := []struct {
+		name, doc, wantPath string
+	}{
+		{"bad component class", `{
+			"name": "x", "clock_ghz": 1, "default_word_bits": 8,
+			"components": [{"class": "sram", "name": "ok", "params": {"capacity_bits": 8, "access_bits": 8}},
+			               {"class": "flux", "name": "F"}],
+			"levels": [{"name": "D", "keeps": ["Weights","Inputs","Outputs"]}],
+			"compute": {"name": "c"}
+		}`, `components[1] (F)`},
+		{"bad level domain", `{
+			"name": "x", "clock_ghz": 1, "default_word_bits": 8, "components": [],
+			"levels": [{"name": "D", "keeps": ["Weights","Inputs","Outputs"]},
+			           {"name": "E", "domain": "XY", "keeps": ["Weights","Inputs","Outputs"]}],
+			"compute": {"name": "c"}
+		}`, `levels[1] (E).domain`},
+		{"bad keeps", `{
+			"name": "x", "clock_ghz": 1, "default_word_bits": 8, "components": [],
+			"levels": [{"name": "D", "keeps": ["Psums"]}],
+			"compute": {"name": "c"}
+		}`, `levels[0] (D).keeps`},
+		{"bad spatial dim", `{
+			"name": "x", "clock_ghz": 1, "default_word_bits": 8, "components": [],
+			"levels": [{"name": "D", "keeps": ["Weights","Inputs","Outputs"],
+				"spatial": [{"count": 2, "dims": ["K"]}, {"count": 2, "dims": ["Z"]}]}],
+			"compute": {"name": "c"}
+		}`, `levels[0] (D).spatial[1]`},
+		{"bad fill_via", `{
+			"name": "x", "clock_ghz": 1, "default_word_bits": 8, "components": [],
+			"levels": [{"name": "D", "keeps": ["Weights","Inputs","Outputs"],
+				"fill_via": {"Weights": [{"component": "", "action": ""}]}}],
+			"compute": {"name": "c"}
+		}`, `levels[0] (D).fill_via`},
+		{"bad compute domain", `{
+			"name": "x", "clock_ghz": 1, "default_word_bits": 8, "components": [],
+			"levels": [{"name": "D", "keeps": ["Weights","Inputs","Outputs"]}],
+			"compute": {"name": "c", "domain": "QQ"}
+		}`, `compute.domain`},
+	}
+	for _, c := range cases {
+		_, err := DecodeArch(strings.NewReader(c.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantPath) {
+			t.Errorf("%s: error %q does not name path %q", c.name, err, c.wantPath)
+		}
+	}
+
+	a, err := DecodeArch(strings.NewReader(Template))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = DecodeMapping(strings.NewReader(`{"levels":[{},{"temporal":{"Z":2}},{},{},{}]}`), a)
+	if err == nil || !strings.Contains(err.Error(), "levels[1].temporal") {
+		t.Errorf("mapping error %q does not name levels[1].temporal", err)
 	}
 }
 

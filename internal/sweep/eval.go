@@ -1,0 +1,163 @@
+package sweep
+
+import (
+	"fmt"
+
+	"photoloop/internal/arch"
+	"photoloop/internal/mapper"
+	"photoloop/internal/model"
+	"photoloop/internal/spec"
+	"photoloop/internal/workload"
+)
+
+// EvalRequest is one architecture × network evaluation: the request body
+// of `POST /v1/eval` and the engine behind `photoloop eval`. Exactly one
+// of Arch/Albireo selects the architecture, and exactly one of
+// Network/Inline selects the workload. With no Mapping, every layer is
+// mapper-searched; with one, the fixed schedule is evaluated as-is.
+type EvalRequest struct {
+	// Arch is a raw architecture spec document.
+	Arch *spec.ArchSpec `json:"arch,omitempty"`
+	// Albireo selects the paper's Albireo instantiation instead.
+	Albireo *AlbireoBase `json:"albireo,omitempty"`
+	// Network names a zoo network; Inline embeds one.
+	Network string            `json:"network,omitempty"`
+	Inline  *workload.Network `json:"inline,omitempty"`
+	// Layer restricts the evaluation to one named layer.
+	Layer string `json:"layer,omitempty"`
+	// Batch is the batch size (default 1).
+	Batch int `json:"batch,omitempty"`
+	// Objective is the mapper objective (default "energy").
+	Objective string `json:"objective,omitempty"`
+	// Budget, Seed and Workers tune the per-layer search (0 = mapper
+	// defaults).
+	Budget  int   `json:"budget,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+	Workers int   `json:"workers,omitempty"`
+	// Mapping evaluates this fixed schedule on every selected layer
+	// instead of searching.
+	Mapping *spec.MappingSpec `json:"mapping,omitempty"`
+}
+
+// EvalResponse is the evaluation result: per-layer outcomes plus the
+// network totals, and the architecture's mapping-independent properties.
+type EvalResponse struct {
+	Arch             string         `json:"arch"`
+	Network          string         `json:"network"`
+	AreaUM2          float64        `json:"area_um2"`
+	PeakMACsPerCycle int64          `json:"peak_macs_per_cycle"`
+	Layers           []LayerOutcome `json:"layers"`
+	// Totals across the evaluated layers.
+	MACs         int64   `json:"macs"`
+	Cycles       float64 `json:"cycles"`
+	TotalPJ      float64 `json:"total_pj"`
+	PJPerMAC     float64 `json:"pj_per_mac"`
+	MACsPerCycle float64 `json:"macs_per_cycle"`
+	Utilization  float64 `json:"utilization"`
+	Evaluations  int     `json:"evaluations"`
+}
+
+// buildArch constructs the request's architecture.
+func (req *EvalRequest) buildArch() (*arch.Arch, error) {
+	switch {
+	case req.Arch != nil && req.Albireo != nil:
+		return nil, fmt.Errorf("sweep: eval request sets both arch and albireo")
+	case req.Arch != nil:
+		return req.Arch.Build()
+	case req.Albireo != nil:
+		cfg, err := req.Albireo.config()
+		if err != nil {
+			return nil, err
+		}
+		return cfg.Build()
+	default:
+		return nil, fmt.Errorf("sweep: eval request needs an arch or albireo base")
+	}
+}
+
+// Eval runs one evaluation request. An optional shared cache deduplicates
+// searches across requests (the HTTP server passes its process-wide
+// cache; pass nil for a one-shot evaluation).
+func Eval(req *EvalRequest, cache *mapper.Cache) (*EvalResponse, error) {
+	a, err := req.buildArch()
+	if err != nil {
+		return nil, err
+	}
+	wl := Workload{Network: req.Network, Inline: req.Inline, Batch: req.Batch}
+	net, netName, err := wl.resolve()
+	if err != nil {
+		return nil, err
+	}
+	layers := net.Layers
+	if req.Layer != "" {
+		layers = nil
+		for i := range net.Layers {
+			if net.Layers[i].Name == req.Layer {
+				layers = append(layers, net.Layers[i])
+			}
+		}
+		if len(layers) == 0 {
+			return nil, fmt.Errorf("sweep: network %s has no layer %q", netName, req.Layer)
+		}
+	}
+	objName := req.Objective
+	if objName == "" {
+		objName = "energy"
+	}
+	obj, err := mapper.ParseObjective(objName)
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &EvalResponse{Arch: a.Name, Network: netName, PeakMACsPerCycle: a.PeakMACsPerCycle()}
+	if area, err := a.Area(); err == nil {
+		resp.AreaUM2 = area
+	}
+
+	var fixed func(l *workload.Layer) (*model.Result, error)
+	var sess *mapper.Session
+	if req.Mapping != nil {
+		m, err := req.Mapping.Build(a)
+		if err != nil {
+			return nil, err
+		}
+		fixed = func(l *workload.Layer) (*model.Result, error) {
+			return model.Evaluate(a, l, m, model.Options{})
+		}
+	} else {
+		if sess, err = mapper.NewSession(a); err != nil {
+			return nil, err
+		}
+	}
+
+	total := model.Result{Layer: netName}
+	for i := range layers {
+		l := &layers[i]
+		var res *model.Result
+		evals := 0
+		if fixed != nil {
+			if res, err = fixed(l); err != nil {
+				return nil, fmt.Errorf("sweep: layer %s: %w", l.Name, err)
+			}
+		} else {
+			best, err := sess.Search(l, mapper.Options{
+				Objective: obj, Budget: req.Budget, Seed: req.Seed,
+				Workers: req.Workers, Cache: cache,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sweep: layer %s: %w", l.Name, err)
+			}
+			res, evals = best.Result, best.Evaluations
+		}
+		resp.Layers = append(resp.Layers, layerOutcome(res, evals))
+		resp.Evaluations += evals
+		total.Accumulate(res)
+	}
+	resp.MACs = total.MACs
+	resp.Cycles = total.Cycles
+	resp.TotalPJ = total.TotalPJ
+	resp.PJPerMAC = total.PJPerMAC()
+	resp.MACsPerCycle = total.MACsPerCycle
+	resp.Utilization = total.Utilization
+	return resp, nil
+}

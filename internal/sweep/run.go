@@ -1,0 +1,475 @@
+package sweep
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+
+	"photoloop/internal/albireo"
+	"photoloop/internal/arch"
+	"photoloop/internal/mapper"
+	"photoloop/internal/model"
+	"photoloop/internal/workload"
+)
+
+// Options tunes a Run without changing what it computes.
+type Options struct {
+	// Workers is the point-level pool size (default GOMAXPROCS). Points
+	// are independent, so the pool size never changes results.
+	Workers int
+	// Context cancels the run between points (in-flight points finish);
+	// undispatched points carry the cancellation as their Err and Run
+	// returns the context's error. Nil means never canceled. The HTTP
+	// server passes the request context so abandoned sweeps stop burning
+	// the pool.
+	Context context.Context
+	// Cache deduplicates identical (architecture, layer shape) searches
+	// across points; nil gets a fresh per-run cache. Long-lived callers
+	// (the HTTP server) share one cache across runs.
+	Cache *mapper.Cache
+	// Progress, when set, is called after each point completes with the
+	// number done and the total. Calls are serialized.
+	Progress func(done, total int)
+	// OnPoint, when set, streams each point as it completes (completion
+	// order, not index order). Calls are serialized; the final Result
+	// still holds every point in index order.
+	OnPoint func(*Point)
+}
+
+// Result is a completed sweep: every point of the cross product, in
+// deterministic index order (variants × workloads × objectives, variant
+// most significant).
+type Result struct {
+	Name   string  `json:"name,omitempty"`
+	Points []Point `json:"points"`
+	// CacheHits and CacheMisses count deduplicated versus computed layer
+	// searches (see mapper.Cache).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
+// Point is one evaluated (variant, workload, objective) combination.
+type Point struct {
+	// Index is the point's position in cross-product order.
+	Index int `json:"index"`
+	// Variant is the human-readable axis assignment ("" with no axes).
+	Variant string `json:"variant,omitempty"`
+	// Params maps each axis param to this point's value.
+	Params map[string]any `json:"params,omitempty"`
+	// Network, Batch, Fused and Objective identify the evaluation.
+	Network   string `json:"network"`
+	Batch     int    `json:"batch"`
+	Fused     bool   `json:"fused,omitempty"`
+	Objective string `json:"objective"`
+	// Arch is the variant architecture's name.
+	Arch string `json:"arch,omitempty"`
+	// AreaUM2 and PeakMACsPerCycle are mapping-independent variant
+	// properties.
+	AreaUM2          float64 `json:"area_um2,omitempty"`
+	PeakMACsPerCycle int64   `json:"peak_macs_per_cycle,omitempty"`
+	// Whole-network metrics (sums and derived rates across layers).
+	MACs         int64   `json:"macs,omitempty"`
+	Cycles       float64 `json:"cycles,omitempty"`
+	TotalPJ      float64 `json:"total_pj,omitempty"`
+	PJPerMAC     float64 `json:"pj_per_mac,omitempty"`
+	MACsPerCycle float64 `json:"macs_per_cycle,omitempty"`
+	Utilization  float64 `json:"utilization,omitempty"`
+	// Evaluations sums the mapper's model evaluations across layers.
+	Evaluations int `json:"evaluations,omitempty"`
+	// Err records a failed point (the Run error names the first).
+	Err string `json:"error,omitempty"`
+
+	// Total is the accumulated whole-network result with the full energy
+	// ledger — for programmatic consumers (the figure harnesses); omitted
+	// from JSON.
+	Total *model.Result `json:"-"`
+	// Layers holds per-layer outcomes when Spec.IncludeLayers is set.
+	Layers []LayerOutcome `json:"layers,omitempty"`
+}
+
+// LayerOutcome is one layer's best-mapping evaluation within a point.
+type LayerOutcome struct {
+	Layer        string  `json:"layer"`
+	MACs         int64   `json:"macs"`
+	TotalPJ      float64 `json:"total_pj"`
+	PJPerMAC     float64 `json:"pj_per_mac"`
+	Cycles       float64 `json:"cycles"`
+	MACsPerCycle float64 `json:"macs_per_cycle"`
+	Utilization  float64 `json:"utilization"`
+	Evaluations  int     `json:"evaluations"`
+}
+
+// pointJob pairs a pending point with the state needed to evaluate it.
+type pointJob struct {
+	index    int
+	variant  *variant
+	workload *Workload
+	network  workload.Network
+	netName  string
+	objName  string
+	obj      mapper.Objective
+}
+
+// Run expands and evaluates the sweep. The returned Result always holds
+// one point per cross-product combination in index order; if any point
+// failed, the first failure is returned as the error (its point, and any
+// other failed points, carry Err).
+func Run(sp Spec, opts Options) (*Result, error) {
+	variants, err := sp.expand()
+	if err != nil {
+		return nil, err
+	}
+	if len(sp.Workloads) == 0 {
+		return nil, fmt.Errorf("sweep: spec has no workloads")
+	}
+	objectives := sp.Objectives
+	if len(objectives) == 0 {
+		objectives = []string{"energy"}
+	}
+
+	// Resolve workloads and objectives once up front: spec errors should
+	// fail the run before any evaluation starts.
+	networks := make([]workload.Network, len(sp.Workloads))
+	netNames := make([]string, len(sp.Workloads))
+	for i := range sp.Workloads {
+		w := &sp.Workloads[i]
+		if w.Fused && sp.Base.Albireo == nil {
+			return nil, fmt.Errorf("sweep: workload %d: fused evaluation needs an albireo base", i)
+		}
+		networks[i], netNames[i], err = w.resolve()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: workload %d: %w", i, err)
+		}
+	}
+	objs := make([]mapper.Objective, len(objectives))
+	for i, name := range objectives {
+		if objs[i], err = mapper.ParseObjective(name); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+
+	jobs := make([]pointJob, 0, len(variants)*len(sp.Workloads)*len(objectives))
+	for _, v := range variants {
+		for wi := range sp.Workloads {
+			for oi, objName := range objectives {
+				jobs = append(jobs, pointJob{
+					index:    len(jobs),
+					variant:  v,
+					workload: &sp.Workloads[wi],
+					network:  networks[wi],
+					netName:  netNames[wi],
+					objName:  objName,
+					obj:      objs[oi],
+				})
+			}
+		}
+	}
+
+	cache := opts.Cache
+	if cache == nil {
+		cache = mapper.NewCache()
+	}
+	// Snapshot the counters so the result reports THIS run's dedupe, not
+	// a shared cache's lifetime totals. (Concurrent runs on one cache
+	// still see each other's traffic in the deltas — the numbers are
+	// per-run, not per-key-set.)
+	hits0, misses0 := cache.Stats()
+	r := &runner{
+		spec: &sp, opts: &opts, cache: cache, total: len(jobs),
+		states: make(map[*variant]*variantState, len(variants)),
+	}
+	res := &Result{Name: sp.Name, Points: make([]Point, len(jobs))}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		// Each point's layer searches run their own worker pool; divide
+		// the default point pool by it so a default-flag sweep keeps
+		// total parallelism near GOMAXPROCS instead of multiplying the
+		// two pools. (Pool sizes never change results.)
+		perSearch := sp.SearchWorkers
+		if perSearch <= 0 {
+			perSearch = mapper.DefaultSearchWorkers()
+		}
+		workers = max(1, runtime.GOMAXPROCS(0)/perSearch)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	jobCh := make(chan *pointJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				res.Points[job.index] = r.evaluate(job)
+				r.report(&res.Points[job.index])
+			}
+		}()
+	}
+	canceledFrom := -1
+dispatch:
+	for i := range jobs {
+		select {
+		case jobCh <- &jobs[i]:
+		case <-ctx.Done():
+			canceledFrom = i
+			break dispatch
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+
+	hits1, misses1 := cache.Stats()
+	res.CacheHits, res.CacheMisses = hits1-hits0, misses1-misses0
+	if canceledFrom >= 0 {
+		for i := canceledFrom; i < len(jobs); i++ {
+			p := &res.Points[jobs[i].index]
+			if p.Network == "" { // never dispatched
+				*p = Point{
+					Index: jobs[i].index, Variant: jobs[i].variant.label,
+					Params: jobs[i].variant.params, Network: jobs[i].netName,
+					Batch: max(1, jobs[i].workload.Batch), Fused: jobs[i].workload.Fused,
+					Objective: jobs[i].objName, Err: ctx.Err().Error(),
+				}
+			}
+		}
+		return res, fmt.Errorf("sweep: %w", ctx.Err())
+	}
+	for i := range res.Points {
+		if res.Points[i].Err != "" {
+			return res, fmt.Errorf("sweep: point %d (%s %s %s): %s",
+				i, res.Points[i].Variant, res.Points[i].Network, res.Points[i].Objective, res.Points[i].Err)
+		}
+	}
+	return res, nil
+}
+
+// runner carries the shared state of one Run.
+type runner struct {
+	spec  *Spec
+	opts  *Options
+	cache *mapper.Cache
+
+	mu    sync.Mutex
+	done  int
+	total int
+
+	// Per-variant built architecture and (for raw-spec bases) the shared
+	// mapper session. Albireo bases build sessions inside the network
+	// evaluator; the cache dedupes across them by architecture
+	// fingerprint.
+	stateMu sync.Mutex
+	states  map[*variant]*variantState
+}
+
+// variantState memoizes what every point of one variant shares.
+type variantState struct {
+	once sync.Once
+	a    *arch.Arch
+	sess *mapper.Session // raw-spec bases only
+	err  error
+}
+
+// state builds (once) the variant's architecture and, for raw-spec bases,
+// its mapper session.
+func (r *runner) state(v *variant) *variantState {
+	r.stateMu.Lock()
+	st, ok := r.states[v]
+	if !ok {
+		st = &variantState{}
+		r.states[v] = st
+	}
+	r.stateMu.Unlock()
+	st.once.Do(func() {
+		st.a, st.err = v.build()
+		if st.err == nil && v.albireo == nil {
+			st.sess, st.err = mapper.NewSession(st.a)
+		}
+	})
+	return st
+}
+
+// report serializes the progress and streaming callbacks.
+func (r *runner) report(p *Point) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done++
+	if r.opts.OnPoint != nil {
+		r.opts.OnPoint(p)
+	}
+	if r.opts.Progress != nil {
+		r.opts.Progress(r.done, r.total)
+	}
+}
+
+// mapperOptions assembles the per-layer search options for one objective.
+func (r *runner) mapperOptions(obj mapper.Objective) mapper.Options {
+	return mapper.Options{
+		Objective: obj,
+		Budget:    r.spec.Budget,
+		Seed:      r.spec.Seed,
+		Workers:   r.spec.SearchWorkers,
+		Cache:     r.cache,
+	}
+}
+
+// evaluate computes one point; failures land in Point.Err.
+func (r *runner) evaluate(job *pointJob) Point {
+	p := Point{
+		Index:     job.index,
+		Variant:   job.variant.label,
+		Params:    job.variant.params,
+		Network:   job.netName,
+		Batch:     max(1, job.workload.Batch),
+		Fused:     job.workload.Fused,
+		Objective: job.objName,
+	}
+	st := r.state(job.variant)
+	if st.err != nil {
+		p.Err = st.err.Error()
+		return p
+	}
+	a := st.a
+	p.Arch = a.Name
+	p.PeakMACsPerCycle = a.PeakMACsPerCycle()
+	if area, err := a.Area(); err == nil {
+		p.AreaUM2 = area
+	}
+
+	var total *model.Result
+	var layers []LayerOutcome
+	if job.variant.albireo != nil {
+		nres, err := albireo.EvalNetwork(*job.variant.albireo, job.network, albireo.NetOptions{
+			Batch:  job.workload.Batch,
+			Fused:  job.workload.Fused,
+			Mapper: r.mapperOptions(job.obj),
+		})
+		if err != nil {
+			p.Err = err.Error()
+			return p
+		}
+		total = &nres.Total
+		for i := range nres.Layers {
+			le := &nres.Layers[i]
+			layers = append(layers, layerOutcome(le.Best.Result, le.Best.Evaluations))
+			p.Evaluations += le.Best.Evaluations
+		}
+	} else {
+		sess := st.sess
+		total = &model.Result{Layer: job.netName}
+		mopts := r.mapperOptions(job.obj)
+		for i := range job.network.Layers {
+			best, err := sess.Search(&job.network.Layers[i], mopts)
+			if err != nil {
+				p.Err = fmt.Sprintf("layer %s: %v", job.network.Layers[i].Name, err)
+				return p
+			}
+			total.Accumulate(best.Result)
+			layers = append(layers, layerOutcome(best.Result, best.Evaluations))
+			p.Evaluations += best.Evaluations
+		}
+	}
+
+	p.Total = total
+	p.MACs = total.MACs
+	p.Cycles = total.Cycles
+	p.TotalPJ = total.TotalPJ
+	p.PJPerMAC = total.PJPerMAC()
+	p.MACsPerCycle = total.MACsPerCycle
+	p.Utilization = total.Utilization
+	if r.spec.IncludeLayers {
+		p.Layers = layers
+	}
+	return p
+}
+
+func layerOutcome(res *model.Result, evals int) LayerOutcome {
+	return LayerOutcome{
+		Layer:        res.Layer,
+		MACs:         res.MACs,
+		TotalPJ:      res.TotalPJ,
+		PJPerMAC:     res.PJPerMAC(),
+		Cycles:       res.Cycles,
+		MACsPerCycle: res.MACsPerCycle,
+		Utilization:  res.Utilization,
+		Evaluations:  evals,
+	}
+}
+
+// WriteJSON writes the result as an indented JSON document.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// CSVHeader returns the column names WriteCSV emits: fixed identity and
+// metric columns, with one column per axis param (sorted) in between.
+func (r *Result) CSVHeader() []string {
+	cols := []string{"index", "variant"}
+	cols = append(cols, r.paramColumns()...)
+	return append(cols,
+		"network", "batch", "fused", "objective", "arch",
+		"area_mm2", "peak_macs_per_cycle", "macs", "cycles",
+		"total_pj", "pj_per_mac", "macs_per_cycle", "utilization",
+		"evaluations", "error")
+}
+
+func (r *Result) paramColumns() []string {
+	seen := map[string]bool{}
+	var cols []string
+	for i := range r.Points {
+		for k := range r.Points[i].Params {
+			if !seen[k] {
+				seen[k] = true
+				cols = append(cols, k)
+			}
+		}
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// WriteCSV writes the result as CSV, one row per point.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.CSVHeader()); err != nil {
+		return err
+	}
+	params := r.paramColumns()
+	for i := range r.Points {
+		p := &r.Points[i]
+		row := []string{strconv.Itoa(p.Index), p.Variant}
+		for _, k := range params {
+			if v, ok := p.Params[k]; ok {
+				row = append(row, fmt.Sprint(v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		row = append(row,
+			p.Network, strconv.Itoa(p.Batch), strconv.FormatBool(p.Fused),
+			p.Objective, p.Arch,
+			fmt.Sprintf("%.4f", p.AreaUM2/1e6), strconv.FormatInt(p.PeakMACsPerCycle, 10),
+			strconv.FormatInt(p.MACs, 10), fmt.Sprintf("%.1f", p.Cycles),
+			fmt.Sprintf("%.4f", p.TotalPJ), fmt.Sprintf("%.6f", p.PJPerMAC),
+			fmt.Sprintf("%.3f", p.MACsPerCycle), fmt.Sprintf("%.4f", p.Utilization),
+			strconv.Itoa(p.Evaluations), p.Err)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,190 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+
+	"photoloop/internal/mapper"
+	"photoloop/internal/workload"
+)
+
+// EncodeResponseJSON writes a value exactly as the HTTP server encodes its
+// responses (two-space indented JSON) — `photoloop eval -json` matches
+// `POST /v1/eval` byte for byte because both go through it.
+func EncodeResponseJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// DecodeSpec parses a sweep spec document strictly (unknown fields are
+// errors), as `photoloop sweep -spec` and `POST /v1/sweep` do.
+func DecodeSpec(r io.Reader) (Spec, error) {
+	var sp Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return Spec{}, fmt.Errorf("sweep: decoding spec: %w", err)
+	}
+	return sp, nil
+}
+
+// maxRequestBytes bounds request bodies: sweep specs and inline networks
+// are small documents.
+const maxRequestBytes = 8 << 20
+
+// Server exposes the evaluation and sweep engines over HTTP, letting the
+// model run as a long-lived service:
+//
+//	POST /v1/eval     — one EvalRequest  -> EvalResponse
+//	POST /v1/sweep    — one Spec         -> Result (JSON, or CSV with ?format=csv)
+//	GET  /v1/networks — the built-in workload zoo
+//
+// All requests share one fingerprint-keyed search cache, so repeated
+// evaluations of the same (architecture, layer shape) — across requests
+// and across sweep points — are served without re-searching.
+type Server struct {
+	mux   *http.ServeMux
+	cache *mapper.Cache
+	// sweepSem caps concurrently running sweeps: each sweep spins up a
+	// full point pool, so unbounded admission would melt the machine
+	// under a handful of large concurrent requests. Waiters honor the
+	// request context.
+	sweepSem chan struct{}
+	// Workers caps per-sweep point parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// cacheEntryLimit bounds the server's process-wide search cache: past the
+// limit the cache epoch-flushes and rebuilds (clients iterating distinct
+// architectures must not grow memory without bound).
+const cacheEntryLimit = 1 << 16
+
+// maxConcurrentSweeps bounds in-flight POST /v1/sweep requests; further
+// requests queue on their context (evals stay unqueued — they are one
+// network each).
+const maxConcurrentSweeps = 2
+
+// NewServer builds the HTTP front end with a fresh shared cache.
+func NewServer() *Server {
+	s := &Server{
+		mux:      http.NewServeMux(),
+		cache:    mapper.NewCacheLimit(cacheEntryLimit),
+		sweepSem: make(chan struct{}, maxConcurrentSweeps),
+	}
+	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/networks", s.handleNetworks)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// CacheStats returns the shared cache's hit/miss counters.
+func (s *Server) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	var req EvalRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := Eval(&req, s.cache)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	if !decodeBody(w, r, &sp) {
+		return
+	}
+	select {
+	case s.sweepSem <- struct{}{}:
+		defer func() { <-s.sweepSem }()
+	case <-r.Context().Done():
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("sweep queue: %w", r.Context().Err()))
+		return
+	}
+	res, err := Run(sp, Options{Workers: s.Workers, Cache: s.cache, Context: r.Context()})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		if err := res.WriteCSV(w); err != nil {
+			// Status is already committed; the truncated body is all we
+			// can signal with.
+			log.Printf("sweep: writing CSV response: %v", err)
+		}
+		return
+	}
+	writeJSON(w, res)
+}
+
+// networkInfo is one zoo entry of GET /v1/networks.
+type networkInfo struct {
+	Name    string `json:"name"`
+	Layers  int    `json:"layers"`
+	MACs    int64  `json:"macs"`
+	Weights int64  `json:"weights"`
+}
+
+func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0)
+	for name := range workload.Zoo() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]networkInfo, 0, len(names))
+	for _, name := range names {
+		n, err := workload.ByName(name, 1)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out = append(out, networkInfo{
+			Name: name, Layers: len(n.Layers),
+			MACs: n.MACs(), Weights: n.WeightElems(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// decodeBody parses a JSON request body strictly; on failure it writes a
+// 400 and returns false.
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// errorBody is the JSON error envelope every failure returns.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	EncodeResponseJSON(w, v)
+}

@@ -1,0 +1,389 @@
+// Package sweep is the batched design-space-exploration front end of the
+// modeling framework: a declarative Spec names a base architecture (an
+// Albireo configuration or a raw architecture spec), a grid of axes
+// mutating it, a set of workloads, and mapper objectives; Run expands the
+// cross product into points and evaluates them on a worker pool of mapper
+// sessions, deduplicating identical (architecture, layer shape) searches
+// through a fingerprint-keyed result cache (mapper.Cache).
+//
+// The paper's figures 4 and 5 are sweeps (internal/exp builds its grids
+// with this package), `photoloop sweep` runs a Spec from JSON, and
+// `photoloop serve` exposes the same engine over HTTP — one code path from
+// figure reproduction to serving.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"photoloop/internal/albireo"
+	"photoloop/internal/arch"
+	"photoloop/internal/spec"
+	"photoloop/internal/workload"
+)
+
+// Spec declares a sweep: base × axes × workloads × objectives.
+type Spec struct {
+	// Name labels the sweep in outputs.
+	Name string `json:"name,omitempty"`
+	// Base is the architecture every variant starts from.
+	Base Base `json:"base"`
+	// Axes is the variant grid; the cross product of all axis values is
+	// swept, first axis most significant (slowest varying).
+	Axes []Axis `json:"axes,omitempty"`
+	// Workloads are evaluated for every variant.
+	Workloads []Workload `json:"workloads"`
+	// Objectives are mapper objectives ("energy", "delay", "edp");
+	// default is energy only.
+	Objectives []string `json:"objectives,omitempty"`
+	// Budget is the mapper evaluation budget per layer (0 = mapper
+	// default).
+	Budget int `json:"budget,omitempty"`
+	// Seed fixes the mapper's randomness (0 = mapper default).
+	Seed int64 `json:"seed,omitempty"`
+	// SearchWorkers caps the per-layer search parallelism (0 = mapper
+	// default). Results are deterministic for a fixed (Seed,
+	// SearchWorkers) pair.
+	SearchWorkers int `json:"search_workers,omitempty"`
+	// IncludeLayers adds per-layer outcomes to every point (larger
+	// output).
+	IncludeLayers bool `json:"include_layers,omitempty"`
+}
+
+// Base selects the architecture a sweep starts from: exactly one of
+// Albireo or Arch must be set.
+type Base struct {
+	// Albireo starts from the paper's Albireo instantiation.
+	Albireo *AlbireoBase `json:"albireo,omitempty"`
+	// Arch starts from a raw architecture spec document.
+	Arch *spec.ArchSpec `json:"arch,omitempty"`
+}
+
+// AlbireoBase parameterizes the Albireo starting point.
+type AlbireoBase struct {
+	// Scaling is the technology projection ("conservative", "moderate",
+	// "aggressive"); default conservative.
+	Scaling string `json:"scaling,omitempty"`
+}
+
+// config resolves the base into an Albireo configuration — the one
+// construction both eval requests and sweep variants share.
+func (b *AlbireoBase) config() (albireo.Config, error) {
+	cfg := albireo.Default(albireo.Conservative)
+	if b.Scaling != "" {
+		sc, err := albireo.ParseScaling(b.Scaling)
+		if err != nil {
+			return albireo.Config{}, fmt.Errorf("sweep: base: %w", err)
+		}
+		cfg.Scaling = sc
+	}
+	return cfg, nil
+}
+
+// Axis is one sweep dimension: a parameter name and the values it takes.
+//
+// Albireo bases accept "scaling" (string), "weight_reuse" and
+// "laser_from_budget" (bool), "clusters", "pixel_lanes", "output_lanes",
+// "or_lanes", "glb_mib", "word_bits" (int), and
+// "dram_bw_words_per_cycle", "weight_reuse_laser_factor" (float).
+//
+// Raw-spec bases accept "clock_ghz" (float) and component parameter
+// overrides spelled "component.<name>.<param>" (float), e.g.
+// "component.ADC.walden_fj_per_step".
+type Axis struct {
+	Param  string `json:"param"`
+	Values []any  `json:"values"`
+}
+
+// Workload is one network evaluated per variant.
+type Workload struct {
+	// Network names a zoo network ("vgg16", "alexnet", "resnet18").
+	Network string `json:"network,omitempty"`
+	// Inline embeds a network document instead of naming one.
+	Inline *workload.Network `json:"inline,omitempty"`
+	// Batch is the batch size (default 1).
+	Batch int `json:"batch,omitempty"`
+	// Fused keeps activations on chip between layers (Albireo bases
+	// only).
+	Fused bool `json:"fused,omitempty"`
+}
+
+// resolve returns the workload's network at its batch size and a label.
+func (w *Workload) resolve() (workload.Network, string, error) {
+	switch {
+	case w.Network != "" && w.Inline != nil:
+		return workload.Network{}, "", fmt.Errorf("sweep: workload sets both network %q and an inline network", w.Network)
+	case w.Network != "":
+		n, err := workload.ByName(w.Network, max(1, w.Batch))
+		if err != nil {
+			return workload.Network{}, "", fmt.Errorf("sweep: %w", err)
+		}
+		return n, w.Network, nil
+	case w.Inline != nil:
+		n := w.Inline.WithBatch(max(1, w.Batch))
+		if err := n.Validate(); err != nil {
+			return workload.Network{}, "", fmt.Errorf("sweep: inline network: %w", err)
+		}
+		return n, n.Name, nil
+	default:
+		return workload.Network{}, "", fmt.Errorf("sweep: workload names no network")
+	}
+}
+
+// variant is one expanded grid point of the axes: a fully-applied base
+// plus the axis assignments that produced it.
+type variant struct {
+	label   string
+	params  map[string]any
+	albireo *albireo.Config // Albireo bases
+	arch    *spec.ArchSpec  // raw-spec bases (deep copy with overrides)
+}
+
+// build constructs the variant's architecture (the unfused one, for
+// Albireo bases — fusion variants are built inside the network evaluator).
+func (v *variant) build() (*arch.Arch, error) {
+	if v.albireo != nil {
+		return v.albireo.Build()
+	}
+	return v.arch.Build()
+}
+
+// expand walks the axes' cross product, first axis most significant, and
+// returns one variant per combination (a single variant when Axes is
+// empty).
+func (s *Spec) expand() ([]*variant, error) {
+	if (s.Base.Albireo == nil) == (s.Base.Arch == nil) {
+		return nil, fmt.Errorf("sweep: base must set exactly one of albireo or arch")
+	}
+	total := 1
+	for _, ax := range s.Axes {
+		if ax.Param == "" {
+			return nil, fmt.Errorf("sweep: axis has no param")
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("sweep: axis %q has no values", ax.Param)
+		}
+		if total > maxVariants/len(ax.Values) {
+			return nil, fmt.Errorf("sweep: axis grid exceeds %d variants", maxVariants)
+		}
+		total *= len(ax.Values)
+	}
+	choice := make([]int, len(s.Axes))
+	out := make([]*variant, 0, total)
+	for {
+		v, err := s.variantAt(choice)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		i := len(choice) - 1
+		for ; i >= 0; i-- {
+			choice[i]++
+			if choice[i] < len(s.Axes[i].Values) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i < 0 {
+			return out, nil
+		}
+	}
+}
+
+// maxVariants bounds a sweep's grid (a typo guard, not a capability
+// limit — fig-5-scale explorations are tens of variants).
+const maxVariants = 100000
+
+// variantAt materializes the variant for one choice vector.
+func (s *Spec) variantAt(choice []int) (*variant, error) {
+	v := &variant{params: make(map[string]any, len(s.Axes))}
+	var labels []string
+	if s.Base.Albireo != nil {
+		cfg, err := s.Base.Albireo.config()
+		if err != nil {
+			return nil, err
+		}
+		v.albireo = &cfg
+	} else {
+		cp, err := copyArchSpec(s.Base.Arch)
+		if err != nil {
+			return nil, err
+		}
+		v.arch = cp
+	}
+	for i, ax := range s.Axes {
+		val, err := v.apply(ax.Param, ax.Values[choice[i]])
+		if err != nil {
+			return nil, err
+		}
+		v.params[ax.Param] = val
+		labels = append(labels, fmt.Sprintf("%s=%v", ax.Param, val))
+	}
+	v.label = strings.Join(labels, " ")
+	return v, nil
+}
+
+// apply sets one axis parameter on the variant and returns the canonical
+// (coerced) value.
+func (v *variant) apply(param string, raw any) (any, error) {
+	if v.albireo != nil {
+		return v.applyAlbireo(param, raw)
+	}
+	return v.applyArch(param, raw)
+}
+
+func (v *variant) applyAlbireo(param string, raw any) (any, error) {
+	c := v.albireo
+	switch param {
+	case "scaling":
+		name, ok := raw.(string)
+		if !ok {
+			return nil, axisTypeErr(param, raw, "string")
+		}
+		sc, err := albireo.ParseScaling(name)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: axis %q: %w", param, err)
+		}
+		c.Scaling = sc
+		return name, nil
+	case "weight_reuse", "laser_from_budget":
+		b, ok := raw.(bool)
+		if !ok {
+			return nil, axisTypeErr(param, raw, "bool")
+		}
+		if param == "weight_reuse" {
+			c.WeightReuse = b
+		} else {
+			c.LaserFromBudget = b
+		}
+		return b, nil
+	case "clusters", "pixel_lanes", "output_lanes", "or_lanes", "glb_mib", "word_bits":
+		n, ok := asInt(raw)
+		if !ok {
+			return nil, axisTypeErr(param, raw, "int")
+		}
+		switch param {
+		case "clusters":
+			c.Clusters = n
+		case "pixel_lanes":
+			c.PixelLanes = n
+		case "output_lanes":
+			c.OutputLanes = n
+		case "or_lanes":
+			c.ORLanes = n
+		case "glb_mib":
+			c.GLBMiB = n
+		case "word_bits":
+			c.WordBits = n
+		}
+		return n, nil
+	case "dram_bw_words_per_cycle", "weight_reuse_laser_factor":
+		f, ok := asFloat(raw)
+		if !ok {
+			return nil, axisTypeErr(param, raw, "number")
+		}
+		if param == "dram_bw_words_per_cycle" {
+			c.DRAMBWWordsPerCycle = f
+		} else {
+			c.WeightReuseLaserFactor = f
+		}
+		return f, nil
+	}
+	return nil, fmt.Errorf("sweep: unknown albireo axis param %q", param)
+}
+
+func (v *variant) applyArch(param string, raw any) (any, error) {
+	if param == "clock_ghz" {
+		f, ok := asFloat(raw)
+		if !ok {
+			return nil, axisTypeErr(param, raw, "number")
+		}
+		v.arch.ClockGHz = f
+		return f, nil
+	}
+	if rest, ok := strings.CutPrefix(param, "component."); ok {
+		name, key, ok := strings.Cut(rest, ".")
+		if !ok {
+			return nil, fmt.Errorf("sweep: axis param %q: want component.<name>.<param>", param)
+		}
+		f, okF := asFloat(raw)
+		if !okF {
+			return nil, axisTypeErr(param, raw, "number")
+		}
+		for i := range v.arch.Components {
+			if v.arch.Components[i].Name != name {
+				continue
+			}
+			// v.arch is this variant's own deep copy (copyArchSpec), so
+			// writing in place cannot alias the base document.
+			if v.arch.Components[i].Params == nil {
+				v.arch.Components[i].Params = map[string]float64{}
+			}
+			v.arch.Components[i].Params[key] = f
+			return f, nil
+		}
+		return nil, fmt.Errorf("sweep: axis %q: spec has no component %q", param, name)
+	}
+	return nil, fmt.Errorf("sweep: unknown arch axis param %q", param)
+}
+
+func axisTypeErr(param string, raw any, want string) error {
+	return fmt.Errorf("sweep: axis %q: value %v (%T) is not a %s", param, raw, raw, want)
+}
+
+// asInt accepts Go ints and the float64s JSON decoding produces, rejecting
+// non-integral floats.
+func asInt(raw any) (int, bool) {
+	switch n := raw.(type) {
+	case int:
+		return n, true
+	case int64:
+		return int(n), true
+	case float64:
+		if n != math.Trunc(n) || math.IsInf(n, 0) {
+			return 0, false
+		}
+		return int(n), true
+	case json.Number:
+		i, err := n.Int64()
+		if err != nil {
+			return 0, false
+		}
+		return int(i), true
+	}
+	return 0, false
+}
+
+func asFloat(raw any) (float64, bool) {
+	switch n := raw.(type) {
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case float64:
+		return n, true
+	case json.Number:
+		f, err := n.Float64()
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	}
+	return 0, false
+}
+
+// copyArchSpec deep-copies a raw architecture spec through its JSON form,
+// so per-variant overrides never alias the caller's document.
+func copyArchSpec(s *spec.ArchSpec) (*spec.ArchSpec, error) {
+	buf, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: copying arch spec: %w", err)
+	}
+	var out spec.ArchSpec
+	if err := json.Unmarshal(buf, &out); err != nil {
+		return nil, fmt.Errorf("sweep: copying arch spec: %w", err)
+	}
+	return &out, nil
+}

@@ -1,0 +1,22 @@
+package workload
+
+// FNV-1a parameters shared by the framework's word-at-a-time fingerprint
+// kernels (layer shapes here, mapping schedules in internal/mapping,
+// search options in internal/mapper). The outputs are combined into cache
+// keys, so the kernels must stay consistent — hence one definition.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Fnv64a accumulates 64-bit words into an FNV-1a hash.
+type Fnv64a uint64
+
+// NewFnv64a returns the FNV-1a offset basis.
+func NewFnv64a() Fnv64a { return fnvOffset64 }
+
+// Mix folds one word into the hash.
+func (h *Fnv64a) Mix(v uint64) { *h = (*h ^ Fnv64a(v)) * fnvPrime64 }
+
+// Sum returns the accumulated hash.
+func (h Fnv64a) Sum() uint64 { return uint64(h) }

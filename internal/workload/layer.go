@@ -212,3 +212,20 @@ func (l *Layer) String() string {
 	return fmt.Sprintf("%s[%s %s stride %dx%d pad %dx%d]",
 		l.Name, l.Type, l.Bounds(), l.StrideH, l.StrideW, l.PadH, l.PadW)
 }
+
+// ShapeFingerprint returns a 64-bit FNV-1a hash of everything that affects
+// the layer's evaluation — bounds, geometry, and operand precisions — but
+// not its name. Two layers with equal shape fingerprints are
+// interchangeable to the analytical model and the mapper, which is what
+// lets the sweep's result cache reuse one search across a network's
+// repeated layer shapes (e.g. ResNet's identical basic blocks).
+func (l *Layer) ShapeFingerprint() uint64 {
+	h := NewFnv64a()
+	h.Mix(uint64(l.Type))
+	for _, v := range []int{l.N, l.K, l.C, l.P, l.Q, l.R, l.S,
+		l.StrideH, l.StrideW, l.DilationH, l.DilationW, l.PadH, l.PadW,
+		l.WeightBits, l.InputBits, l.OutputBits} {
+		h.Mix(uint64(v))
+	}
+	return h.Sum()
+}

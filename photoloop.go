@@ -28,6 +28,8 @@
 package photoloop
 
 import (
+	"io"
+
 	"photoloop/internal/albireo"
 	"photoloop/internal/arch"
 	"photoloop/internal/baseline"
@@ -36,6 +38,8 @@ import (
 	"photoloop/internal/mapper"
 	"photoloop/internal/mapping"
 	"photoloop/internal/model"
+	"photoloop/internal/spec"
+	"photoloop/internal/sweep"
 	"photoloop/internal/workload"
 )
 
@@ -81,9 +85,13 @@ func NewConv(name string, n, k, c, p, q, r, s, stride, pad int) Layer {
 // NewFC builds a fully-connected layer.
 func NewFC(name string, n, k, c int) Layer { return workload.NewFC(name, n, k, c) }
 
-// VGG16, AlexNet and ResNet18 build the paper's evaluation workloads.
-func VGG16(batch int) Network    { return workload.VGG16(batch) }
-func AlexNet(batch int) Network  { return workload.AlexNet(batch) }
+// VGG16 builds the paper's VGG16 evaluation workload.
+func VGG16(batch int) Network { return workload.VGG16(batch) }
+
+// AlexNet builds the paper's AlexNet evaluation workload.
+func AlexNet(batch int) Network { return workload.AlexNet(batch) }
+
+// ResNet18 builds the paper's ResNet-18 evaluation workload.
 func ResNet18(batch int) Network { return workload.ResNet18(batch) }
 
 // NetworkByName builds a zoo network ("vgg16", "alexnet", "resnet18").
@@ -133,6 +141,27 @@ func BuildComponent(class, name string, p ComponentParams) (Component, error) {
 
 // ComponentClasses lists the registered component classes.
 func ComponentClasses() []string { return components.Classes() }
+
+// JSON interchange documents (the CiMLoop-like spec-driven interface).
+type (
+	// ArchSpec is an architecture document: components, a level
+	// hierarchy with domains and converter chains, and a compute array.
+	ArchSpec = spec.ArchSpec
+	// MappingSpec is a mapping document (levels outermost first).
+	MappingSpec = spec.MappingSpec
+)
+
+// ParseArchSpec decodes an architecture document (without building it);
+// call ArchSpec.Build for the architecture.
+func ParseArchSpec(r io.Reader) (*ArchSpec, error) { return spec.ParseArchSpec(r) }
+
+// ParseMappingSpec decodes a mapping document; call MappingSpec.Build
+// against an architecture for the mapping.
+func ParseMappingSpec(r io.Reader) (*MappingSpec, error) { return spec.ParseMappingSpec(r) }
+
+// ArchTemplate returns a complete, buildable example architecture document
+// (what `photoloop template` prints).
+func ArchTemplate() string { return spec.Template }
 
 // Mapping and evaluation types.
 type (
@@ -199,6 +228,17 @@ const (
 	MinEDP    = mapper.MinEDP
 )
 
+// ParseObjective converts an objective name ("energy", "delay", "edp").
+func ParseObjective(name string) (Objective, error) { return mapper.ParseObjective(name) }
+
+// SearchCache deduplicates identical (architecture, layer shape, options)
+// searches across calls (see SearchOptions.Cache); results are
+// bit-identical with or without one. Sweeps and services share a cache.
+type SearchCache = mapper.Cache
+
+// NewSearchCache returns an empty search-result cache.
+func NewSearchCache() *SearchCache { return mapper.NewCache() }
+
 // Search finds the best mapping for a layer.
 func Search(a *Arch, l *Layer, opts SearchOptions) (*SearchBest, error) {
 	return mapper.Search(a, l, opts)
@@ -258,6 +298,54 @@ func AlbireoAcceleratorPJ(r *Result) float64 { return albireo.AcceleratorPJ(r) }
 // AlbireoConverterPJ sums all cross-domain conversion energy in a result.
 func AlbireoConverterPJ(r *Result) float64 { return albireo.ConverterPJ(r) }
 
+// Design-space sweep types: a declarative grid of architecture variants ×
+// workloads × objectives, evaluated concurrently with cross-point search
+// deduplication. `photoloop sweep` and `photoloop serve` run the same
+// engine from JSON and HTTP.
+type (
+	// SweepSpec declares a sweep: base × axes × workloads × objectives.
+	SweepSpec = sweep.Spec
+	// SweepBase selects the starting architecture (Albireo or raw spec).
+	SweepBase = sweep.Base
+	// SweepAlbireoBase parameterizes an Albireo starting point.
+	SweepAlbireoBase = sweep.AlbireoBase
+	// SweepAxis is one grid dimension: a parameter and its values.
+	SweepAxis = sweep.Axis
+	// SweepWorkload is one network evaluated per variant.
+	SweepWorkload = sweep.Workload
+	// SweepOptions tunes a sweep run (pool size, cache, progress).
+	SweepOptions = sweep.Options
+	// SweepResult is a completed sweep in deterministic point order.
+	SweepResult = sweep.Result
+	// SweepPoint is one evaluated (variant, workload, objective) point.
+	SweepPoint = sweep.Point
+	// SweepLayerOutcome is one layer's evaluation within a point.
+	SweepLayerOutcome = sweep.LayerOutcome
+	// SweepServer serves sweeps and evaluations over HTTP (photoloop
+	// serve); it implements http.Handler.
+	SweepServer = sweep.Server
+	// EvalRequest is one architecture × network evaluation request (the
+	// body of POST /v1/eval and the engine behind photoloop eval).
+	EvalRequest = sweep.EvalRequest
+	// EvalResponse is the evaluation result of an EvalRequest.
+	EvalResponse = sweep.EvalResponse
+)
+
+// Sweep expands and concurrently evaluates a design-space sweep.
+func Sweep(spec SweepSpec, opts SweepOptions) (*SweepResult, error) {
+	return sweep.Run(spec, opts)
+}
+
+// EvalSpec runs one spec-driven evaluation request; a non-nil cache
+// deduplicates searches across requests.
+func EvalSpec(req *EvalRequest, cache *SearchCache) (*EvalResponse, error) {
+	return sweep.Eval(req, cache)
+}
+
+// NewSweepServer builds the HTTP front end with a fresh shared search
+// cache.
+func NewSweepServer() *SweepServer { return sweep.NewServer() }
+
 // Experiment harnesses (the paper's figures).
 type (
 	// ExperimentConfig tunes the figure harnesses.
@@ -274,10 +362,18 @@ type (
 	AblationResult = exp.AblationResult
 )
 
-// Fig2, Fig3, Fig4 and Fig5 regenerate the paper's figures.
+// Fig2 regenerates the paper's energy-breakdown validation.
 func Fig2(cfg ExperimentConfig) (*Fig2Result, error) { return exp.Fig2(cfg) }
+
+// Fig3 regenerates the paper's throughput comparison.
 func Fig3(cfg ExperimentConfig) (*Fig3Result, error) { return exp.Fig3(cfg) }
+
+// Fig4 regenerates the paper's full-system memory exploration.
 func Fig4(cfg ExperimentConfig) (*Fig4Result, error) { return exp.Fig4(cfg) }
+
+// Fig5 regenerates the paper's reuse-scaling architecture exploration; the
+// grid runs through the sweep subsystem (see Fig5SweepSpec via
+// `photoloop sweep -preset fig5`).
 func Fig5(cfg ExperimentConfig) (*Fig5Result, error) { return exp.Fig5(cfg) }
 
 // Ablations quantifies the modeling mechanisms (loop permutations,
