@@ -153,6 +153,33 @@ func BenchmarkEvaluateOneShot(b *testing.B) {
 	}
 }
 
+// BenchmarkLowerBound measures the admissible lower bound the search
+// prunes with — the cost of rejecting a candidate without evaluating it.
+func BenchmarkLowerBound(b *testing.B) {
+	a, err := photoloop.Albireo(photoloop.Aggressive).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	layer := photoloop.NewConv("l", 1, 128, 128, 28, 28, 3, 3, 1, 1)
+	seeds := photoloop.AlbireoCanonicalMappings(a, &layer)
+	if len(seeds) == 0 {
+		b.Fatal("no canonical mapping")
+	}
+	m := seeds[0]
+	c, err := photoloop.Compile(a, &layer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := c.Engine().NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bd := c.LowerBound(scratch, m, photoloop.EvalOptions{}); bd.EnergyPJ <= 0 {
+			b.Fatal("degenerate bound")
+		}
+	}
+}
+
 // BenchmarkMapperSearch measures a full mapping search for one layer.
 func BenchmarkMapperSearch(b *testing.B) {
 	a, err := photoloop.Albireo(photoloop.Aggressive).Build()
@@ -166,6 +193,29 @@ func BenchmarkMapperSearch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMapperSearchSeeded measures the search in its production
+// configuration — canonical schedules as seeds, the setup every figure
+// harness runs — and reports the fraction of candidates the admissible
+// lower bound pruned.
+func BenchmarkMapperSearchSeeded(b *testing.B) {
+	a, err := photoloop.Albireo(photoloop.Aggressive).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	layer := photoloop.NewConv("l", 1, 128, 128, 28, 28, 3, 3, 1, 1)
+	seeds := photoloop.AlbireoCanonicalMappings(a, &layer)
+	var stats photoloop.SearchStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		best, err := photoloop.Search(a, &layer, photoloop.SearchOptions{Budget: 500, Seed: 1, Seeds: seeds})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats = best.Stats
+	}
+	b.ReportMetric(stats.PrunedFraction(), "pruned-frac")
 }
 
 // BenchmarkCanonicalMappings measures generation of the architect-intended

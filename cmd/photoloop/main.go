@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime/debug"
 	"sort"
@@ -53,6 +54,8 @@ func run(args []string) int {
 		err = cmdSweep(args[1:])
 	case "serve":
 		err = cmdServe(args[1:])
+	case "bench":
+		err = cmdBench(args[1:])
 	case "template":
 		fmt.Print(spec.Template)
 	case "networks":
@@ -85,12 +88,23 @@ func usage(w io.Writer) {
       searching. With -json, the result is the same document POST /v1/eval
       answers.
   photoloop sweep (-spec sweep.json | -preset fig4|fig5) [-format json|csv]
-                  [-out file] [-workers N] [-budget N] [-seed N] [-quiet]
+                  [-out file] [-workers N] [-budget N] [-seed N]
+                  [-warm-start] [-quiet]
       Run a declarative design-space sweep (variants x workloads x
       objectives) on a concurrent worker pool with search deduplication.
-  photoloop serve [-addr :8080] [-workers N]
+      -warm-start chains same-workload points across the variant axis,
+      seeding each search with its neighbor's best mappings so the
+      mapper's lower bound prunes from the first candidate.
+  photoloop serve [-addr :8080] [-workers N] [-debug]
       Serve the model over HTTP: POST /v1/eval, POST /v1/sweep,
-      GET /v1/networks.
+      GET /v1/networks. -debug additionally mounts net/http/pprof under
+      /debug/pprof/ for live profiling.
+  photoloop bench [-json] [-out BENCH.json] [-compare prior.json] [-label name]
+      Run the performance microbenchmarks (Evaluate, LowerBound,
+      MapperSearch, Fig4, Fig5) plus mapper pruning statistics, and emit
+      them as a table or a bench JSON document. -compare embeds a prior
+      document as the baseline and reports speedups — the repo's committed
+      BENCH_*.json trajectory artifacts are produced this way.
   photoloop template    print an example architecture spec
   photoloop networks    list built-in workloads
   photoloop classes     list component classes
@@ -211,16 +225,20 @@ func writeEvalJSON(w io.Writer, resp *sweep.EvalResponse) error {
 // renderEval prints the human-readable evaluation table.
 func renderEval(out io.Writer, resp *sweep.EvalResponse) error {
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "layer\tMACs\tpJ/MAC\tMACs/cycle\tutil\tevals")
+	fmt.Fprintln(w, "layer\tMACs\tpJ/MAC\tMACs/cycle\tutil\tevals\tpruned")
 	for _, l := range resp.Layers {
-		fmt.Fprintf(w, "%s\t%d\t%.4f\t%.1f\t%.1f%%\t%d\n",
-			l.Layer, l.MACs, l.PJPerMAC, l.MACsPerCycle, 100*l.Utilization, l.Evaluations)
+		fmt.Fprintf(w, "%s\t%d\t%.4f\t%.1f\t%.1f%%\t%d\t%d\n",
+			l.Layer, l.MACs, l.PJPerMAC, l.MACsPerCycle, 100*l.Utilization, l.Evaluations, l.Pruned)
 	}
 	if err := w.Flush(); err != nil {
 		return err
 	}
 	if len(resp.Layers) > 1 && resp.MACs > 0 && resp.Cycles > 0 {
 		fmt.Fprintf(out, "total: %.4f pJ/MAC, %.1f MACs/cycle\n", resp.PJPerMAC, resp.MACsPerCycle)
+	}
+	if resp.Evaluations > 0 {
+		fmt.Fprintf(out, "search: %d evaluations — %d pruned by lower bound, %d delta, %d full\n",
+			resp.Evaluations, resp.Pruned, resp.DeltaEvals, resp.FullEvals)
 	}
 	fmt.Fprintf(out, "area: %.3f mm^2, peak %d MACs/cycle\n", resp.AreaUM2/1e6, resp.PeakMACsPerCycle)
 	return nil
@@ -235,6 +253,7 @@ func cmdSweep(args []string) error {
 	workers := fs.Int("workers", 0, "point-level worker pool size (default GOMAXPROCS)")
 	budget := fs.Int("budget", 0, "override the spec's mapper budget per layer")
 	seed := fs.Int64("seed", 0, "override the spec's mapper seed")
+	warmStart := fs.Bool("warm-start", false, "thread incumbent mappings across neighboring grid points (chains same-workload points; see the spec's warm_start field)")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -274,6 +293,10 @@ func cmdSweep(args []string) error {
 		if *seed != 0 {
 			sp.Seed = *seed
 		}
+	}
+
+	if *warmStart {
+		sp.WarmStart = true
 	}
 
 	// Open the output before spending the compute: a bad path must fail
@@ -316,6 +339,16 @@ func cmdSweep(args []string) error {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "sweep: %d layer searches, %d deduplicated\n",
 			res.CacheHits+res.CacheMisses, res.CacheHits)
+		var pruned, delta, full int
+		for i := range res.Points {
+			pruned += res.Points[i].Pruned
+			delta += res.Points[i].DeltaEvals
+			full += res.Points[i].FullEvals
+		}
+		if scored := pruned + delta + full; scored > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: mapper scored %d candidates — %.0f%% pruned by lower bound, %d delta, %d full\n",
+				scored, 100*float64(pruned)/float64(scored), delta, full)
+		}
 	}
 
 	if *format == "csv" {
@@ -328,15 +361,31 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "per-sweep point pool size (default GOMAXPROCS)")
+	debugFlag := fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	srv := sweep.NewServer()
 	srv.Workers = *workers
+	handler := http.Handler(srv)
+	if *debugFlag {
+		// pprof endpoints on the same listener: profile the mapper hot
+		// loop in production with
+		//   go tool pprof http://host:8080/debug/pprof/profile
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+		fmt.Fprintln(os.Stderr, "photoloop: pprof enabled at /debug/pprof/")
+	}
 	fmt.Fprintf(os.Stderr, "photoloop: serving on %s (POST /v1/eval, POST /v1/sweep, GET /v1/networks)\n", *addr)
 	hs := &http.Server{
 		Addr:    *addr,
-		Handler: srv,
+		Handler: handler,
 		// Sweeps run long, so no WriteTimeout; header and idle timeouts
 		// keep slow-header and abandoned connections from accumulating.
 		ReadHeaderTimeout: 10 * time.Second,

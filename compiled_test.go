@@ -216,3 +216,88 @@ func TestSessionSearchMatchesOneShot(t *testing.T) {
 		t.Errorf("session search diverged: %g pJ vs %g pJ", shared.Result.TotalPJ, one.Result.TotalPJ)
 	}
 }
+
+// TestLowerBoundAndPartialZeroAllocs extends the allocation-free contract
+// to the search accelerators: the admissible lower bound and the
+// shared-prefix delta evaluation must not allocate on a NewScratch.
+func TestLowerBoundAndPartialZeroAllocs(t *testing.T) {
+	a, err := photoloop.Albireo(photoloop.Aggressive).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := photoloop.NewConv("l", 1, 128, 128, 28, 28, 3, 3, 1, 1)
+	mappings := photoloop.AlbireoCanonicalMappings(a, &layer)
+	if len(mappings) < 2 {
+		t.Fatal("need at least two canonical mappings")
+	}
+	c, err := photoloop.Compile(a, &layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := c.Engine().NewScratch()
+	res := &photoloop.Result{}
+	opts := photoloop.EvalOptions{SkipValidate: true}
+	if allocs := testing.AllocsPerRun(200, func() {
+		for _, m := range mappings {
+			if b := c.LowerBound(scratch, m, opts); b.EnergyPJ <= 0 || b.Cycles <= 0 {
+				t.Fatal("degenerate bound")
+			}
+		}
+	}); allocs != 0 {
+		t.Errorf("LowerBound allocated %.1f times per run, want 0", allocs)
+	}
+	// Delta evaluation: consecutive canonical mappings share outer levels.
+	if allocs := testing.AllocsPerRun(200, func() {
+		for i, m := range mappings {
+			shared := 0
+			if i > 0 {
+				shared = 1
+			}
+			if err := c.EvaluatePartial(scratch, m, res, opts, shared); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); allocs != 0 {
+		t.Errorf("EvaluatePartial allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestLowerBoundAdmissibleOnAlbireo pins the admissibility property on the
+// real paper architecture across scalings: the bound never exceeds the
+// full evaluation for any canonical mapping.
+func TestLowerBoundAdmissibleOnAlbireo(t *testing.T) {
+	for _, scaling := range []photoloop.AlbireoScaling{
+		photoloop.Conservative, photoloop.Moderate, photoloop.Aggressive,
+	} {
+		a, err := photoloop.Albireo(scaling).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, layer := range equivalenceLayers() {
+			layer := layer
+			c, err := photoloop.Compile(a, &layer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch := c.Engine().NewScratch()
+			res := &photoloop.Result{}
+			for _, m := range photoloop.AlbireoCanonicalMappings(a, &layer) {
+				for _, opts := range []photoloop.EvalOptions{
+					{SkipValidate: true},
+					{SkipValidate: true, ChargeStatic: true},
+				} {
+					if err := c.EvaluateInto(scratch, m, res, opts); err != nil {
+						t.Fatal(err)
+					}
+					b := c.LowerBound(scratch, m, opts)
+					if b.EnergyPJ > res.TotalPJ {
+						t.Errorf("%v/%s: bound %.9g > evaluation %.9g pJ", scaling, layer.Name, b.EnergyPJ, res.TotalPJ)
+					}
+					if b.Cycles > res.Cycles {
+						t.Errorf("%v/%s: bound %g > evaluation %g cycles", scaling, layer.Name, b.Cycles, res.Cycles)
+					}
+				}
+			}
+		}
+	}
+}

@@ -101,7 +101,7 @@ func canonicalForAssignment(a *arch.Arch, base *mapping.Mapping, l *workload.Lay
 	build := func(kSplit, cSplit, pSplit int, nAtDRAM bool) *mapping.Mapping {
 		m := base.Clone()
 		for i := range m.Levels {
-			m.Levels[i].Perm = append([]workload.Dim(nil), bufferPerm...)
+			m.Levels[i].Perm = append(m.Levels[i].Perm[:0], bufferPerm...)
 		}
 		// Pixels iterate at the modulated-input station; a P-split tiles
 		// the output rows at DRAM so large early-layer activations can
@@ -130,7 +130,9 @@ func canonicalForAssignment(a *arch.Arch, base *mapping.Mapping, l *workload.Lay
 
 	var out []*mapping.Mapping
 	tryAdd := func(m *mapping.Mapping) {
-		if err := m.Validate(a, l); err == nil {
+		// Valid, not Validate: most split variants fail some rule, and
+		// formatting each rejection dominated seed construction.
+		if m.Valid(a, l) {
 			out = append(out, m)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"photoloop/internal/mapper"
+	"photoloop/internal/mapping"
 	"photoloop/internal/model"
 	"photoloop/internal/workload"
 )
@@ -21,6 +22,12 @@ type NetOptions struct {
 	Fused bool
 	// Mapper configures the per-layer search.
 	Mapper mapper.Options
+	// WarmStarts supplies per-layer-shape incumbent mappings (keyed by
+	// workload.Layer.ShapeFingerprint) from structurally related solved
+	// evaluations — a neighboring sweep point's bests, typically. They are
+	// appended to Mapper.WarmStarts for the matching layers; see
+	// mapper.Options.WarmStarts for the semantics.
+	WarmStarts map[uint64][]*mapping.Mapping
 }
 
 // LayerEval pairs a layer with its best mapping's evaluation.
@@ -92,18 +99,38 @@ func EvalNetwork(cfg Config, net workload.Network, opts NetOptions) (*NetResult,
 		return s, nil
 	}
 
+	// One search per distinct (session, layer shape): a search outcome
+	// depends only on the layer's shape and the options (the canonical
+	// seed mappings are themselves shape properties), so repeated blocks
+	// reuse the representative's result — bit-identical to re-searching,
+	// and it skips both the search and the per-layer seed construction.
+	type searchKey struct {
+		sess  *mapper.Session
+		shape uint64
+	}
+	solved := map[searchKey]*mapper.Best{}
 	for i := range work.Layers {
 		layer := work.Layers[i]
 		sess, err := sessionFor(i)
 		if err != nil {
 			return nil, fmt.Errorf("albireo: %s: %w", layer.Name, err)
 		}
-		a := sess.Engine().Arch()
-		mopts := opts.Mapper
-		mopts.Seeds = append(CanonicalMappings(a, &layer), mopts.Seeds...)
-		best, err := sess.Search(&layer, mopts)
-		if err != nil {
-			return nil, fmt.Errorf("albireo: mapping %s: %w", layer.Name, err)
+		key := searchKey{sess, layer.ShapeFingerprint()}
+		var best *mapper.Best
+		if prior, ok := solved[key]; ok {
+			best = prior.CloneFor(layer.Name)
+		} else {
+			a := sess.Engine().Arch()
+			mopts := opts.Mapper
+			mopts.Seeds = append(CanonicalMappings(a, &layer), mopts.Seeds...)
+			if opts.WarmStarts != nil {
+				mopts.WarmStarts = append(opts.WarmStarts[layer.ShapeFingerprint()], mopts.WarmStarts...)
+			}
+			best, err = sess.Search(&layer, mopts)
+			if err != nil {
+				return nil, fmt.Errorf("albireo: mapping %s: %w", layer.Name, err)
+			}
+			solved[key] = best
 		}
 		res.Layers = append(res.Layers, LayerEval{Layer: layer, Best: best})
 		res.Total.Accumulate(best.Result)

@@ -88,17 +88,20 @@ func (c *Cache) search(s *Session, l *workload.Layer, o Options) (*Best, error) 
 	if e.err != nil {
 		return nil, e.err
 	}
-	return e.best.cloneFor(l.Name), nil
+	return e.best.CloneFor(l.Name), nil
 }
 
-// cloneFor deep-copies a best for a caller evaluating a same-shaped layer
+// CloneFor deep-copies a best for a caller evaluating a same-shaped layer
 // under a different name: the mapping and counts are shape properties, only
-// the result's layer label differs.
-func (b *Best) cloneFor(layer string) *Best {
+// the result's layer label differs. Network evaluators use it to search
+// one representative per distinct layer shape and reuse the outcome for
+// the duplicates — bit-identical to re-running the search.
+func (b *Best) CloneFor(layer string) *Best {
 	out := &Best{
 		Mapping:     b.Mapping.Clone(),
 		Result:      b.Result.Clone(),
 		Evaluations: b.Evaluations,
+		Stats:       b.Stats,
 	}
 	out.Result.Layer = layer
 	return out
@@ -126,6 +129,15 @@ func (o *Options) fingerprint() uint64 {
 	h.Mix(uint64(len(o.Seeds)))
 	for _, seed := range o.Seeds {
 		h.Mix(seed.Fingerprint())
+	}
+	// Warm starts change which candidates join the pool, so they are part
+	// of the search identity. (noPrune/noDelta deliberately are not: both
+	// are proven behavior preserving.)
+	h.Mix(uint64(len(o.WarmStarts)))
+	for _, w := range o.WarmStarts {
+		if w != nil {
+			h.Mix(w.Fingerprint())
+		}
 	}
 	return h.Sum()
 }

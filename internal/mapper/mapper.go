@@ -20,6 +20,7 @@
 package mapper
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -74,12 +75,23 @@ func (o Objective) String() string {
 type Options struct {
 	// Objective is what to minimize (default MinEnergy).
 	Objective Objective
-	// Budget caps the number of model evaluations (default 2000).
+	// Budget caps the number of candidate attempts (default 2000). It is
+	// split across Workers with the remainder distributed one-per-worker,
+	// so the configured budget is spendable exactly; a converging hill
+	// climb may stop early, so Evaluations <= Budget (+ warm starts).
 	Budget int
 	// Seed makes the search deterministic (default 1).
 	Seed int64
 	// Workers parallelizes the search (default GOMAXPROCS, capped at 8).
-	// Results are deterministic for a fixed (Seed, Workers) pair.
+	//
+	// Determinism contract: results are exactly reproducible for a fixed
+	// (Seed, Workers) pair — pinned by tests. Different Workers values
+	// return different (individually deterministic) results, and that is
+	// inherent to the design, not an implementation accident: each worker
+	// draws from its own seeded rng stream and owns a slice of the
+	// budget, so the sampled candidate set itself depends on the split.
+	// Callers needing machine-independent results must pin Workers
+	// explicitly rather than relying on the GOMAXPROCS default.
 	Workers int
 	// Eval forwards evaluation options to the model. ChargeStatic changes
 	// what candidate schedules are scored on; SkipValidate skips the
@@ -90,11 +102,30 @@ type Options struct {
 	// architecture's canonical schedules); the hill climber starts from
 	// the best of seeds and random samples.
 	Seeds []*mapping.Mapping
+	// WarmStarts are incumbent mappings threaded in from structurally
+	// related, already-solved searches — the same layer shape on a
+	// neighboring sweep point, typically. They are validated against this
+	// (architecture, layer) pair (inapplicable ones are silently dropped)
+	// and evaluated after Seeds without consuming Budget, so they only
+	// tighten the pruning cutoff early: with a good warm start the
+	// admissible lower bound discards most random candidates from the
+	// first draw. A warm-started search is deterministic given identical
+	// WarmStarts; its Best usually improves on (and may differ from) the
+	// cold search's, because the warm candidates join the pool and the
+	// hill climber may start from one of them.
+	WarmStarts []*mapping.Mapping
 	// Cache, when non-nil, deduplicates searches across calls: searches
 	// with equal (architecture, layer shape, options) fingerprints run
 	// once and share the result. Sweeps and long-lived services set it;
 	// results are bit-identical with or without a cache.
 	Cache *Cache
+
+	// noPrune and noDelta disable the admissible-lower-bound gate and the
+	// shared-prefix delta evaluation. Both are behavior-preserving
+	// accelerations, so these exist only for the equivalence tests that
+	// prove it; they are deliberately left out of the cache fingerprint.
+	noPrune bool
+	noDelta bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -128,9 +159,65 @@ func DefaultSearchWorkers() int {
 
 // Best is a search outcome.
 type Best struct {
-	Mapping     *mapping.Mapping
-	Result      *model.Result
+	Mapping *mapping.Mapping
+	Result  *model.Result
+	// Evaluations counts candidate attempts charged against the budget
+	// (duplicates, invalid candidates and pruned candidates included —
+	// each consumed one draw) plus any warm-start evaluations.
 	Evaluations int
+	// Stats breaks down how the search spent its candidate stream.
+	Stats SearchStats
+}
+
+// SearchStats counts how a search's candidate stream was dispatched. The
+// identity Pruned + DeltaEvals + FullEvals + Duplicates + invalid/failed
+// candidates = Evaluations holds per search (warm starts excepted).
+type SearchStats struct {
+	// Pruned counts candidates discarded because the admissible lower
+	// bound (model.Compiled.LowerBound) proved they could not beat the
+	// incumbent; they were never fully evaluated.
+	Pruned int
+	// DeltaEvals counts full evaluations that reused shared-prefix state
+	// from the previous evaluation (model.Compiled.EvaluatePartial with a
+	// non-zero shared level count).
+	DeltaEvals int
+	// FullEvals counts evaluations computed from scratch.
+	FullEvals int
+	// Duplicates counts fingerprint-deduplicated candidates.
+	Duplicates int
+	// Invalid counts candidates rejected by structural validation.
+	Invalid int
+	// WarmStartEvals counts warm-start candidates evaluated on top of the
+	// budget (see Options.WarmStarts).
+	WarmStartEvals int
+}
+
+// Adaptive lower-bound gating: the bound check runs unconditionally for
+// the first lbProbation candidates, then stays enabled only while at least
+// one in lbKeepRate checks prunes. Gating never changes results — a
+// skipped check just means the candidate is fully evaluated.
+const (
+	lbProbation = 64
+	lbKeepRate  = 20
+)
+
+func (s *SearchStats) add(o SearchStats) {
+	s.Pruned += o.Pruned
+	s.DeltaEvals += o.DeltaEvals
+	s.FullEvals += o.FullEvals
+	s.Duplicates += o.Duplicates
+	s.Invalid += o.Invalid
+	s.WarmStartEvals += o.WarmStartEvals
+}
+
+// PrunedFraction returns the share of scoreable candidates (valid,
+// non-duplicate) the lower bound discarded without a full evaluation.
+func (s SearchStats) PrunedFraction() float64 {
+	total := s.Pruned + s.DeltaEvals + s.FullEvals
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Pruned) / float64(total)
 }
 
 // Score returns the objective value of a result.
@@ -214,6 +301,23 @@ func (s *Session) Search(l *workload.Layer, opts Options) (*Best, error) {
 	return s.search(l, o)
 }
 
+// splitBudget distributes budget over workers without dropping the
+// remainder: the first budget%workers workers get one extra evaluation, so
+// the sum is exactly budget. (The previous integer division silently spent
+// workers*floor(budget/workers); a budget below the worker count now runs
+// budget single-evaluation workers instead of overspending.)
+func splitBudget(budget, workers int) []int {
+	out := make([]int, workers)
+	base, rem := budget/workers, budget%workers
+	for w := range out {
+		out[w] = base
+		if w < rem {
+			out[w]++
+		}
+	}
+	return out
+}
+
 // search runs the uncached search; o must have defaults applied.
 func (s *Session) search(l *workload.Layer, o Options) (*Best, error) {
 	c, err := s.eng.Compile(l)
@@ -221,31 +325,40 @@ func (s *Session) search(l *workload.Layer, o Options) (*Best, error) {
 		return nil, err
 	}
 
+	// Keep only warm starts that actually apply to this (arch, layer):
+	// they come from neighboring searches and may not transfer.
+	var warm []*mapping.Mapping
+	for _, w := range o.WarmStarts {
+		if w != nil && w.Valid(s.a, l) {
+			warm = append(warm, w)
+		}
+	}
+
 	type outcome struct {
 		best  *Best
 		evals int
+		stats SearchStats
 	}
 	results := make([]outcome, o.Workers)
 	var wg sync.WaitGroup
-	perWorker := o.Budget / o.Workers
-	if perWorker < 1 {
-		perWorker = 1
-	}
+	budgets := splitBudget(o.Budget, o.Workers)
 	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919))
-			best, evals := s.searchWorker(c, l, o, rng, perWorker)
-			results[w] = outcome{best, evals}
+			best, evals, stats := s.searchWorker(c, l, o, rng, budgets[w], warm)
+			results[w] = outcome{best, evals, stats}
 		}(w)
 	}
 	wg.Wait()
 
 	var best *Best
 	evals := 0
+	var stats SearchStats
 	for w := range results {
 		evals += results[w].evals
+		stats.add(results[w].stats)
 		if results[w].best == nil {
 			continue
 		}
@@ -256,7 +369,8 @@ func (s *Session) search(l *workload.Layer, o Options) (*Best, error) {
 	if best == nil {
 		return nil, fmt.Errorf("mapper: no valid mapping found for %s on %s", l.Name, s.a.Name)
 	}
-	best.Evaluations = evals
+	best.Evaluations = evals + stats.WarmStartEvals
+	best.Stats = stats
 
 	// The workers score candidates without the itemized energy ledger;
 	// re-evaluate the winner once in full so callers can inspect it.
@@ -269,6 +383,25 @@ func (s *Session) search(l *workload.Layer, o Options) (*Best, error) {
 	}
 	best.Result = full
 	return best, nil
+}
+
+// assignmentRemaining computes the per-dimension temporal bound left after
+// one flat spatial assignment — remaining() without materializing a
+// mapping (all free spatial factors are 1 in mapper-drawn candidates).
+func assignmentRemaining(a *arch.Arch, assign []workload.Dim, l *workload.Layer) workload.Point {
+	spatial := workload.Ones()
+	idx := 0
+	for i := 0; i < a.NumLevels(); i++ {
+		for j := range a.Level(i).Spatial {
+			spatial[assign[idx+j]] *= a.Level(i).Spatial[j].Count
+		}
+		idx += len(a.Level(i).Spatial)
+	}
+	rem := workload.Ones()
+	for _, d := range workload.AllDims() {
+		rem[d] = workload.CeilDiv(l.Bound(d), spatial[d])
+	}
+	return rem
 }
 
 // better compares candidates with deterministic tie breaks: the objective,
@@ -291,42 +424,299 @@ func betterEval(obj Objective, r *model.Result, m *mapping.Mapping, y *Best) boo
 	if r.Utilization != y.Result.Utilization {
 		return r.Utilization > y.Result.Utilization
 	}
-	return m.String() < y.Mapping.String()
+	return mappingStringLess(m, y.Mapping)
 }
 
-func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, rng *rand.Rand, budget int) (best *Best, evals int) {
+// tieBufPool holds render buffers for the final textual tie-break:
+// full-tie comparisons are frequent enough (equal-energy spatial
+// assignments, delay-tied schedules) that building two strings through fmt
+// showed up in whole-figure profiles.
+var tieBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// mappingStringLess reports m.String() < y.String() without allocating.
+func mappingStringLess(m, y *mapping.Mapping) bool {
+	bp := tieBufPool.Get().(*[]byte)
+	yp := tieBufPool.Get().(*[]byte)
+	mb := m.AppendString((*bp)[:0])
+	yb := y.AppendString((*yp)[:0])
+	less := bytes.Compare(mb, yb) < 0
+	*bp, *yp = mb[:0], yb[:0]
+	tieBufPool.Put(bp)
+	tieBufPool.Put(yp)
+	return less
+}
+
+// boundScore projects an admissible bound onto the objective's score
+// scale. For EDP the product of two positive lower bounds is a lower bound
+// of the product.
+func boundScore(obj Objective, b model.Bound) float64 {
+	switch obj {
+	case MinDelay:
+		return b.Cycles
+	case MinEDP:
+		return b.EnergyPJ * b.Cycles
+	default:
+		return b.EnergyPJ
+	}
+}
+
+// candidate is the compact form of one random draw: everything needed to
+// materialize the mapping without holding a full Mapping per draw, so the
+// exploration stream can be drawn up front (preserving the legacy rng
+// sequence exactly) and then scored in an order that maximizes shared
+// evaluation state.
+type candidate struct {
+	assign   int32
+	perm     []uint8          // per level, index into permCandidates
+	temporal []workload.Point // per level
+}
+
+// drawCandidates replays the legacy exploration draw sequence — the same
+// rng calls in the same order as one randomMapping per loop iteration —
+// into k compact candidates. The set of candidates is therefore identical
+// to what the interleaved draw-and-score loop produced; only the scoring
+// order changes, which cannot change the argmin (the incumbent comparison
+// is a strict total order over distinct schedules).
+func (s *Session) drawCandidates(l *workload.Layer, rng *rand.Rand, k, n int) []candidate {
+	perms := make([]uint8, k*n)
+	temps := make([]workload.Point, k*n)
+	cands := make([]candidate, k)
+	minLv := s.minLv
+	// PaddedCandidates consults a process-global sync.Map; an index-addressed
+	// worker-local cache is markedly cheaper in this loop. Bounds are small
+	// (remaining temporal trip counts); truly huge ones fall through.
+	const pcDirect = 1 << 14
+	var pc [][]int
+	paddedCands := func(bound int) []int {
+		if bound >= pcDirect {
+			return mapping.PaddedCandidates(bound)
+		}
+		if bound >= len(pc) {
+			grown := make([][]int, bound+1)
+			copy(grown, pc)
+			pc = grown
+		}
+		if c := pc[bound]; c != nil {
+			return c
+		}
+		c := mapping.PaddedCandidates(bound)
+		pc[bound] = c
+		return c
+	}
+	// Remaining temporal bounds per assignment, computed lazily: a draw
+	// stream touches a handful of the enumerated assignments, and the old
+	// loop recomputed the bounds for every single candidate.
+	remTab := make([]workload.Point, len(s.assignments))
+	remFor := func(ai int) workload.Point {
+		if remTab[ai] == (workload.Point{}) {
+			remTab[ai] = assignmentRemaining(s.a, s.assignments[ai], l)
+		}
+		return remTab[ai]
+	}
+	for ci := range cands {
+		cand := &cands[ci]
+		cand.perm = perms[ci*n : (ci+1)*n : (ci+1)*n]
+		cand.temporal = temps[ci*n : (ci+1)*n : (ci+1)*n]
+		ai := 0
+		if rng.Intn(2) == 0 {
+			ai = rng.Intn(len(s.assignments))
+		}
+		cand.assign = int32(ai)
+		rem := remFor(ai)
+		for i := range cand.temporal {
+			cand.temporal[i] = workload.Ones()
+		}
+		for _, d := range workload.AllDims() {
+			left := rem[d]
+			for i := n - 1; i > minLv[d] && left > 1; i-- {
+				cs := paddedCands(left)
+				f := cs[rng.Intn(len(cs))]
+				cand.temporal[i][d] = f
+				left = workload.CeilDiv(left, f)
+			}
+			cand.temporal[minLv[d]][d] *= left
+		}
+		for i := 0; i < n; i++ {
+			cand.perm[i] = uint8(rng.Intn(len(permCandidates)))
+		}
+	}
+	return cands
+}
+
+// candidateLess orders candidates for scoring: same spatial assignment and
+// permutation set first, then temporal factors outermost level first, so
+// consecutive candidates share the longest possible prefix of identical
+// outer levels (the state delta evaluation reuses). Ties fall back to the
+// draw index, making the order a deterministic total order.
+func candidateLess(cands []candidate, i, j int) bool {
+	a, b := &cands[i], &cands[j]
+	if a.assign != b.assign {
+		return a.assign < b.assign
+	}
+	for lv := range a.perm {
+		if a.perm[lv] != b.perm[lv] {
+			return a.perm[lv] < b.perm[lv]
+		}
+	}
+	for lv := range a.temporal {
+		for _, d := range workload.AllDims() {
+			if a.temporal[lv][d] != b.temporal[lv][d] {
+				return a.temporal[lv][d] < b.temporal[lv][d]
+			}
+		}
+	}
+	return i < j
+}
+
+// materialize writes a compact candidate into buf, producing exactly the
+// mapping randomMapping would have returned for the same draws.
+func (s *Session) materialize(buf *mapping.Mapping, cand *candidate) {
+	for i := range buf.Levels {
+		lm := &buf.Levels[i]
+		lm.Temporal = cand.temporal[i]
+		lm.FreeSpatial = workload.Ones()
+		lm.Perm = append(lm.Perm[:0], permCandidates[cand.perm[i]]...)
+	}
+	applyAssignment(s.a, buf, s.assignments[cand.assign])
+}
+
+// levelConfigEqual reports whether two level mappings are configured
+// identically — the condition under which every evaluation-internal value
+// derived from that level is bit-identical.
+func levelConfigEqual(a, b *mapping.LevelMapping) bool {
+	if a.Temporal != b.Temporal || a.FreeSpatial != b.FreeSpatial ||
+		len(a.SpatialChoice) != len(b.SpatialChoice) || len(a.Perm) != len(b.Perm) {
+		return false
+	}
+	for i := range a.SpatialChoice {
+		if a.SpatialChoice[i] != b.SpatialChoice[i] {
+			return false
+		}
+	}
+	for i := range a.Perm {
+		if a.Perm[i] != b.Perm[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// levelsShared counts the leading storage levels on which two mappings are
+// configured identically — the delta EvaluatePartial may reuse.
+func levelsShared(prev, m *mapping.Mapping) int {
+	if prev == nil || len(prev.Levels) != len(m.Levels) {
+		return 0
+	}
+	for i := range m.Levels {
+		if !levelConfigEqual(&prev.Levels[i], &m.Levels[i]) {
+			return i
+		}
+	}
+	return len(m.Levels)
+}
+
+// searchWorker runs one worker's slice of the search: seeds, warm starts,
+// the (reordered) random exploration stream, and the hill climb. The
+// returned Best is bit-identical to the legacy always-evaluate worker for
+// the same (seed, budget) — the lower-bound gate only discards candidates
+// that provably cannot win, and delta evaluation reproduces full
+// evaluations exactly (both properties are pinned by equivalence tests).
+func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, rng *rand.Rand, budget int, warm []*mapping.Mapping) (best *Best, evals int, st SearchStats) {
+	if budget <= 0 {
+		return nil, 0, st
+	}
 	a := s.a
+	n := a.NumLevels()
 	scratch := s.eng.NewScratch()
 	res := &model.Result{}
 	seen := make(map[uint64]struct{}, budget)
 	evalOpts := model.Options{SkipValidate: true, ChargeStatic: o.Eval.ChargeStatic}
 	validate := !o.Eval.SkipValidate
 
-	// try scores a mapping on the compiled fast path. Budget is consumed
-	// per attempt; schedules already fingerprinted return nil without
-	// re-evaluating (an already-seen schedule was scored — or failed
-	// deterministically — with this exact result, and can never beat the
-	// incumbent, so skipping it is behavior preserving). Mappings that
-	// fail validation are not recorded: a malformed seed must not shadow
-	// a later well-formed schedule that happens to hash equal.
-	try := func(m *mapping.Mapping) *model.Result {
-		if evals >= budget {
-			return nil
+	// cutoff is the pruning incumbent's result: phases 0-1 track the
+	// worker best, the hill climb its (only improving) cursor. prevEval
+	// holds the last successfully evaluated mapping — the delta baseline;
+	// its content must stay untouched until the next evaluation, so
+	// candidate materialization ping-pongs between two buffers.
+	var cutoff *model.Result
+	var prevEval *mapping.Mapping
+	lbTried, lbPruned := 0, 0
+	bufA, bufB := mapping.New(a), mapping.New(a)
+	matBuf := func() *mapping.Mapping {
+		if prevEval == bufA {
+			return bufB
 		}
-		evals++
+		return bufA
+	}
+
+	// try scores a mapping on the compiled fast path. Budget is consumed
+	// per charged attempt; schedules already fingerprinted return nil
+	// without re-evaluating (an already-seen schedule was scored, pruned,
+	// or failed deterministically, and can never beat the incumbent, so
+	// skipping it is behavior preserving). Mappings that fail validation
+	// are not recorded: a malformed seed must not shadow a later
+	// well-formed schedule that happens to hash equal.
+	try := func(m *mapping.Mapping, charge, mustValidate bool) *model.Result {
+		if charge {
+			if evals >= budget {
+				return nil
+			}
+			evals++
+		}
+		if validate || mustValidate {
+			// Fast subset of Valid: temporal loops on a capped level (an
+			// analog accumulator, a ring bank) can never validate, and
+			// hill-climb moves produce them constantly. Rejecting before
+			// fingerprinting and full validation is behavior preserving —
+			// invalid candidates are never recorded either way.
+			for i := 0; i < n; i++ {
+				if tp := a.Level(i).MaxTemporalProduct; tp > 0 && m.Levels[i].Temporal.Product() > int64(tp) {
+					st.Invalid++
+					return nil
+				}
+			}
+		}
 		fp := m.Fingerprint()
 		if _, dup := seen[fp]; dup {
+			st.Duplicates++
 			return nil
 		}
-		if validate {
-			if err := m.Validate(a, l); err != nil {
+		if (validate || mustValidate) && !m.Valid(a, l) {
+			st.Invalid++
+			return nil
+		}
+		seen[fp] = struct{}{}
+		// Admissible pruning: skip the full evaluation only when the
+		// bound proves the candidate cannot strictly beat the incumbent.
+		// The gate must be a strict inequality — a candidate whose true
+		// score ties the incumbent can still win the deterministic
+		// tie-break. The check pays for itself only when it fires, so
+		// after a probation window it stays on only while it keeps a
+		// minimum hit rate; turning it off just means those candidates
+		// are fully evaluated — the outcome is identical either way.
+		if cutoff != nil && !o.noPrune &&
+			(lbTried < lbProbation || lbPruned*lbKeepRate >= lbTried) {
+			lbTried++
+			if boundScore(o.Objective, c.LowerBound(scratch, m, evalOpts)) > Score(o.Objective, cutoff) {
+				lbPruned++
+				st.Pruned++
 				return nil
 			}
 		}
-		seen[fp] = struct{}{}
-		if err := c.EvaluateInto(scratch, m, res, evalOpts); err != nil {
+		shared := 0
+		if !o.noDelta {
+			shared = levelsShared(prevEval, m)
+		}
+		if err := c.EvaluatePartial(scratch, m, res, evalOpts, shared); err != nil {
+			prevEval = nil
 			return nil
 		}
+		if shared > 0 {
+			st.DeltaEvals++
+		} else {
+			st.FullEvals++
+		}
+		prevEval = m
 		return res
 	}
 	consider := func(m *mapping.Mapping, r *model.Result) {
@@ -334,51 +724,101 @@ func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, 
 			return
 		}
 		if best == nil || betterEval(o.Objective, r, m, best) {
-			best = &Best{Mapping: m, Result: r.Clone()}
+			best = &Best{Mapping: m.Clone(), Result: r.Clone()}
+			cutoff = best.Result
 		}
 	}
 
-	// Phase 0: caller-provided seed mappings.
+	// Phase 0: caller-provided seed mappings, then warm starts (validated
+	// always — they come from other searches — and not budget-charged).
+	// Seeds are tried in place: nothing below mutates a candidate, and
+	// consider clones on retention.
 	for _, seed := range o.Seeds {
-		m := seed.Clone()
-		consider(m, try(m))
+		consider(seed, try(seed, true, false))
+	}
+	for _, w := range warm {
+		// Already validated once in search(); try only dedups and scores.
+		r := try(w, false, false)
+		if r != nil {
+			st.WarmStartEvals++
+		}
+		consider(w, r)
 	}
 
 	// Phase 1: random sampling across spatial assignments. The canonical
 	// assignment (every factor on its first-listed dimension) is the
 	// architect's intended use and gets half the samples; the rest
 	// explore alternates (how FC layers find channel-parallel slots).
-	explorationBudget := budget * 7 / 10
-	for evals < explorationBudget {
-		assign := s.assignments[0]
-		if rng.Intn(2) == 0 {
-			assign = s.assignments[rng.Intn(len(s.assignments))]
+	// The stream is drawn up front and scored grouped by (assignment,
+	// permutations, outer factors) so consecutive candidates share
+	// evaluation state; the candidate set — and hence the outcome — is
+	// identical to the legacy interleaved loop.
+	if k := budget*7/10 - evals; k > 0 {
+		cands := s.drawCandidates(l, rng, k, n)
+		// Cheap structural pre-reject on the compact form, mirroring
+		// Validate's MaxTemporalProduct rule exactly: a draw that puts
+		// temporal loops on a capped level (an analog accumulator, a ring
+		// bank) can never validate, so it is charged and dropped before
+		// fingerprinting and materialization. The legacy loop paid a full
+		// Validate per such draw. Gated on the same validate flag as
+		// try(): a SkipValidate search trusts (and fully evaluates) every
+		// draw, exactly like the legacy sampler.
+		order := make([]int, 0, k)
+	prefilter:
+		for ci := range cands {
+			if validate {
+				for i := 0; i < n; i++ {
+					if tp := a.Level(i).MaxTemporalProduct; tp > 0 && cands[ci].temporal[i].Product() > int64(tp) {
+						evals++
+						st.Invalid++
+						continue prefilter
+					}
+				}
+			}
+			order = append(order, ci)
 		}
-		m := randomMapping(a, l, assign, s.minLv, rng)
-		consider(m, try(m))
+		sort.Slice(order, func(i, j int) bool { return candidateLess(cands, order[i], order[j]) })
+		for _, ci := range order {
+			m := matBuf()
+			s.materialize(m, &cands[ci])
+			consider(m, try(m, true, false))
+		}
 	}
 
 	// Phase 2: hill climb from the best mapping found.
 	if best == nil {
-		// Fall back to the trivial all-outer mapping per assignment.
+		// Fall back to the trivial all-outer mapping per assignment —
+		// on architectures whose capped levels reject every random draw
+		// (Albireo unseeded) this is where the incumbent comes from.
+		// Materialized into the ping-pong buffers; construction stops
+		// once the budget cannot admit another attempt.
 		for _, assign := range s.assignments {
-			m := outerMapping(a, l, assign, s.minLv)
-			consider(m, try(m))
+			if evals >= budget {
+				break
+			}
+			m := matBuf()
+			outerInto(a, m, l, assign, s.minLv)
+			consider(m, try(m, true, false))
 		}
 	}
 	if best == nil {
-		return nil, evals
+		return nil, evals, st
 	}
 	cur := best
+	cutoff = cur.Result
 	for evals < budget {
 		improved := false
-		for _, neighbor := range neighbors(a, l, cur.Mapping, rng) {
-			r := try(neighbor)
+		for _, e := range neighborEdits(a, cur.Mapping, rng) {
+			nb := matBuf()
+			copyMapping(nb, cur.Mapping)
+			applyEdit(nb, e)
+			r := try(nb, true, false)
 			if r == nil {
 				continue
 			}
-			if betterEval(o.Objective, r, neighbor, cur) {
-				cur = &Best{Mapping: neighbor, Result: r.Clone()}
+			if betterEval(o.Objective, r, nb, cur) {
+				cur = &Best{Mapping: nb.Clone(), Result: r.Clone()}
+				cutoff = cur.Result
 				improved = true
 				break
 			}
@@ -390,7 +830,7 @@ func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, 
 	if cur != best && betterEval(o.Objective, cur.Result, cur.Mapping, best) {
 		best = cur
 	}
-	return best, evals
+	return best, evals, st
 }
 
 // maxSpatialAssignments caps the enumerated cross product of rigid
@@ -515,6 +955,23 @@ func outerMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim, min wo
 	return m
 }
 
+// outerInto is outerMapping materialized into a reusable buffer: inert
+// factors and canonical permutations everywhere, the assignment applied,
+// and each dimension's remaining bound at its outermost legal level.
+func outerInto(a *arch.Arch, m *mapping.Mapping, l *workload.Layer, assign []workload.Dim, min workload.Point) {
+	for i := range m.Levels {
+		lm := &m.Levels[i]
+		lm.Temporal = workload.Ones()
+		lm.FreeSpatial = workload.Ones()
+		lm.Perm = append(lm.Perm[:0], mapping.CanonicalPerm()...)
+	}
+	applyAssignment(a, m, assign)
+	rem := assignmentRemaining(a, assign, l)
+	for _, d := range workload.AllDims() {
+		m.Levels[min[d]].Temporal[d] = rem[d]
+	}
+}
+
 // randomMapping draws a random temporal split and permutation set.
 func randomMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim, min workload.Point, rng *rand.Rand) *mapping.Mapping {
 	m := mapping.New(a)
@@ -540,30 +997,41 @@ func randomMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim, min w
 	return m
 }
 
-// neighbors generates local moves around a mapping.
-func neighbors(a *arch.Arch, l *workload.Layer, m *mapping.Mapping, rng *rand.Rand) []*mapping.Mapping {
-	var out []*mapping.Mapping
+// neighborEdit is one local move around a mapping: a factor of 2..3 of one
+// dimension shifted between adjacent levels, or one level's permutation
+// replaced. Edits are generated instead of cloned mappings so the hill
+// climb can materialize each neighbor into a pooled buffer on demand —
+// the legacy generator cloned every neighbor up front (~150 mappings per
+// climb round, most rejected within nanoseconds).
+type neighborEdit struct {
+	from, to int8 // factor move: from -> to; -1,-1 for a permutation edit
+	dim      workload.Dim
+	factor   int8
+	perm     int8 // permutation edit: index into permCandidates
+	level    int8 // permutation edit: level whose Perm is replaced
+}
+
+// neighborEdits lists the local moves around m in the legacy generation
+// order and applies the same rng shuffle — shuffling an edit list draws
+// exactly what shuffling the cloned-mapping list drew, so the climb visits
+// neighbors in the identical order.
+func neighborEdits(a *arch.Arch, m *mapping.Mapping, rng *rand.Rand) []neighborEdit {
+	var out []neighborEdit
 	n := a.NumLevels()
 	// Move a factor of 2..3 of one dim between adjacent levels.
 	for i := 0; i < n-1; i++ {
 		for _, d := range workload.AllDims() {
 			if m.Levels[i].Temporal[d] > 1 {
-				for _, f := range []int{2, 3} {
-					if m.Levels[i].Temporal[d]%f == 0 {
-						c := m.Clone()
-						c.Levels[i].Temporal[d] /= f
-						c.Levels[i+1].Temporal[d] *= f
-						out = append(out, c)
+				for _, f := range []int8{2, 3} {
+					if m.Levels[i].Temporal[d]%int(f) == 0 {
+						out = append(out, neighborEdit{from: int8(i), to: int8(i + 1), dim: d, factor: f})
 					}
 				}
 			}
 			if m.Levels[i+1].Temporal[d] > 1 {
-				for _, f := range []int{2, 3} {
-					if m.Levels[i+1].Temporal[d]%f == 0 {
-						c := m.Clone()
-						c.Levels[i+1].Temporal[d] /= f
-						c.Levels[i].Temporal[d] *= f
-						out = append(out, c)
+				for _, f := range []int8{2, 3} {
+					if m.Levels[i+1].Temporal[d]%int(f) == 0 {
+						out = append(out, neighborEdit{from: int8(i + 1), to: int8(i), dim: d, factor: f})
 					}
 				}
 			}
@@ -571,14 +1039,34 @@ func neighbors(a *arch.Arch, l *workload.Layer, m *mapping.Mapping, rng *rand.Ra
 	}
 	// Swap permutations.
 	for i := 0; i < n; i++ {
-		for _, cand := range permCandidates {
-			c := m.Clone()
-			c.Levels[i].Perm = append([]workload.Dim(nil), cand...)
-			out = append(out, c)
+		for p := range permCandidates {
+			out = append(out, neighborEdit{from: -1, to: -1, level: int8(i), perm: int8(p)})
 		}
 	}
 	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
+}
+
+// copyMapping copies src into dst reusing dst's backing arrays (both built
+// by mapping.New for the same architecture).
+func copyMapping(dst, src *mapping.Mapping) {
+	for i := range src.Levels {
+		d, s := &dst.Levels[i], &src.Levels[i]
+		d.Temporal = s.Temporal
+		d.FreeSpatial = s.FreeSpatial
+		d.Perm = append(d.Perm[:0], s.Perm...)
+		d.SpatialChoice = append(d.SpatialChoice[:0], s.SpatialChoice...)
+	}
+}
+
+// applyEdit applies a neighbor edit in place.
+func applyEdit(m *mapping.Mapping, e neighborEdit) {
+	if e.from >= 0 {
+		m.Levels[e.from].Temporal[e.dim] /= int(e.factor)
+		m.Levels[e.to].Temporal[e.dim] *= int(e.factor)
+		return
+	}
+	m.Levels[e.level].Perm = append(m.Levels[e.level].Perm[:0], permCandidates[e.perm]...)
 }
 
 // SearchNetwork maps every layer of a network and returns per-layer bests
@@ -593,16 +1081,37 @@ func SearchNetwork(a *arch.Arch, net *workload.Network, opts Options) ([]*Best, 
 }
 
 // SearchNetwork maps every layer of a network on the session's
-// architecture; layers are searched concurrently.
+// architecture; distinct layer shapes are searched concurrently.
+//
+// Layers with equal shape fingerprints search identically (a search
+// depends only on the layer's shape and the options), so one
+// representative per distinct shape is searched and its result cloned for
+// the duplicates — bit-identical to searching every layer, and a large
+// saving on networks built from repeated blocks (ResNet's basic blocks,
+// VGG's paired convolutions). This is the incumbent threading the sweep
+// performs across points, applied within a network where it is exact.
 func (s *Session) SearchNetwork(net *workload.Network, opts Options) ([]*Best, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
 	bests := make([]*Best, len(net.Layers))
 	errs := make([]error, len(net.Layers))
+	rep := make([]int, len(net.Layers)) // representative index per layer
+	firstByShape := make(map[uint64]int, len(net.Layers))
+	var reps []int
+	for i := range net.Layers {
+		fp := net.Layers[i].ShapeFingerprint()
+		if j, ok := firstByShape[fp]; ok {
+			rep[i] = j
+		} else {
+			firstByShape[fp] = i
+			rep[i] = i
+			reps = append(reps, i)
+		}
+	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, maxParallel())
-	for i := range net.Layers {
+	for _, i := range reps {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -612,9 +1121,14 @@ func (s *Session) SearchNetwork(net *workload.Network, opts Options) ([]*Best, e
 		}(i)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("mapper: layer %s: %w", net.Layers[i].Name, err)
+	for _, i := range reps {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("mapper: layer %s: %w", net.Layers[i].Name, errs[i])
+		}
+	}
+	for i := range net.Layers {
+		if rep[i] != i {
+			bests[i] = bests[rep[i]].CloneFor(net.Layers[i].Name)
 		}
 	}
 	return bests, nil

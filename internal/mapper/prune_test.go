@@ -1,0 +1,403 @@
+package mapper
+
+import (
+	"math/rand"
+	"testing"
+
+	"photoloop/internal/arch"
+	"photoloop/internal/components"
+	"photoloop/internal/mapping"
+	"photoloop/internal/model"
+	"photoloop/internal/workload"
+)
+
+// photonicTestArch builds an Albireo-shaped hierarchy (streaming input
+// station, capped analog levels, converter chains) without importing the
+// albireo package (which would cycle): the population on which pruning and
+// the temporal-cap pre-filter actually bite.
+func photonicTestArch(t *testing.T) *arch.Arch {
+	t.Helper()
+	lib := components.NewLibrary()
+	mk := func(class, name string, p components.Params) {
+		c, err := components.Build(class, name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib.MustAdd(c)
+	}
+	mk("dram", "DRAM", components.Params{"pj_per_bit": 8})
+	mk("sram", "Buf", components.Params{"capacity_bits": 1 << 23, "access_bits": 8})
+	mk("dac", "DAC", components.Params{"bits": 8, "pj_per_bit": 0.05})
+	mk("adc", "ADC", components.Params{"bits": 8, "walden_fj_per_step": 50})
+	mk("mzm", "MZM", components.Params{"modulate_pj": 1})
+	mk("mrr", "MRR", components.Params{"program_pj": 2, "transit_pj": 0.01})
+	mk("photodiode", "PD", components.Params{"detect_pj": 0.5})
+	mk("laser", "Laser", components.Params{"per_mac_pj": 0.25})
+	a := &arch.Arch{
+		Name: "photonic-test", Lib: lib, ClockGHz: 1, DefaultWordBits: 8,
+		Levels: []arch.Level{
+			{Name: "DRAM", Keeps: workload.AllTensorSet(), AccessComponent: "DRAM", BandwidthWordsPerCycle: 32},
+			{
+				Name: "Glb", Keeps: workload.AllTensorSet(), AccessComponent: "Buf",
+				CapacityBits: 1 << 23,
+				Spatial:      []arch.SpatialFactor{arch.Choice(4, workload.DimC, workload.DimK, workload.DimN)},
+			},
+			{
+				Name: "Mod", Keeps: workload.NewTensorSet(workload.Inputs),
+				Streaming: true, InputOverlapSharing: true,
+				Spatial: []arch.SpatialFactor{
+					arch.Choice(8, workload.DimQ, workload.DimP, workload.DimN),
+					arch.Choice(3, workload.DimK, workload.DimN),
+				},
+				FillVia: map[workload.Tensor][]arch.ActionRef{
+					workload.Inputs: {
+						{Component: "DAC", Action: "convert"},
+						{Component: "MZM", Action: "modulate"},
+					},
+				},
+			},
+			{
+				Name: "Acc", Keeps: workload.NewTensorSet(workload.Outputs),
+				WordBits: 24, CapacityBits: 24 * 4, MaxTemporalProduct: 1,
+				Spatial: []arch.SpatialFactor{arch.Choice(3, workload.DimS, workload.DimC)},
+				UpdateVia: map[workload.Tensor][]arch.ActionRef{
+					workload.Outputs: {{Component: "PD", Action: "detect"}},
+				},
+				DrainVia: map[workload.Tensor][]arch.ActionRef{
+					workload.Outputs: {{Component: "ADC", Action: "convert"}},
+				},
+			},
+			{
+				Name: "Ring", Keeps: workload.NewTensorSet(workload.Weights),
+				MaxTemporalProduct: 1,
+				FillVia: map[workload.Tensor][]arch.ActionRef{
+					workload.Weights: {
+						{Component: "DAC", Action: "convert"},
+						{Component: "MRR", Action: "program"},
+					},
+				},
+			},
+		},
+		Compute: arch.Compute{
+			Name: "Optical",
+			PerMAC: []arch.ActionRef{
+				{Component: "Laser", Action: "supply"},
+				{Component: "MRR", Action: "transit"},
+			},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// compareBests asserts two search outcomes are bit-identical in everything
+// observable: mapping, score surface, and evaluation count.
+func compareBests(t *testing.T, label string, got, want *Best) {
+	t.Helper()
+	if got.Result.TotalPJ != want.Result.TotalPJ {
+		t.Fatalf("%s: TotalPJ %.12g != %.12g", label, got.Result.TotalPJ, want.Result.TotalPJ)
+	}
+	if got.Result.Cycles != want.Result.Cycles {
+		t.Fatalf("%s: Cycles %.12g != %.12g", label, got.Result.Cycles, want.Result.Cycles)
+	}
+	if got.Result.Utilization != want.Result.Utilization {
+		t.Fatalf("%s: Utilization diverged", label)
+	}
+	if got.Mapping.String() != want.Mapping.String() {
+		t.Fatalf("%s: mapping diverged:\n%s\nvs\n%s", label, got.Mapping, want.Mapping)
+	}
+	if got.Evaluations != want.Evaluations {
+		t.Fatalf("%s: Evaluations %d != %d", label, got.Evaluations, want.Evaluations)
+	}
+}
+
+// TestPrunedSearchMatchesUnprunedSampler is the tentpole equivalence test:
+// with pruning and delta evaluation disabled the worker degenerates to the
+// legacy always-evaluate sampler, and the optimized search must return a
+// bit-identical Best for every configuration — electrical and photonic
+// architectures, all objectives, several (budget, workers, seed) splits.
+func TestPrunedSearchMatchesUnprunedSampler(t *testing.T) {
+	archs := map[string]*arch.Arch{
+		"electrical": testArch(t, 1<<20),
+		"photonic":   photonicTestArch(t),
+	}
+	layers := []workload.Layer{
+		workload.NewConv("conv", 1, 32, 16, 14, 14, 3, 3, 1, 1),
+		workload.NewConv("strided", 2, 16, 8, 8, 8, 3, 3, 2, 1),
+		workload.NewFC("fc", 1, 64, 128),
+	}
+	type cfg struct {
+		budget, workers int
+		seed            int64
+		obj             Objective
+		skipValidate    bool
+	}
+	cfgs := []cfg{
+		{300, 1, 1, MinEnergy, false},
+		{300, 2, 5, MinEnergy, false},
+		{250, 4, 9, MinDelay, false},
+		{320, 8, 3, MinEDP, false},
+		// SkipValidate trusts (and scores) every draw — the structural
+		// pre-filter must stand down exactly like the legacy sampler's
+		// skipped validation did.
+		{300, 2, 7, MinEnergy, true},
+	}
+	for name, a := range archs {
+		s, err := NewSession(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range layers {
+			for _, c := range cfgs {
+				opts := Options{Objective: c.obj, Budget: c.budget, Seed: c.seed, Workers: c.workers,
+					Eval: model.Options{SkipValidate: c.skipValidate}}
+				pruned, err := s.Search(&l, opts)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, l.Name, err)
+				}
+				ref := opts
+				ref.noPrune, ref.noDelta = true, true
+				unpruned, err := s.Search(&l, ref)
+				if err != nil {
+					t.Fatalf("%s/%s ref: %v", name, l.Name, err)
+				}
+				compareBests(t, name+"/"+l.Name, pruned, unpruned)
+				if unpruned.Stats.Pruned != 0 || unpruned.Stats.DeltaEvals != 0 {
+					t.Fatalf("reference sampler pruned or delta-evaluated: %+v", unpruned.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestDrawCandidatesMatchesRandomMapping pins the compact draw pipeline to
+// the legacy generator: for the same rng stream, drawCandidates +
+// materialize must produce exactly the mappings randomMapping produced.
+func TestDrawCandidatesMatchesRandomMapping(t *testing.T) {
+	for _, a := range []*arch.Arch{testArch(t, 1<<20), photonicTestArch(t)} {
+		s, err := NewSession(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := workload.NewConv("draw", 1, 24, 12, 10, 10, 3, 3, 1, 1)
+		const k = 200
+		legacy := rand.New(rand.NewSource(17))
+		var want []*mapping.Mapping
+		for i := 0; i < k; i++ {
+			assign := s.assignments[0]
+			if legacy.Intn(2) == 0 {
+				assign = s.assignments[legacy.Intn(len(s.assignments))]
+			}
+			want = append(want, randomMapping(a, &l, assign, s.minLv, legacy))
+		}
+		rng := rand.New(rand.NewSource(17))
+		cands := s.drawCandidates(&l, rng, k, a.NumLevels())
+		buf := mapping.New(a)
+		for i := range cands {
+			s.materialize(buf, &cands[i])
+			if buf.Fingerprint() != want[i].Fingerprint() || buf.String() != want[i].String() {
+				t.Fatalf("%s: candidate %d diverged from randomMapping:\n%s\nvs\n%s", a.Name, i, buf, want[i])
+			}
+		}
+	}
+}
+
+// TestSplitBudgetExact pins the budget-remainder fix: the per-worker
+// budgets must sum to exactly the configured budget with a spread of at
+// most one evaluation, for divisible and non-divisible splits alike.
+func TestSplitBudgetExact(t *testing.T) {
+	for _, tc := range []struct{ budget, workers int }{
+		{2000, 8}, {500, 8}, {503, 8}, {7, 3}, {3, 8}, {1, 1}, {0, 4}, {97, 13},
+	} {
+		got := splitBudget(tc.budget, tc.workers)
+		if len(got) != tc.workers {
+			t.Fatalf("split(%d,%d): %d workers", tc.budget, tc.workers, len(got))
+		}
+		sum, min, max := 0, got[0], got[0]
+		for _, b := range got {
+			sum += b
+			if b < min {
+				min = b
+			}
+			if b > max {
+				max = b
+			}
+		}
+		if sum != tc.budget {
+			t.Errorf("split(%d,%d) spends %d", tc.budget, tc.workers, sum)
+		}
+		if max-min > 1 {
+			t.Errorf("split(%d,%d) uneven: min %d max %d", tc.budget, tc.workers, min, max)
+		}
+	}
+}
+
+// TestBudgetSpentExactly checks end to end that a non-divisible budget is
+// no longer silently truncated: the exploration phase alone must consume
+// at least 7/10 of the full configured budget summed across workers.
+func TestBudgetSpentExactly(t *testing.T) {
+	a := testArch(t, 1<<20)
+	l := workload.NewConv("l", 1, 16, 8, 8, 8, 3, 3, 1, 1)
+	// 503 over 8 workers: the old perWorker=62 split spent 496.
+	best, err := Search(a, &l, Options{Budget: 503, Seed: 2, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Evaluations > 503 {
+		t.Fatalf("spent %d, budget 503", best.Evaluations)
+	}
+	// Per worker the exploration phase consumes floor(b*7/10) exactly;
+	// with the remainder distributed that is at least 348 here. The old
+	// truncated split could not exceed 496 total even when the climb ran
+	// to exhaustion; equality with the budget means no worker lost its
+	// remainder share.
+	minExploration := 0
+	for _, b := range splitBudget(503, 8) {
+		minExploration += b * 7 / 10
+	}
+	if best.Evaluations < minExploration {
+		t.Fatalf("spent %d, exploration alone should consume >= %d", best.Evaluations, minExploration)
+	}
+}
+
+// TestSearchReproducibleAcrossWorkerCounts documents the determinism
+// contract: for each fixed Workers value the search is exactly
+// reproducible, while different Workers values legitimately return
+// different (but individually deterministic) results — each worker owns an
+// independent rng stream and budget slice, so the candidate set itself
+// depends on the split. See the Options.Workers doc.
+func TestSearchReproducibleAcrossWorkerCounts(t *testing.T) {
+	a := photonicTestArch(t)
+	s, err := NewSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := workload.NewConv("rep", 1, 32, 16, 14, 14, 3, 3, 1, 1)
+	for _, workers := range []int{1, 2, 8} {
+		opts := Options{Budget: 400, Seed: 11, Workers: workers}
+		first, err := s.Search(&l, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 2; rep++ {
+			again, err := s.Search(&l, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareBests(t, "workers", again, first)
+		}
+	}
+}
+
+// TestWarmStartDeterministicAndApplicable covers Options.WarmStarts: warm
+// starts never worsen the pre-climb incumbent (they join the pool without
+// consuming budget), inapplicable ones are dropped silently, and the
+// warm-started search is itself deterministic.
+func TestWarmStartDeterministicAndApplicable(t *testing.T) {
+	a := photonicTestArch(t)
+	s, err := NewSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := workload.NewConv("warm", 1, 32, 16, 14, 14, 3, 3, 1, 1)
+	cold, err := s.Search(&l, Options{Budget: 400, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm-start a low-budget search with the high-budget best: the cheap
+	// search must do at least as well as the warm start itself.
+	warmOpts := Options{Budget: 60, Seed: 11, WarmStarts: []*mapping.Mapping{cold.Mapping}}
+	warm, err := s.Search(&l, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Score(MinEnergy, warm.Result) > Score(MinEnergy, cold.Result) {
+		t.Errorf("warm-started search (%g pJ) worse than its warm start (%g pJ)",
+			warm.Result.TotalPJ, cold.Result.TotalPJ)
+	}
+	if warm.Stats.WarmStartEvals == 0 {
+		t.Error("warm start was not evaluated")
+	}
+	again, err := s.Search(&l, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareBests(t, "warm repeat", again, warm)
+
+	// A warm start from an incompatible architecture is dropped, leaving
+	// the cold result untouched.
+	other := testArch(t, 1<<20)
+	foreign := mapping.New(other)
+	baseline, err := s.Search(&l, Options{Budget: 120, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := s.Search(&l, Options{Budget: 120, Seed: 11, WarmStarts: []*mapping.Mapping{foreign, nil}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareBests(t, "foreign warm start", dropped, baseline)
+	if dropped.Stats.WarmStartEvals != 0 {
+		t.Error("inapplicable warm start was evaluated")
+	}
+}
+
+// TestSearchNetworkShapeDedup pins SearchNetwork's shape deduplication:
+// repeated layer shapes must get results bit-identical to independent
+// searches, under the duplicate layer's own name.
+func TestSearchNetworkShapeDedup(t *testing.T) {
+	a := photonicTestArch(t)
+	s, err := NewSession(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := func(name string) workload.Layer {
+		return workload.NewConv(name, 1, 16, 8, 8, 8, 3, 3, 1, 1)
+	}
+	net := workload.Network{Name: "dup", Layers: []workload.Layer{
+		shape("a"), workload.NewFC("fc", 1, 32, 64), shape("b"), shape("c"),
+	}}
+	opts := Options{Budget: 200, Seed: 4}
+	bests, err := s.SearchNetwork(&net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"a", "fc", "b", "c"} {
+		if bests[i].Result.Layer != name {
+			t.Fatalf("layer %d labeled %q, want %q", i, bests[i].Result.Layer, name)
+		}
+	}
+	// Every duplicate must match an independent search of its layer.
+	for _, i := range []int{2, 3} {
+		solo, err := s.Search(&net.Layers[i], opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareBests(t, "dedup "+net.Layers[i].Name, bests[i], solo)
+	}
+}
+
+// TestSearchStatsAccounting checks the stats identity: every budgeted
+// attempt lands in exactly one bucket.
+func TestSearchStatsAccounting(t *testing.T) {
+	a := photonicTestArch(t)
+	l := workload.NewConv("stats", 1, 32, 16, 14, 14, 3, 3, 1, 1)
+	best, err := Search(a, &l, Options{Budget: 400, Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := best.Stats
+	sum := st.Pruned + st.DeltaEvals + st.FullEvals + st.Duplicates + st.Invalid
+	if sum != best.Evaluations-st.WarmStartEvals {
+		t.Fatalf("stats %+v sum to %d, evaluations %d", st, sum, best.Evaluations)
+	}
+	if st.FullEvals == 0 {
+		t.Error("no full evaluations recorded")
+	}
+	if f := st.PrunedFraction(); f < 0 || f > 1 {
+		t.Errorf("pruned fraction %g out of range", f)
+	}
+}

@@ -8,8 +8,7 @@
 package mapping
 
 import (
-	"fmt"
-	"strings"
+	"strconv"
 
 	"photoloop/internal/arch"
 	"photoloop/internal/workload"
@@ -216,36 +215,49 @@ func (m *Mapping) Fingerprint() uint64 {
 
 // String renders the mapping compactly for debugging and reports.
 func (m *Mapping) String() string {
-	var b strings.Builder
+	return string(m.AppendString(nil))
+}
+
+// AppendString appends String()'s rendering to b and returns the extended
+// slice — the allocation-free form the mapper's deterministic tie-break
+// compares (two mappings render equal bytes iff they evaluate
+// identically).
+func (m *Mapping) AppendString(b []byte) []byte {
 	for i := range m.Levels {
 		lm := &m.Levels[i]
-		fmt.Fprintf(&b, "L%d:", i)
+		b = append(b, 'L')
+		b = strconv.AppendInt(b, int64(i), 10)
+		b = append(b, ':')
 		for _, d := range lm.Perm {
 			if lm.Temporal[d] > 1 {
-				fmt.Fprintf(&b, " %s%d", d, lm.Temporal[d])
+				b = append(b, ' ')
+				b = append(b, d.String()...)
+				b = strconv.AppendInt(b, int64(lm.Temporal[d]), 10)
 			}
 		}
 		wrote := false
 		for _, d := range workload.AllDims() {
 			if lm.FreeSpatial[d] > 1 {
 				if !wrote {
-					b.WriteString(" |")
+					b = append(b, " |"...)
 					wrote = true
 				}
-				fmt.Fprintf(&b, " s%s%d", d, lm.FreeSpatial[d])
+				b = append(b, " s"...)
+				b = append(b, d.String()...)
+				b = strconv.AppendInt(b, int64(lm.FreeSpatial[d]), 10)
 			}
 		}
 		if len(lm.SpatialChoice) > 0 {
-			fmt.Fprintf(&b, " [")
+			b = append(b, " ["...)
 			for k, d := range lm.SpatialChoice {
 				if k > 0 {
-					b.WriteString(" ")
+					b = append(b, ' ')
 				}
-				fmt.Fprintf(&b, "%s", d)
+				b = append(b, d.String()...)
 			}
-			b.WriteString("]")
+			b = append(b, ']')
 		}
-		b.WriteString("\n")
+		b = append(b, '\n')
 	}
-	return b.String()
+	return b
 }

@@ -1,56 +1,83 @@
 package mapping
 
 import (
+	"errors"
 	"fmt"
 
 	"photoloop/internal/arch"
 	"photoloop/internal/workload"
 )
 
+// errInvalid is the unformatted sentinel the fast path returns; Validate
+// re-runs with explain=true to produce the detailed message.
+var errInvalid = errors.New("mapping: invalid")
+
 // Validate checks the mapping against the architecture and layer:
 // structural shape, permutation well-formedness, spatial assignment
 // legality, coverage of the problem bounds, fan-out limits, and per-level
 // buffer capacity.
 func (m *Mapping) Validate(a *arch.Arch, l *workload.Layer) error {
+	return m.validate(a, l, true)
+}
+
+// Valid reports whether the mapping passes exactly the checks Validate
+// runs, without constructing an error. The mapper calls it per candidate —
+// millions of times per search — and most random candidates fail some rule;
+// formatting a rejection message for each dominated the accept/reject
+// decision itself.
+func (m *Mapping) Valid(a *arch.Arch, l *workload.Layer) bool {
+	return m.validate(a, l, false) == nil
+}
+
+// validate is the single implementation behind Validate and Valid: with
+// explain it formats a diagnostic for the first violated rule, without it
+// returns the errInvalid sentinel. The rule set is identical either way.
+func (m *Mapping) validate(a *arch.Arch, l *workload.Layer, explain bool) error {
+	fail := func(format string, args ...any) error {
+		if !explain {
+			return errInvalid
+		}
+		return fmt.Errorf(format, args...)
+	}
 	if len(m.Levels) != a.NumLevels() {
-		return fmt.Errorf("mapping: has %d levels, arch %s has %d", len(m.Levels), a.Name, a.NumLevels())
+		return fail("mapping: has %d levels, arch %s has %d", len(m.Levels), a.Name, a.NumLevels())
 	}
 	for i := range m.Levels {
 		lm := &m.Levels[i]
 		lv := a.Level(i)
 		// Permutation must cover every dimension exactly once.
 		if len(lm.Perm) != int(workload.NumDims) {
-			return fmt.Errorf("mapping: level %s: permutation has %d entries, want %d", lv.Name, len(lm.Perm), workload.NumDims)
+			return fail("mapping: level %s: permutation has %d entries, want %d", lv.Name, len(lm.Perm), workload.NumDims)
 		}
 		var seen [workload.NumDims]bool
 		for _, d := range lm.Perm {
 			if d >= workload.NumDims {
-				return fmt.Errorf("mapping: level %s: invalid dimension in permutation", lv.Name)
+				return fail("mapping: level %s: invalid dimension in permutation", lv.Name)
 			}
 			if seen[d] {
-				return fmt.Errorf("mapping: level %s: dimension %v appears twice in permutation", lv.Name, d)
+				return fail("mapping: level %s: dimension %v appears twice in permutation", lv.Name, d)
 			}
 			seen[d] = true
 		}
 		for _, d := range workload.AllDims() {
 			if lm.Temporal[d] < 1 {
-				return fmt.Errorf("mapping: level %s: temporal factor %s = %d, want >= 1", lv.Name, d, lm.Temporal[d])
+				return fail("mapping: level %s: temporal factor %s = %d, want >= 1", lv.Name, d, lm.Temporal[d])
 			}
 			if lm.FreeSpatial[d] < 1 {
-				return fmt.Errorf("mapping: level %s: free spatial factor %s = %d, want >= 1", lv.Name, d, lm.FreeSpatial[d])
+				return fail("mapping: level %s: free spatial factor %s = %d, want >= 1", lv.Name, d, lm.FreeSpatial[d])
 			}
 		}
 		if lv.MaxTemporalProduct > 0 && lm.Temporal.Product() > int64(lv.MaxTemporalProduct) {
-			return fmt.Errorf("mapping: level %s: temporal product %d exceeds cap %d",
+			return fail("mapping: level %s: temporal product %d exceeds cap %d",
 				lv.Name, lm.Temporal.Product(), lv.MaxTemporalProduct)
 		}
 		// Rigid spatial factors must each be assigned a permitted dim.
 		if len(lm.SpatialChoice) != len(lv.Spatial) {
-			return fmt.Errorf("mapping: level %s: %d spatial choices for %d rigid factors", lv.Name, len(lm.SpatialChoice), len(lv.Spatial))
+			return fail("mapping: level %s: %d spatial choices for %d rigid factors", lv.Name, len(lm.SpatialChoice), len(lv.Spatial))
 		}
 		for j, d := range lm.SpatialChoice {
 			if !lv.Spatial[j].Allows(d) {
-				return fmt.Errorf("mapping: level %s: spatial factor %d cannot be assigned to %v", lv.Name, j, d)
+				return fail("mapping: level %s: spatial factor %d cannot be assigned to %v", lv.Name, j, d)
 			}
 		}
 		// Free spatial factors need MaxFanout headroom and permitted dims.
@@ -58,21 +85,45 @@ func (m *Mapping) Validate(a *arch.Arch, l *workload.Layer) error {
 		for _, d := range workload.AllDims() {
 			if lm.FreeSpatial[d] > 1 {
 				if !lv.AllowsFreeDim(d) {
-					return fmt.Errorf("mapping: level %s: free spatial over %v not permitted", lv.Name, d)
+					return fail("mapping: level %s: free spatial over %v not permitted", lv.Name, d)
 				}
 				free *= int64(lm.FreeSpatial[d])
 			}
 		}
 		if free > 1 && (lv.MaxFanout == 0 || free > int64(lv.MaxFanout)) {
-			return fmt.Errorf("mapping: level %s: free fan-out %d exceeds MaxFanout %d", lv.Name, free, lv.MaxFanout)
+			return fail("mapping: level %s: free fan-out %d exceeds MaxFanout %d", lv.Name, free, lv.MaxFanout)
 		}
 	}
-	// Coverage: padded bounds must reach the problem bounds in every dim.
-	padded := m.PaddedBounds(a)
+	// Coverage and capacity share one suffix-product pass over the levels
+	// (each used to walk the full hierarchy per level or per check — this
+	// runs per candidate in the mapper's hot loop). The running product
+	// over levels >= i is level i's tile extents; after the outermost
+	// level it spans the padded bounds.
 	bounds := l.Bounds()
+	ext := workload.Ones()
+	for i := len(m.Levels) - 1; i >= 0; i-- {
+		ext = ext.Mul(m.FactorsAt(a, i))
+		lv := a.Level(i)
+		if lv.CapacityBits <= 0 {
+			continue
+		}
+		// Capacity: the level must hold its kept tiles.
+		var bits int64
+		clamped := clampExt(ext, bounds, l)
+		for _, t := range workload.AllTensors() {
+			if !lv.Keeps.Has(t) {
+				continue // Tensors() would allocate; same canonical order
+			}
+			wb := int64(lv.EffectiveWordBits(a.DefaultWordBits))
+			bits += l.TileElems(t, clamped) * wb
+		}
+		if bits > lv.CapacityBits {
+			return fail("mapping: level %s: tile footprint %d bits exceeds capacity %d", lv.Name, bits, lv.CapacityBits)
+		}
+	}
 	for _, d := range workload.AllDims() {
-		if padded[d] < bounds[d] {
-			return fmt.Errorf("mapping: dimension %s covered to %d, layer needs %d", d, padded[d], bounds[d])
+		if ext[d] < bounds[d] {
+			return fail("mapping: dimension %s covered to %d, layer needs %d", d, ext[d], bounds[d])
 		}
 	}
 	// Residency: loops over a tensor's relevant dimensions may not sit
@@ -82,7 +133,7 @@ func (m *Mapping) Validate(a *arch.Arch, l *workload.Layer) error {
 	for _, t := range workload.AllTensors() {
 		keeps := a.KeepLevels(t)
 		if len(keeps) == 0 {
-			return fmt.Errorf("mapping: no level keeps %v", t)
+			return fail("mapping: no level keeps %v", t)
 		}
 		k0 := keeps[0]
 		for j := 0; j < k0; j++ {
@@ -91,30 +142,14 @@ func (m *Mapping) Validate(a *arch.Arch, l *workload.Layer) error {
 					continue
 				}
 				if m.Levels[j].Temporal[d] > 1 {
-					return fmt.Errorf("mapping: temporal loop %s%d at %s sits above %v's outermost keeper %s",
+					return fail("mapping: temporal loop %s%d at %s sits above %v's outermost keeper %s",
 						d, m.Levels[j].Temporal[d], a.Level(j).Name, t, a.Level(k0).Name)
 				}
 				if sp := m.SpatialAt(a, j); sp[d] > 1 {
-					return fmt.Errorf("mapping: spatial factor %s%d at %s sits above %v's outermost keeper %s",
+					return fail("mapping: spatial factor %s%d at %s sits above %v's outermost keeper %s",
 						d, sp[d], a.Level(j).Name, t, a.Level(k0).Name)
 				}
 			}
-		}
-	}
-	// Capacity: each level must hold its kept tiles.
-	for i := range m.Levels {
-		lv := a.Level(i)
-		if lv.CapacityBits <= 0 {
-			continue
-		}
-		var bits int64
-		ext := m.TileExtents(a, i)
-		for _, t := range lv.Keeps.Tensors() {
-			wb := int64(lv.EffectiveWordBits(a.DefaultWordBits))
-			bits += l.TileElems(t, clampExt(ext, bounds, l)) * wb
-		}
-		if bits > lv.CapacityBits {
-			return fmt.Errorf("mapping: level %s: tile footprint %d bits exceeds capacity %d", lv.Name, bits, lv.CapacityBits)
 		}
 	}
 	return nil

@@ -1,0 +1,220 @@
+package model
+
+import (
+	"photoloop/internal/mapping"
+	"photoloop/internal/workload"
+)
+
+// Bound is an admissible lower bound on a mapping's evaluation: no
+// successful full evaluation of the same mapping under the same options can
+// produce a smaller energy or fewer cycles. The mapper uses it to discard
+// candidates that provably cannot beat its incumbent without paying for a
+// full evaluation.
+type Bound struct {
+	// EnergyPJ is a lower bound on Result.TotalPJ.
+	EnergyPJ float64
+	// Cycles is a lower bound on Result.Cycles: the exact compute-bound
+	// schedule length (bandwidth stalls can only lengthen it).
+	Cycles float64
+}
+
+// lbSafety shrinks the energy bound by one part in 10^12 to absorb
+// floating-point non-associativity: several of the bound's terms equal the
+// evaluator's charges exactly in real arithmetic, but are accumulated in a
+// different order, and the bound must never round above a true score (a
+// candidate tied with the incumbent can still win its tie-break). The
+// cycle bound needs no slack — both sides are the same int64 converted.
+const lbSafety = 1 - 1e-12
+
+// lbLevel holds one storage level's precomputed admissible energy floors,
+// in picojoules per word moved. Unresolvable component references
+// contribute zero (evaluations charging them fail outright, so the bound
+// never overshoots a successful evaluation).
+type lbLevel struct {
+	readPJ       float64 // access read energy (0 when absent)
+	arrivalMinPJ float64 // cheapest access charge per arriving output word
+	// Per destination-side fill word: access write plus the non-PerDistinct
+	// converter chain. Per distinct (post-multicast) fill word: the
+	// PerDistinct chain. Per arriving output word: the UpdateVia chain
+	// (charged on the same basis either way). Per source-side drained word:
+	// access read plus the non-PerDistinct chain; per merged drained word:
+	// the PerDistinct chain.
+	fillUnit   [workload.NumTensors]float64
+	fillDist   [workload.NumTensors]float64
+	updateUnit [workload.NumTensors]float64
+	drainUnit  [workload.NumTensors]float64
+	drainDist  [workload.NumTensors]float64
+}
+
+// buildBoundTables precomputes the per-level energy floors and the per-MAC
+// compute energy backing Compiled.LowerBound. Called once from NewEngine.
+func (e *Engine) buildBoundTables() {
+	refPJ := func(r *resolvedRef) float64 {
+		if r.err != nil {
+			return 0
+		}
+		return r.pj * r.cnt
+	}
+	e.lbLevels = make([]lbLevel, len(e.levels))
+	for i := range e.levels {
+		le := &e.levels[i]
+		lb := &e.lbLevels[i]
+		var writePJ, updatePJ float64
+		if le.hasAccess {
+			lb.readPJ = refPJ(&le.access[0])
+			writePJ = refPJ(&le.access[1])
+			updatePJ = refPJ(&le.access[2])
+			lb.arrivalMinPJ = min(writePJ, updatePJ)
+		}
+		for _, t := range workload.AllTensors() {
+			lb.fillUnit[t] = writePJ    // writes into the level are its fills
+			lb.drainUnit[t] = lb.readPJ // draining reads the tile out
+			for j := range le.fill[t] {
+				if le.fill[t][j].perDistinct {
+					lb.fillDist[t] += refPJ(&le.fill[t][j])
+				} else {
+					lb.fillUnit[t] += refPJ(&le.fill[t][j])
+				}
+			}
+			for j := range le.update[t] {
+				lb.updateUnit[t] += refPJ(&le.update[t][j])
+			}
+			for j := range le.drain[t] {
+				if le.drain[t][j].perDistinct {
+					lb.drainDist[t] += refPJ(&le.drain[t][j])
+				} else {
+					lb.drainUnit[t] += refPJ(&le.drain[t][j])
+				}
+			}
+		}
+	}
+	e.macUnitPJ = 0
+	for i := range e.perMAC {
+		e.macUnitPJ += refPJ(&e.perMAC[i])
+	}
+}
+
+// LowerBound computes a cheap admissible lower bound on the evaluation of
+// mapping m: Bound.EnergyPJ <= Result.TotalPJ and Bound.Cycles <=
+// Result.Cycles of any successful EvaluateInto of the same mapping and
+// options. It needs only the mapping's spatial configuration, tile extents
+// and padded iteration count — no loop-nest walk, no per-usage charging —
+// which makes it several times cheaper than a full evaluation.
+//
+// The bound combines terms that are exact (the compute-bound cycle count,
+// per-MAC compute energy, streaming-station refill traffic, compute
+// consumption reads, and output arrivals at the innermost keeper, all of
+// which depend only on core quantities) with perfect-reuse floors for the
+// rest of the data movement: every non-streaming keeper must fill each
+// resident tile at least once (refetch factor >= 1), and every output
+// keeper drains each tile at least once. Schedules lose energy to refetch
+// above those floors, never below them.
+//
+// For mappings whose full evaluation would fail, the returned bound is
+// meaningless — the mapper rejects those candidates either way.
+// Admissibility is guarded by the randomized property test
+// TestLowerBoundAdmissible.
+func (c *Compiled) LowerBound(s *Scratch, m *mapping.Mapping, opts Options) Bound {
+	an := &s.lb
+	an.resetCore(c, m, 0)
+	eng := c.eng
+	a := eng.a
+	n := a.NumLevels()
+	pj := c.macFloorPJ
+
+	for _, t := range readTensors {
+		chain := eng.keeps[t]
+		if len(chain) == 0 {
+			continue
+		}
+		last := chain[len(chain)-1]
+		if r := eng.lbLevels[last].readPJ; r > 0 {
+			// Compute consumption out of the innermost keeper (exact).
+			pj += r * float64(an.actualMACs) / an.multicastRange(last, n, t)
+		}
+		for pos := 1; pos < len(chain); pos++ {
+			li, parent := chain[pos], chain[pos-1]
+			lv := a.Level(li)
+			lb := &eng.lbLevels[li]
+			var fills float64
+			if lv.Streaming && pos == len(chain)-1 {
+				// Zero retention refills every cycle (exact; mirrors
+				// readTensorUsage).
+				wsExt := clamp(an.spatialExtentsBelow(li), an.bounds)
+				var ws int64
+				if t == workload.Inputs && !lv.InputOverlapSharing {
+					ws = naiveInputElems(wsExt)
+				} else {
+					ws = an.l.TileElems(t, wsExt)
+				}
+				fills = float64(ws) * float64(an.cycles) * float64(an.instances[li])
+			} else {
+				// Perfect-reuse floor: each resident tile fills at least
+				// once per instance.
+				fills = float64(an.l.TileElems(t, an.extClamp[li])) * float64(an.instances[li])
+			}
+			if u := lb.fillUnit[t]; u > 0 {
+				pj += fills * u
+			}
+			if du := lb.fillDist[t] + eng.lbLevels[parent].readPJ; du > 0 {
+				// Distinct words on the shared side of the distribution:
+				// the PerDistinct converters plus the parent's read per
+				// distinct word served.
+				pj += fills / an.multicastRange(parent, li, t) * du
+			}
+		}
+	}
+
+	// Outputs: exact arrivals at the innermost keeper, refetch-free drain
+	// floors on the way up, and the cheaper of write/update per arriving
+	// word at every keeper.
+	if chain := eng.keeps[workload.Outputs]; len(chain) > 0 {
+		t := workload.Outputs
+		arrivals := float64(an.actualMACs) / an.spatialReduceRange(chain[len(chain)-1], n)
+		for pos := len(chain) - 1; ; pos-- {
+			li := chain[pos]
+			lb := &eng.lbLevels[li]
+			pj += arrivals * (lb.updateUnit[t] + lb.arrivalMinPJ)
+			if pos == 0 {
+				break
+			}
+			drains := float64(an.l.TileElems(t, an.extClamp[li])) * float64(an.instances[li])
+			if u := lb.drainUnit[t]; u > 0 {
+				pj += drains * u
+			}
+			merged := drains / an.spatialReduceRange(chain[pos-1], li)
+			if du := lb.drainDist[t]; du > 0 {
+				pj += merged * du
+			}
+			arrivals = merged // floor on what arrives at the parent keeper
+		}
+	}
+
+	if opts.ChargeStatic {
+		pj += an.staticFloorPJ(s.statics)
+	}
+	return Bound{EnergyPJ: pj * lbSafety, Cycles: float64(an.cycles)}
+}
+
+// staticFloorPJ computes the schedule's static energy — exact, since it
+// depends only on core quantities — skipping unresolvable components
+// (evaluations charging those fail, so skipping keeps the bound
+// admissible). statics is the scratch counter array; an undersized array
+// (zero-value Scratch) yields the trivial floor 0.
+func (an *analysis) staticFloorPJ(statics []int64) float64 {
+	eng := an.c.eng
+	if len(statics) < len(eng.statics) {
+		return 0
+	}
+	ns := float64(an.cycles) / an.a.ClockGHz
+	an.accumulateStaticSites(statics)
+	total := 0.0
+	for idx := range eng.statics {
+		st := &eng.statics[idx]
+		if statics[idx] == 0 || st.err != nil || st.mw <= 0 {
+			continue
+		}
+		total += st.mw * ns * float64(statics[idx])
+	}
+	return total
+}

@@ -70,6 +70,11 @@ type Engine struct {
 
 	levelStaticSites [][]staticSite
 	perMACStatic     []staticSite
+
+	// Lower-bound tables (see bound.go): per-level admissible energy
+	// floors per word moved, and the per-MAC compute energy.
+	lbLevels  []lbLevel
+	macUnitPJ float64
 }
 
 // NewEngine resolves the architecture's mapping-independent invariants.
@@ -140,6 +145,7 @@ func NewEngine(a *arch.Arch) (*Engine, error) {
 		e.perMAC[i].cnt = r.Count()
 	}
 	e.resolveStatics()
+	e.buildBoundTables()
 	return e, nil
 }
 
@@ -239,6 +245,10 @@ type Compiled struct {
 	l          *workload.Layer
 	bounds     workload.Point
 	actualMACs int64
+
+	// macFloorPJ is the mapping-independent energy floor: every evaluation
+	// charges at least the per-MAC compute actions for every real MAC.
+	macFloorPJ float64
 }
 
 // Compile builds a compiled engine for one architecture and layer.
@@ -253,7 +263,9 @@ func Compile(a *arch.Arch, l *workload.Layer) (*Compiled, error) {
 // Compile specializes the engine to a layer. It is cheap — per-layer
 // searches over thousands of mappings share one Compiled.
 func (e *Engine) Compile(l *workload.Layer) (*Compiled, error) {
-	return &Compiled{eng: e, l: l, bounds: l.Bounds(), actualMACs: l.MACs()}, nil
+	c := &Compiled{eng: e, l: l, bounds: l.Bounds(), actualMACs: l.MACs()}
+	c.macFloorPJ = float64(c.actualMACs) * e.macUnitPJ
+	return c, nil
 }
 
 // Engine returns the underlying per-architecture engine.
@@ -266,23 +278,24 @@ func (c *Compiled) Layer() *workload.Layer { return c.l }
 // per-level analysis arrays, the flattened loop-nest buffer, and the
 // static-power counters. One Scratch serves one goroutine; reusing it
 // across EvaluateInto calls makes the fast path allocation free.
+//
+// A Scratch also carries state between consecutive evaluations: the
+// analysis of the last successful evaluation (which EvaluatePartial reuses
+// for delta evaluation) and the LowerBound working set.
 type Scratch struct {
 	an      analysis
+	lb      analysis // LowerBound's core-only working set (no nest walk)
 	statics []int64
+	anValid bool // s.an holds the state of a completed evaluation
 }
 
 // NewScratch allocates working memory sized for the engine's architecture.
 func (e *Engine) NewScratch() *Scratch {
 	n := e.a.NumLevels()
-	return &Scratch{
-		an: analysis{
-			sf:        make([]workload.Point, n),
-			ext:       make([]workload.Point, n),
-			extClamp:  make([]workload.Point, n),
-			instances: make([]int64, n),
-		},
-		statics: make([]int64, len(e.statics)),
-	}
+	s := &Scratch{statics: make([]int64, len(e.statics))}
+	s.an.init(n)
+	s.lb.init(n)
+	return s
 }
 
 var readTensors = [...]workload.Tensor{workload.Weights, workload.Inputs}
@@ -293,6 +306,22 @@ var readTensors = [...]workload.Tensor{workload.Weights, workload.Inputs}
 // ledger is skipped and only the aggregate TotalPJ is produced — every
 // other Result field is identical to Evaluate's.
 func (c *Compiled) EvaluateInto(s *Scratch, m *mapping.Mapping, res *Result, opts Options) error {
+	return c.EvaluatePartial(s, m, res, opts, 0)
+}
+
+// EvaluatePartial is EvaluateInto with delta evaluation. shared declares
+// that the outermost shared storage levels of m — temporal factors,
+// permutation, rigid spatial choices and free spatial factors — are
+// configured identically to the mapping most recently evaluated
+// successfully through this scratch on this compiled engine. Those levels'
+// spatial factors, loop-nest segments and stationarity factors are reused
+// instead of recomputed; every reused value was produced by the same code
+// on identical inputs, so the result is bit-identical to EvaluateInto for
+// any truthful shared value. Pass 0 when unsure (or after an evaluation
+// error): that is exactly EvaluateInto. A stale or mismatched scratch
+// (different engine, failed previous evaluation) silently degrades to a
+// full evaluation rather than misbehaving.
+func (c *Compiled) EvaluatePartial(s *Scratch, m *mapping.Mapping, res *Result, opts Options, shared int) error {
 	a := c.eng.a
 	if !opts.SkipValidate {
 		if err := c.l.Validate(); err != nil {
@@ -303,7 +332,15 @@ func (c *Compiled) EvaluateInto(s *Scratch, m *mapping.Mapping, res *Result, opt
 		}
 	}
 	an := &s.an
-	an.reset(c, m)
+	if shared < 0 || !s.anValid || an.c != c {
+		shared = 0
+	}
+	if shared > a.NumLevels() {
+		shared = a.NumLevels()
+	}
+	s.anValid = false
+	shared = an.resetCore(c, m, shared)
+	an.resetNest(shared)
 	if len(s.statics) < len(c.eng.statics) {
 		// The analysis buffers resize to any architecture; keep the
 		// static-power counters in step so a zero-value Scratch (or one
@@ -362,6 +399,7 @@ func (c *Compiled) EvaluateInto(s *Scratch, m *mapping.Mapping, res *Result, opt
 		res.MACsPerCycle = float64(res.MACs) / res.Cycles
 	}
 	res.AreaUM2 = c.eng.area
+	s.anValid = true
 	return nil
 }
 

@@ -29,14 +29,45 @@ type analysis struct {
 
 	nestBuf []mapping.Loop // full flattened temporal nest, outermost first
 	nestCut []int          // nestBuf[:nestCut[i]] is the nest above level i
+
+	// Delta-evaluation state: stationarity factors (refetch, distinct
+	// tiles) of a level depend only on the nest above it, so when
+	// consecutive evaluations share a prefix of identical outer levels the
+	// memoized factors of those levels stay valid. memoMax is the highest
+	// level whose memo entries may be reused this evaluation; memoSet
+	// tracks which (level, tensor) entries hold a value (bit t = refetch,
+	// bit 3+t = distinct tiles).
+	memoMax      int
+	refetchMemo  [][workload.NumTensors]int64
+	distinctMemo [][workload.NumTensors]int64
+	memoSet      []uint8
 }
 
-// reset re-derives the per-mapping state, reusing the analysis' buffers.
-// Tile extents are suffix products of the per-level factors (integer
-// multiplication, so identical to multiplying level by level), and the
-// flattened temporal nest is built once — the nest above level i is a
-// prefix of the full nest.
-func (an *analysis) reset(c *Compiled, m *mapping.Mapping) {
+// init sizes every buffer for an architecture with n storage levels.
+func (an *analysis) init(n int) {
+	an.sf = make([]workload.Point, n)
+	an.ext = make([]workload.Point, n)
+	an.extClamp = make([]workload.Point, n)
+	an.instances = make([]int64, n)
+	an.nestCut = make([]int, n+1)
+	an.refetchMemo = make([][workload.NumTensors]int64, n)
+	an.distinctMemo = make([][workload.NumTensors]int64, n)
+	an.memoSet = make([]uint8, n)
+}
+
+// resetCore re-derives the spatial and extent state of a mapping, reusing
+// the analysis' buffers: per-level spatial factors, tile extents (suffix
+// products of the per-level factors — integer multiplication, so identical
+// to multiplying level by level), instance counts and the padded iteration
+// count. Levels below shared keep their spatial factors from the previous
+// mapping — the caller guarantees those levels are configured identically.
+// Extents are always recomputed: they are suffix products, so any inner
+// change moves every outer extent.
+//
+// It returns the shared count it actually honored: freshly (re)sized
+// buffers hold nothing reusable, and the caller must feed the effective
+// value to resetNest so the nest prefix is not skipped over zeroed state.
+func (an *analysis) resetCore(c *Compiled, m *mapping.Mapping, shared int) int {
 	a := c.eng.a
 	n := a.NumLevels()
 	an.c, an.a, an.l, an.m = c, a, c.l, m
@@ -44,10 +75,8 @@ func (an *analysis) reset(c *Compiled, m *mapping.Mapping) {
 	an.actualMACs = c.actualMACs
 	an.cycles = m.TemporalIterations()
 	if cap(an.sf) < n {
-		an.sf = make([]workload.Point, n)
-		an.ext = make([]workload.Point, n)
-		an.extClamp = make([]workload.Point, n)
-		an.instances = make([]int64, n)
+		an.init(n)
+		shared = 0
 	}
 	an.sf = an.sf[:n]
 	an.ext = an.ext[:n]
@@ -55,7 +84,9 @@ func (an *analysis) reset(c *Compiled, m *mapping.Mapping) {
 	an.instances = an.instances[:n]
 	run := workload.Ones()
 	for i := n - 1; i >= 0; i-- {
-		an.sf[i] = m.SpatialAt(a, i)
+		if i >= shared {
+			an.sf[i] = m.SpatialAt(a, i)
+		}
 		run = run.Mul(m.Levels[i].Temporal.Mul(an.sf[i]))
 		an.ext[i] = run
 		an.extClamp[i] = clamp(run, an.bounds)
@@ -67,15 +98,28 @@ func (an *analysis) reset(c *Compiled, m *mapping.Mapping) {
 		an.instances[i] = inst
 		inst *= an.sf[i].Product()
 	}
+	return shared
+}
 
-	if cap(an.nestCut) < n+1 {
-		an.nestCut = make([]int, n+1)
-	}
+// resetNest rebuilds the flattened temporal nest from level shared down —
+// the nest above level i is a prefix of the full nest, so the segments of
+// unchanged outer levels are kept in place — and resets the stationarity
+// memos accordingly.
+func (an *analysis) resetNest(shared int) {
+	n := len(an.sf)
 	an.nestCut = an.nestCut[:n+1]
-	an.nestBuf = an.nestBuf[:0]
-	for j := 0; j < n; j++ {
+	if shared == 0 {
+		an.nestBuf = an.nestBuf[:0]
+		for i := range an.memoSet {
+			an.memoSet[i] = 0
+		}
+	} else {
+		an.nestBuf = an.nestBuf[:an.nestCut[shared]]
+	}
+	an.memoMax = shared
+	for j := shared; j < n; j++ {
 		an.nestCut[j] = len(an.nestBuf)
-		lm := &m.Levels[j]
+		lm := &an.m.Levels[j]
 		for _, d := range lm.Perm {
 			if t := lm.Temporal[d]; t > 1 {
 				an.nestBuf = append(an.nestBuf, mapping.Loop{Dim: d, Trip: t, Level: j})
@@ -83,6 +127,30 @@ func (an *analysis) reset(c *Compiled, m *mapping.Mapping) {
 		}
 	}
 	an.nestCut[n] = len(an.nestBuf)
+}
+
+// refetchAt returns refetchFactor(nest above li, t), reusing the memoized
+// value when the nest above li is unchanged from the previous evaluation.
+func (an *analysis) refetchAt(li int, t workload.Tensor) int64 {
+	if li <= an.memoMax && an.memoSet[li]&(1<<t) != 0 {
+		return an.refetchMemo[li][t]
+	}
+	v := refetchFactor(an.nest(li), t)
+	an.refetchMemo[li][t] = v
+	an.memoSet[li] |= 1 << t
+	return v
+}
+
+// distinctAt returns distinctTiles(nest above li, t) with the same
+// memoization as refetchAt.
+func (an *analysis) distinctAt(li int, t workload.Tensor) int64 {
+	if li <= an.memoMax && an.memoSet[li]&(8<<t) != 0 {
+		return an.distinctMemo[li][t]
+	}
+	v := distinctTiles(an.nest(li), t)
+	an.distinctMemo[li][t] = v
+	an.memoSet[li] |= 8 << t
+	return v
 }
 
 // nest returns the flattened temporal loop nest above level li.
@@ -272,8 +340,7 @@ func (an *analysis) readTensorUsage(t workload.Tensor, usages []Usage) error {
 			}
 			u.Fills = float64(ws) * float64(an.cycles) * float64(u.Instances)
 		} else if pos > 0 {
-			nest := an.nest(li)
-			u.Fills = float64(u.TileElems) * float64(refetchFactor(nest, t)) * float64(u.Instances)
+			u.Fills = float64(u.TileElems) * float64(an.refetchAt(li, t)) * float64(u.Instances)
 		}
 		// Writes into the level are its fills.
 		u.Writes = u.Fills
@@ -331,8 +398,7 @@ func (an *analysis) outputUsage(usages []Usage) error {
 	for pos := last; pos > 0; pos-- {
 		li := chain[pos]
 		u := &usages[pos]
-		nest := an.nest(li)
-		changes := refetchFactor(nest, t)
+		changes := an.refetchAt(li, t)
 		u.Drains = float64(u.TileElems) * float64(changes) * float64(u.Instances)
 		// Reading the tile out to drain it.
 		u.Reads += u.Drains
@@ -347,8 +413,7 @@ func (an *analysis) outputUsage(usages []Usage) error {
 // writes (one per element per tile residency) and read-modify-write
 // updates.
 func (an *analysis) chargeArrivals(u *Usage, words float64, li int) {
-	nest := an.nest(li)
-	residencies := float64(distinctTiles(nest, workload.Outputs)) * float64(u.Instances)
+	residencies := float64(an.distinctAt(li, workload.Outputs)) * float64(u.Instances)
 	firstWrites := float64(u.TileElems) * residencies
 	if firstWrites > words {
 		firstWrites = words

@@ -123,19 +123,7 @@ func (an *analysis) chargeEnergy(res *Result, opts Options, statics []int64) err
 	// component in deterministic (name-sorted) order.
 	if opts.ChargeStatic {
 		ns := float64(an.cycles) / an.a.ClockGHz
-		for i := range statics {
-			statics[i] = 0
-		}
-		for i := range eng.levelStaticSites {
-			copies := an.instances[i]
-			for _, site := range eng.levelStaticSites[i] {
-				statics[site.idx] += site.n * copies
-			}
-		}
-		perMACCopies := an.paddedMACs / max64(an.cycles, 1)
-		for _, site := range eng.perMACStatic {
-			statics[site.idx] += site.n * perMACCopies
-		}
+		an.accumulateStaticSites(statics)
 		for idx := range eng.statics {
 			st := &eng.statics[idx]
 			copies := statics[idx]
@@ -168,6 +156,28 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// accumulateStaticSites fills statics with the number of powered instances
+// of each distinct component: per-level reference sites times level
+// instances, plus per-MAC sites times the (padded) array width. Shared by
+// the exact static charging above and the lower bound's static floor —
+// the two must count identically or pruning under ChargeStatic breaks.
+func (an *analysis) accumulateStaticSites(statics []int64) {
+	eng := an.c.eng
+	for i := range statics {
+		statics[i] = 0
+	}
+	for i := range eng.levelStaticSites {
+		copies := an.instances[i]
+		for _, site := range eng.levelStaticSites[i] {
+			statics[site.idx] += site.n * copies
+		}
+	}
+	perMACCopies := an.paddedMACs / max64(an.cycles, 1)
+	for _, site := range eng.perMACStatic {
+		statics[site.idx] += site.n * perMACCopies
+	}
 }
 
 // EvaluateChecked is Evaluate plus domain-gap diagnostics: it fails if the

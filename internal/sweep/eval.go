@@ -55,6 +55,11 @@ type EvalResponse struct {
 	MACsPerCycle float64 `json:"macs_per_cycle"`
 	Utilization  float64 `json:"utilization"`
 	Evaluations  int     `json:"evaluations"`
+	// Pruned, DeltaEvals and FullEvals sum the mapper's search statistics
+	// across the evaluated layers (zero for fixed-mapping requests).
+	Pruned     int `json:"pruned,omitempty"`
+	DeltaEvals int `json:"delta_evals,omitempty"`
+	FullEvals  int `json:"full_evals,omitempty"`
 }
 
 // buildArch constructs the request's architecture.
@@ -135,6 +140,7 @@ func Eval(req *EvalRequest, cache *mapper.Cache) (*EvalResponse, error) {
 		l := &layers[i]
 		var res *model.Result
 		evals := 0
+		var stats mapper.SearchStats
 		if fixed != nil {
 			if res, err = fixed(l); err != nil {
 				return nil, fmt.Errorf("sweep: layer %s: %w", l.Name, err)
@@ -147,10 +153,13 @@ func Eval(req *EvalRequest, cache *mapper.Cache) (*EvalResponse, error) {
 			if err != nil {
 				return nil, fmt.Errorf("sweep: layer %s: %w", l.Name, err)
 			}
-			res, evals = best.Result, best.Evaluations
+			res, evals, stats = best.Result, best.Evaluations, best.Stats
 		}
-		resp.Layers = append(resp.Layers, layerOutcome(res, evals))
+		resp.Layers = append(resp.Layers, layerOutcomeFrom(res, evals, stats))
 		resp.Evaluations += evals
+		resp.Pruned += stats.Pruned
+		resp.DeltaEvals += stats.DeltaEvals
+		resp.FullEvals += stats.FullEvals
 		total.Accumulate(res)
 	}
 	resp.MACs = total.MACs

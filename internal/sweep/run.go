@@ -14,6 +14,7 @@ import (
 	"photoloop/internal/albireo"
 	"photoloop/internal/arch"
 	"photoloop/internal/mapper"
+	"photoloop/internal/mapping"
 	"photoloop/internal/model"
 	"photoloop/internal/workload"
 )
@@ -82,6 +83,13 @@ type Point struct {
 	Utilization  float64 `json:"utilization,omitempty"`
 	// Evaluations sums the mapper's model evaluations across layers.
 	Evaluations int `json:"evaluations,omitempty"`
+	// Pruned, DeltaEvals and FullEvals sum the mapper's search statistics
+	// across layers: candidates discarded by the admissible lower bound
+	// without a full evaluation, full evaluations that reused
+	// shared-prefix state, and evaluations computed from scratch.
+	Pruned     int `json:"pruned,omitempty"`
+	DeltaEvals int `json:"delta_evals,omitempty"`
+	FullEvals  int `json:"full_evals,omitempty"`
 	// Err records a failed point (the Run error names the first).
 	Err string `json:"error,omitempty"`
 
@@ -103,6 +111,12 @@ type LayerOutcome struct {
 	MACsPerCycle float64 `json:"macs_per_cycle"`
 	Utilization  float64 `json:"utilization"`
 	Evaluations  int     `json:"evaluations"`
+	// Pruned, DeltaEvals and FullEvals break down how the search spent
+	// its candidates (see mapper.SearchStats); all zero for fixed-mapping
+	// evaluations.
+	Pruned     int `json:"pruned,omitempty"`
+	DeltaEvals int `json:"delta_evals,omitempty"`
+	FullEvals  int `json:"full_evals,omitempty"`
 }
 
 // pointJob pairs a pending point with the state needed to evaluate it.
@@ -171,6 +185,26 @@ func Run(sp Spec, opts Options) (*Result, error) {
 		}
 	}
 
+	// The pool consumes chains of jobs. Without warm starts every job is
+	// its own chain (full point-level parallelism, unchanged semantics);
+	// with warm starts the points of one (workload, objective) across the
+	// variant axis form a chain, processed in variant order so each point
+	// inherits its neighbor's best mappings deterministically.
+	var chains [][]int
+	if sp.WarmStart {
+		perWO := len(sp.Workloads) * len(objectives)
+		chains = make([][]int, perWO)
+		for i := range jobs {
+			wo := i % perWO
+			chains[wo] = append(chains[wo], i)
+		}
+	} else {
+		chains = make([][]int, len(jobs))
+		for i := range jobs {
+			chains[i] = []int{i}
+		}
+	}
+
 	cache := opts.Cache
 	if cache == nil {
 		cache = mapper.NewCache()
@@ -198,50 +232,54 @@ func Run(sp Spec, opts Options) (*Result, error) {
 		}
 		workers = max(1, runtime.GOMAXPROCS(0)/perSearch)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(chains) {
+		workers = len(chains)
 	}
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	jobCh := make(chan *pointJob)
+	chainCh := make(chan []int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for job := range jobCh {
-				res.Points[job.index] = r.evaluate(job)
-				r.report(&res.Points[job.index])
+			for chain := range chainCh {
+				var warm warmTable
+				for _, ji := range chain {
+					job := &jobs[ji]
+					if len(chain) > 1 && ctx.Err() != nil {
+						// Mid-chain cancellation: successors of a chain
+						// carry the cancellation like undispatched points.
+						res.Points[job.index] = canceledPoint(job, ctx.Err())
+						continue
+					}
+					res.Points[job.index], warm = r.evaluate(job, warm, sp.WarmStart)
+					r.report(&res.Points[job.index])
+				}
 			}
 		}()
 	}
-	canceledFrom := -1
+	canceled := false
 dispatch:
-	for i := range jobs {
+	for i := range chains {
 		select {
-		case jobCh <- &jobs[i]:
+		case chainCh <- chains[i]:
 		case <-ctx.Done():
-			canceledFrom = i
+			canceled = true
 			break dispatch
 		}
 	}
-	close(jobCh)
+	close(chainCh)
 	wg.Wait()
 
 	hits1, misses1 := cache.Stats()
 	res.CacheHits, res.CacheMisses = hits1-hits0, misses1-misses0
-	if canceledFrom >= 0 {
-		for i := canceledFrom; i < len(jobs); i++ {
-			p := &res.Points[jobs[i].index]
-			if p.Network == "" { // never dispatched
-				*p = Point{
-					Index: jobs[i].index, Variant: jobs[i].variant.label,
-					Params: jobs[i].variant.params, Network: jobs[i].netName,
-					Batch: max(1, jobs[i].workload.Batch), Fused: jobs[i].workload.Fused,
-					Objective: jobs[i].objName, Err: ctx.Err().Error(),
-				}
+	if canceled {
+		for i := range jobs {
+			if res.Points[jobs[i].index].Network == "" { // never dispatched
+				res.Points[jobs[i].index] = canceledPoint(&jobs[i], ctx.Err())
 			}
 		}
 		return res, fmt.Errorf("sweep: %w", ctx.Err())
@@ -253,6 +291,17 @@ dispatch:
 		}
 	}
 	return res, nil
+}
+
+// canceledPoint fills a point that never ran because the run's context was
+// canceled first.
+func canceledPoint(job *pointJob, err error) Point {
+	return Point{
+		Index: job.index, Variant: job.variant.label,
+		Params: job.variant.params, Network: job.netName,
+		Batch: max(1, job.workload.Batch), Fused: job.workload.Fused,
+		Objective: job.objName, Err: err.Error(),
+	}
 }
 
 // runner carries the shared state of one Run.
@@ -313,6 +362,10 @@ func (r *runner) report(p *Point) {
 	}
 }
 
+// warmTable carries one point's best mappings, keyed by layer shape
+// fingerprint, to the next point of a warm-start chain.
+type warmTable map[uint64][]*mapping.Mapping
+
 // mapperOptions assembles the per-layer search options for one objective.
 func (r *runner) mapperOptions(obj mapper.Objective) mapper.Options {
 	return mapper.Options{
@@ -324,8 +377,10 @@ func (r *runner) mapperOptions(obj mapper.Objective) mapper.Options {
 	}
 }
 
-// evaluate computes one point; failures land in Point.Err.
-func (r *runner) evaluate(job *pointJob) Point {
+// evaluate computes one point; failures land in Point.Err. warm supplies
+// the previous chained point's best mappings; when collect is set the
+// point's own bests are returned for its successor.
+func (r *runner) evaluate(job *pointJob, warm warmTable, collect bool) (Point, warmTable) {
 	p := Point{
 		Index:     job.index,
 		Variant:   job.variant.label,
@@ -338,7 +393,7 @@ func (r *runner) evaluate(job *pointJob) Point {
 	st := r.state(job.variant)
 	if st.err != nil {
 		p.Err = st.err.Error()
-		return p
+		return p, nil
 	}
 	a := st.a
 	p.Arch = a.Name
@@ -347,37 +402,63 @@ func (r *runner) evaluate(job *pointJob) Point {
 		p.AreaUM2 = area
 	}
 
+	var next warmTable
+	if collect {
+		next = make(warmTable)
+	}
+	addStats := func(st mapper.SearchStats) {
+		p.Pruned += st.Pruned
+		p.DeltaEvals += st.DeltaEvals
+		p.FullEvals += st.FullEvals
+	}
 	var total *model.Result
 	var layers []LayerOutcome
 	if job.variant.albireo != nil {
 		nres, err := albireo.EvalNetwork(*job.variant.albireo, job.network, albireo.NetOptions{
-			Batch:  job.workload.Batch,
-			Fused:  job.workload.Fused,
-			Mapper: r.mapperOptions(job.obj),
+			Batch:      job.workload.Batch,
+			Fused:      job.workload.Fused,
+			Mapper:     r.mapperOptions(job.obj),
+			WarmStarts: warm,
 		})
 		if err != nil {
 			p.Err = err.Error()
-			return p
+			return p, nil
 		}
 		total = &nres.Total
 		for i := range nres.Layers {
 			le := &nres.Layers[i]
-			layers = append(layers, layerOutcome(le.Best.Result, le.Best.Evaluations))
+			layers = append(layers, layerOutcome(le.Best))
 			p.Evaluations += le.Best.Evaluations
+			addStats(le.Best.Stats)
+			if collect {
+				fp := le.Layer.ShapeFingerprint()
+				if next[fp] == nil {
+					next[fp] = []*mapping.Mapping{le.Best.Mapping}
+				}
+			}
 		}
 	} else {
 		sess := st.sess
 		total = &model.Result{Layer: job.netName}
-		mopts := r.mapperOptions(job.obj)
 		for i := range job.network.Layers {
-			best, err := sess.Search(&job.network.Layers[i], mopts)
+			layer := &job.network.Layers[i]
+			mopts := r.mapperOptions(job.obj)
+			mopts.WarmStarts = warm[layer.ShapeFingerprint()]
+			best, err := sess.Search(layer, mopts)
 			if err != nil {
-				p.Err = fmt.Sprintf("layer %s: %v", job.network.Layers[i].Name, err)
-				return p
+				p.Err = fmt.Sprintf("layer %s: %v", layer.Name, err)
+				return p, nil
 			}
 			total.Accumulate(best.Result)
-			layers = append(layers, layerOutcome(best.Result, best.Evaluations))
+			layers = append(layers, layerOutcome(best))
 			p.Evaluations += best.Evaluations
+			addStats(best.Stats)
+			if collect {
+				fp := layer.ShapeFingerprint()
+				if next[fp] == nil {
+					next[fp] = []*mapping.Mapping{best.Mapping}
+				}
+			}
 		}
 	}
 
@@ -391,10 +472,14 @@ func (r *runner) evaluate(job *pointJob) Point {
 	if r.spec.IncludeLayers {
 		p.Layers = layers
 	}
-	return p
+	return p, next
 }
 
-func layerOutcome(res *model.Result, evals int) LayerOutcome {
+func layerOutcome(best *mapper.Best) LayerOutcome {
+	return layerOutcomeFrom(best.Result, best.Evaluations, best.Stats)
+}
+
+func layerOutcomeFrom(res *model.Result, evals int, stats mapper.SearchStats) LayerOutcome {
 	return LayerOutcome{
 		Layer:        res.Layer,
 		MACs:         res.MACs,
@@ -404,6 +489,9 @@ func layerOutcome(res *model.Result, evals int) LayerOutcome {
 		MACsPerCycle: res.MACsPerCycle,
 		Utilization:  res.Utilization,
 		Evaluations:  evals,
+		Pruned:       stats.Pruned,
+		DeltaEvals:   stats.DeltaEvals,
+		FullEvals:    stats.FullEvals,
 	}
 }
 

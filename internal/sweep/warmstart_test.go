@@ -1,0 +1,74 @@
+package sweep
+
+import (
+	"testing"
+
+	"photoloop/internal/workload"
+)
+
+func warmStartSpec(warm bool) Spec {
+	return Spec{
+		Name: "warm",
+		Base: Base{Albireo: &AlbireoBase{Scaling: "aggressive"}},
+		Axes: []Axis{
+			{Param: "output_lanes", Values: []any{3, 9, 15}},
+		},
+		Workloads: []Workload{{Inline: &workload.Network{Name: "tiny", Layers: []workload.Layer{
+			workload.NewConv("c1", 1, 64, 32, 14, 14, 3, 3, 1, 1),
+			workload.NewConv("c2", 1, 32, 64, 7, 7, 3, 3, 1, 1),
+		}}}},
+		Budget:        120,
+		Seed:          1,
+		SearchWorkers: 1,
+		WarmStart:     warm,
+	}
+}
+
+// TestWarmStartSweep covers Spec.WarmStart: the chained sweep completes,
+// is exactly reproducible, threads incumbents (visible as warm-start
+// evaluations beyond the budget on successor points), and does not degrade
+// the search outcome relative to the cold sweep.
+func TestWarmStartSweep(t *testing.T) {
+	cold, err := Run(warmStartSpec(false), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(warmStartSpec(true), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(warmStartSpec(true), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Points) != len(cold.Points) {
+		t.Fatalf("point count mismatch: %d vs %d", len(warm.Points), len(cold.Points))
+	}
+	for i := range warm.Points {
+		w, a, c := &warm.Points[i], &again.Points[i], &cold.Points[i]
+		if w.TotalPJ != a.TotalPJ || w.Evaluations != a.Evaluations {
+			t.Fatalf("point %d not reproducible: %g/%d vs %g/%d",
+				i, w.TotalPJ, w.Evaluations, a.TotalPJ, a.Evaluations)
+		}
+		if w.MACs != c.MACs {
+			t.Fatalf("point %d MACs diverged", i)
+		}
+		// Warm starts add candidates; they must never leave a point
+		// dramatically worse than the cold search (the usual outcome is
+		// equal or better — the incumbent joins the pool).
+		if w.TotalPJ > c.TotalPJ*1.001 {
+			t.Errorf("point %d: warm %g pJ worse than cold %g pJ", i, w.TotalPJ, c.TotalPJ)
+		}
+	}
+	// Successor points actually received incumbents: their evaluation
+	// counts include uncharged warm-start evaluations.
+	threading := false
+	for i := 1; i < len(warm.Points); i++ {
+		if warm.Points[i].Evaluations > cold.Points[i].Evaluations {
+			threading = true
+		}
+	}
+	if !threading {
+		t.Error("no point shows warm-start evaluations; incumbent threading inert")
+	}
+}

@@ -180,11 +180,18 @@ type (
 	// per architecture, share across layers and goroutines.
 	Engine = model.Engine
 	// Compiled is an engine specialized to one (architecture, layer)
-	// pair; its EvaluateInto fast path is the mapper's inner loop.
+	// pair; its EvaluateInto fast path is the mapper's inner loop, its
+	// LowerBound method the admissible bound the search prunes with, and
+	// its EvaluatePartial method the shared-prefix delta evaluator.
 	Compiled = model.Compiled
 	// EvalScratch is the reusable per-goroutine working memory of the
-	// compiled fast path.
+	// compiled fast path; it also carries the delta-evaluation state
+	// between consecutive EvaluatePartial calls.
 	EvalScratch = model.Scratch
+	// EvalBound is an admissible lower bound on a mapping's evaluation:
+	// Compiled.LowerBound guarantees EnergyPJ <= TotalPJ and Cycles <=
+	// Cycles of any successful full evaluation of the same mapping.
+	EvalBound = model.Bound
 )
 
 // NewMapping returns an inert mapping for the architecture.
@@ -209,8 +216,13 @@ func Compile(a *Arch, l *Layer) (*Compiled, error) { return model.Compile(a, l) 
 type (
 	// SearchOptions configures the mapping search.
 	SearchOptions = mapper.Options
-	// SearchBest is a search outcome.
+	// SearchBest is a search outcome; its Stats field breaks down how the
+	// candidate stream was spent (pruned / delta / full evaluations).
 	SearchBest = mapper.Best
+	// SearchStats counts how a search dispatched its candidates:
+	// lower-bound pruned, delta evaluations, full evaluations,
+	// duplicates, invalid draws and warm-start evaluations.
+	SearchStats = mapper.SearchStats
 	// Objective selects what the search minimizes.
 	Objective = mapper.Objective
 	// MapperSession caches an architecture's search invariants (compiled
