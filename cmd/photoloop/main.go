@@ -1,15 +1,19 @@
 // Command photoloop is the generic specification-driven front end of the
 // modeling framework: evaluate or map JSON-specified architectures against
 // built-in or JSON-specified DNN workloads, run declarative design-space
-// sweeps, or serve the model over HTTP.
+// sweeps and comparative preset studies, benchmark the engine, or serve
+// the model over HTTP.
 //
 // Subcommands:
 //
-//	photoloop eval -arch a.json -network vgg16 [-layer name] [-mapping m.json] [-json] ...
+//	photoloop eval (-arch a.json | -preset name) -network vgg16 [-layer name] [-mapping m.json] [-json] ...
 //	photoloop sweep (-spec sweep.json | -preset fig4|fig5) [-format json|csv] [-out file] ...
+//	photoloop study [-presets all] [-workloads all] [-objectives energy] [-format table|markdown|json|csv] ...
 //	photoloop serve [-addr :8080] [-workers N]
+//	photoloop bench [-json] [-out BENCH.json] [-compare prior.json]
 //	photoloop template          # print an example architecture spec
 //	photoloop networks          # list built-in workloads
+//	photoloop presets           # list the architecture preset library
 //	photoloop classes           # list component classes
 //	photoloop version           # print the build version
 //	photoloop help              # print this usage
@@ -23,12 +27,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime/debug"
-	"sort"
 	"text/tabwriter"
 	"time"
 
 	"photoloop/internal/components"
 	"photoloop/internal/exp"
+	"photoloop/internal/presets"
 	"photoloop/internal/spec"
 	"photoloop/internal/sweep"
 	"photoloop/internal/workload"
@@ -52,6 +56,8 @@ func run(args []string) int {
 		err = cmdEval(args[1:])
 	case "sweep":
 		err = cmdSweep(args[1:])
+	case "study":
+		err = cmdStudy(args[1:])
 	case "serve":
 		err = cmdServe(args[1:])
 	case "bench":
@@ -60,6 +66,8 @@ func run(args []string) int {
 		fmt.Print(spec.Template)
 	case "networks":
 		err = cmdNetworks()
+	case "presets":
+		err = cmdPresets()
 	case "classes":
 		for _, c := range components.Classes() {
 			fmt.Println(c)
@@ -81,12 +89,15 @@ func run(args []string) int {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
-  photoloop eval -arch a.json (-network name|file.json) [-layer name] [-mapping m.json]
-                 [-batch N] [-budget N] [-objective energy|delay|edp] [-seed N] [-json]
-      Evaluate (or mapper-search) a JSON architecture against a workload.
-      With -mapping, the fixed schedule in m.json is evaluated instead of
-      searching. With -json, the result is the same document POST /v1/eval
-      answers.
+  photoloop eval (-arch a.json | -preset name) (-network name|file.json)
+                 [-layer name] [-mapping m.json] [-batch N] [-budget N]
+                 [-objective energy|delay|edp] [-seed N] [-search-workers N]
+                 [-json]
+      Evaluate (or mapper-search) an architecture against a workload: a
+      JSON architecture spec, or a named preset from the library
+      ('photoloop presets' lists them). With -mapping, the fixed schedule
+      in m.json is evaluated instead of searching. With -json, the result
+      is the same document POST /v1/eval answers.
   photoloop sweep (-spec sweep.json | -preset fig4|fig5) [-format json|csv]
                   [-out file] [-workers N] [-budget N] [-seed N]
                   [-warm-start] [-quiet]
@@ -95,10 +106,20 @@ func usage(w io.Writer) {
       -warm-start chains same-workload points across the variant axis,
       seeding each search with its neighbor's best mappings so the
       mapper's lower bound prunes from the first candidate.
+  photoloop study [-presets all|a,b,...] [-workloads all|a,b,...]
+                  [-objectives energy,delay,edp] [-batch N] [-budget N]
+                  [-seed N] [-search-workers N] [-workers N]
+                  [-format table|markdown|json|csv] [-out file] [-quiet]
+      Run a comparative study: the cross product of architecture presets x
+      zoo workloads x objectives through the cached sweep engine, ranked
+      per (workload, objective) group. Rows are bit-identical to
+      evaluating each (preset, workload) pair with 'photoloop eval
+      -preset' at the same budget/seed/search-workers.
   photoloop serve [-addr :8080] [-workers N] [-debug]
       Serve the model over HTTP: POST /v1/eval, POST /v1/sweep,
-      GET /v1/networks. -debug additionally mounts net/http/pprof under
-      /debug/pprof/ for live profiling.
+      POST /v1/study, GET /v1/networks, GET /v1/presets. -debug
+      additionally mounts net/http/pprof under /debug/pprof/ for live
+      profiling.
   photoloop bench [-json] [-out BENCH.json] [-compare prior.json] [-label name]
       Run the performance microbenchmarks (Evaluate, LowerBound,
       MapperSearch, Fig4, Fig5) plus mapper pruning statistics, and emit
@@ -107,6 +128,7 @@ func usage(w io.Writer) {
       BENCH_*.json trajectory artifacts are produced this way.
   photoloop template    print an example architecture spec
   photoloop networks    list built-in workloads
+  photoloop presets     list the architecture preset library
   photoloop classes     list component classes
   photoloop version     print the build version
   photoloop help        print this usage
@@ -135,25 +157,37 @@ func version() string {
 
 func cmdNetworks() error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "network\tlayers\tMACs\tweights")
-	names := make([]string, 0)
-	for name := range workload.Zoo() {
-		names = append(names, name)
+	fmt.Fprintln(w, "network\tfamily\tlayers\tMACs\tweights\tdescription")
+	for _, e := range workload.ZooEntries() {
+		n := e.Build(1)
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%s\n",
+			e.Name, e.Family, len(n.Layers), n.MACs(), n.WeightElems(), e.Description)
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		n, err := workload.ByName(name, 1)
+	return w.Flush()
+}
+
+func cmdPresets() error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "preset\tkind\tpeak MACs/cycle\tarea mm^2\tdescription")
+	for _, p := range presets.All() {
+		a, err := p.Build()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\n", name, len(n.Layers), n.MACs(), n.WeightElems())
+		area, err := a.Area()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.2f\t%s\n",
+			p.Name, p.Kind(), a.PeakMACsPerCycle(), area/1e6, p.Description)
 	}
 	return w.Flush()
 }
 
 func cmdEval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
-	archPath := fs.String("arch", "", "architecture spec JSON (required)")
+	archPath := fs.String("arch", "", "architecture spec JSON (this or -preset is required)")
+	presetName := fs.String("preset", "", "named architecture preset ('photoloop presets' lists them)")
 	network := fs.String("network", "", "built-in network name or network JSON file (required)")
 	layerName := fs.String("layer", "", "evaluate only this layer")
 	mappingPath := fs.String("mapping", "", "mapping spec JSON (default: search)")
@@ -161,26 +195,33 @@ func cmdEval(args []string) error {
 	budget := fs.Int("budget", 2000, "mapper budget per layer")
 	objective := fs.String("objective", "energy", "energy, delay or edp")
 	seed := fs.Int64("seed", 1, "mapper seed")
+	searchWorkers := fs.Int("search-workers", 0, "per-layer search parallelism; match a study's -search-workers for bit-identical rows (0 = mapper default)")
 	asJSON := fs.Bool("json", false, "emit the /v1/eval JSON document instead of a table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *archPath == "" || *network == "" {
-		return fmt.Errorf("eval requires -arch and -network")
+	if (*archPath == "") == (*presetName == "") {
+		return fmt.Errorf("eval requires exactly one of -arch or -preset")
+	}
+	if *network == "" {
+		return fmt.Errorf("eval requires -network")
 	}
 
 	req := &sweep.EvalRequest{
-		Layer: *layerName, Batch: *batch, Objective: *objective,
-		Budget: *budget, Seed: *seed,
+		Preset: *presetName,
+		Layer:  *layerName, Batch: *batch, Objective: *objective,
+		Budget: *budget, Seed: *seed, Workers: *searchWorkers,
 	}
-	af, err := os.Open(*archPath)
-	if err != nil {
-		return err
-	}
-	req.Arch, err = spec.ParseArchSpec(af)
-	af.Close()
-	if err != nil {
-		return err
+	if *archPath != "" {
+		af, err := os.Open(*archPath)
+		if err != nil {
+			return err
+		}
+		req.Arch, err = spec.ParseArchSpec(af)
+		af.Close()
+		if err != nil {
+			return err
+		}
 	}
 	if _, ok := workload.Zoo()[*network]; ok {
 		req.Network = *network
@@ -244,6 +285,28 @@ func renderEval(out io.Writer, resp *sweep.EvalResponse) error {
 	return nil
 }
 
+// openOut opens the results destination before any compute is spent (a
+// bad path must fail in milliseconds, not after the run). The returned
+// closeOut wraps a command's final error: buffered writes can surface
+// only at Close, and a dropped close error would mean a silently
+// truncated results file.
+func openOut(path string) (io.Writer, func(error) error, error) {
+	if path == "" {
+		return os.Stdout, func(err error) error { return err }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	closeOut := func(err error) error {
+		if cerr := f.Close(); err == nil {
+			return cerr
+		}
+		return err
+	}
+	return f, closeOut, nil
+}
+
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	specPath := fs.String("spec", "", "sweep spec JSON file (or - for stdin)")
@@ -299,27 +362,8 @@ func cmdSweep(args []string) error {
 		sp.WarmStart = true
 	}
 
-	// Open the output before spending the compute: a bad path must fail
-	// in milliseconds, not after the sweep.
-	out := io.Writer(os.Stdout)
-	var outFile *os.File
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
-		}
-		outFile = f
-		out = f
-	}
-	closeOut := func(err error) error {
-		if outFile == nil {
-			return err
-		}
-		// Buffered writes can surface only at Close; a dropped close
-		// error would mean a silently truncated results file.
-		if cerr := outFile.Close(); err == nil {
-			return cerr
-		}
+	out, closeOut, err := openOut(*outPath)
+	if err != nil {
 		return err
 	}
 

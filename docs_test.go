@@ -1,19 +1,55 @@
 package photoloop_test
 
 import (
+	"bytes"
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
+
+	"photoloop"
 )
 
-// TestFacadeDocComments enforces the documentation contract of the public
-// facade: every exported identifier declared in photoloop.go must carry a
-// doc comment (on its own declaration, its spec, or — for grouped
-// constants — the group). CI runs this as part of the docs job.
+// docLintPackages are the directories whose exported identifiers must all
+// carry doc comments: the public facade plus the packages the scenario
+// subsystem added (presets, the workload zoo, the sweep/study engine).
+// CI runs this lint as part of the docs job.
+var docLintPackages = []string{
+	".", // the photoloop facade
+	"internal/presets",
+	"internal/workload",
+	"internal/sweep",
+}
+
+// TestFacadeDocComments enforces the documentation contract: every
+// exported identifier declared in the linted packages must carry a doc
+// comment (on its own declaration, its spec, or — for grouped constants —
+// the group).
 func TestFacadeDocComments(t *testing.T) {
+	for _, dir := range docLintPackages {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			lintFileDocComments(t, filepath.Join(dir, name))
+		}
+	}
+}
+
+func lintFileDocComments(t *testing.T, path string) {
+	t.Helper()
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "photoloop.go", nil, parser.ParseComments)
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,6 +59,8 @@ func TestFacadeDocComments(t *testing.T) {
 	for _, decl := range f.Decls {
 		switch d := decl.(type) {
 		case *ast.FuncDecl:
+			// Methods inherit discoverability from their receiver type's
+			// godoc page but still must be documented.
 			if d.Name.IsExported() && d.Doc == nil {
 				report(d.Name.Name, d.Pos())
 			}
@@ -44,6 +82,253 @@ func TestFacadeDocComments(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// repoMarkdownFiles returns the markdown documents the docs checks cover.
+func repoMarkdownFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, docs...)
+}
+
+// TestMarkdownLinks checks that intra-repo links in README.md and
+// docs/*.md resolve to existing files — no dangling references. External
+// (http/https/mailto) and pure-anchor links are skipped.
+func TestMarkdownLinks(t *testing.T) {
+	linkRe := regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	for _, path := range repoMarkdownFiles(t) {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(buf), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dangling link %q (%v)", path, m[1], err)
+			}
+		}
+	}
+}
+
+// docRefPackages maps the package qualifiers docs/MODELING.md may use to
+// the directories that declare them.
+var docRefPackages = map[string]string{
+	"photoloop":  ".",
+	"workload":   "internal/workload",
+	"components": "internal/components",
+	"arch":       "internal/arch",
+	"mapping":    "internal/mapping",
+	"model":      "internal/model",
+	"mapper":     "internal/mapper",
+	"albireo":    "internal/albireo",
+	"baseline":   "internal/baseline",
+	"spec":       "internal/spec",
+	"sweep":      "internal/sweep",
+	"presets":    "internal/presets",
+	"exp":        "internal/exp",
+	"refsim":     "internal/refsim",
+	"report":     "internal/report",
+}
+
+// exportedNames parses every non-test file of a package directory and
+// returns its exported top-level identifiers (types, funcs, consts,
+// vars).
+func exportedNames(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.IsExported() {
+					out[d.Name.Name] = true
+				}
+			case *ast.GenDecl:
+				for _, s := range d.Specs {
+					switch sp := s.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() {
+							out[sp.Name.Name] = true
+						}
+					case *ast.ValueSpec:
+						for _, n := range sp.Names {
+							if n.IsExported() {
+								out[n.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestModelingDocReferences guards docs/MODELING.md against rot: every
+// backticked `pkg.Symbol` reference whose qualifier names one of this
+// module's packages must resolve to an exported identifier that still
+// compiles there.
+func TestModelingDocReferences(t *testing.T) {
+	buf, err := os.ReadFile(filepath.Join("docs", "MODELING.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRe := regexp.MustCompile("`([a-z][a-zA-Z0-9]*)\\.([A-Z][A-Za-z0-9]*)")
+	names := map[string]map[string]bool{}
+	checked := 0
+	for _, m := range refRe.FindAllStringSubmatch(string(buf), -1) {
+		pkg, sym := m[1], m[2]
+		dir, ok := docRefPackages[pkg]
+		if !ok {
+			continue
+		}
+		if names[pkg] == nil {
+			names[pkg] = exportedNames(t, dir)
+		}
+		checked++
+		if !names[pkg][sym] {
+			t.Errorf("docs/MODELING.md references %s.%s, which %s does not export", pkg, sym, dir)
+		}
+	}
+	if checked < 30 {
+		t.Errorf("only %d package references found — the extraction regex may have rotted", checked)
+	}
+}
+
+// generatedWorkloadTable renders the README's workload table from the
+// zoo registry — the single source of truth.
+func generatedWorkloadTable() string {
+	var b strings.Builder
+	b.WriteString("| network | family | layers | GMACs | params (M) | description |\n")
+	b.WriteString("|---|---|---:|---:|---:|---|\n")
+	for _, e := range photoloop.WorkloadZoo() {
+		n := e.Build(1)
+		fmt.Fprintf(&b, "| %s | %s | %d | %.2f | %.2f | %s |\n",
+			e.Name, e.Family, len(n.Layers),
+			float64(n.MACs())/1e9, float64(n.WeightElems())/1e6, e.Description)
+	}
+	return b.String()
+}
+
+// generatedPresetTable renders the README's preset table from the
+// preset library.
+func generatedPresetTable() string {
+	var b strings.Builder
+	b.WriteString("| preset | kind | peak MACs/cycle | area (mm²) | description |\n")
+	b.WriteString("|---|---|---:|---:|---|\n")
+	for _, p := range photoloop.Presets() {
+		a, err := p.Build()
+		if err != nil {
+			panic(err)
+		}
+		area, err := a.Area()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %d | %.2f | %s |\n",
+			p.Name, p.Kind(), a.PeakMACsPerCycle(), area/1e6, p.Description)
+	}
+	return b.String()
+}
+
+// TestREADMEGeneratedTables keeps the README's workload and preset
+// tables generated from the live registries: the committed text between
+// the marker comments must match what the code produces. Run with
+// UPDATE_DOCS=1 to rewrite the README in place after adding a zoo entry
+// or preset.
+func TestREADMEGeneratedTables(t *testing.T) {
+	blocks := map[string]string{
+		"workloads": generatedWorkloadTable(),
+		"presets":   generatedPresetTable(),
+	}
+	buf, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(buf)
+	update := os.Getenv("UPDATE_DOCS") != ""
+	for name, want := range blocks {
+		begin := fmt.Sprintf("<!-- generated:%s:begin -->\n", name)
+		end := fmt.Sprintf("<!-- generated:%s:end -->", name)
+		bi := strings.Index(text, begin)
+		ei := strings.Index(text, end)
+		if bi < 0 || ei < 0 || ei < bi {
+			t.Errorf("README.md: markers for generated block %q missing or out of order", name)
+			continue
+		}
+		got := text[bi+len(begin) : ei]
+		if got == want {
+			continue
+		}
+		if update {
+			text = text[:bi+len(begin)] + want + text[ei:]
+			continue
+		}
+		t.Errorf("README.md generated %s table is stale (run UPDATE_DOCS=1 go test -run TestREADMEGeneratedTables .):\n--- committed ---\n%s\n--- generated ---\n%s", name, got, want)
+	}
+	if update && text != string(buf) {
+		if err := os.WriteFile("README.md", []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("README.md updated")
+	}
+}
+
+// TestREADMESubcommandsDocumented keeps the README and `photoloop help`
+// honest: every CLI subcommand must appear in the README's command-line
+// session (bench was once missing; study must not regress the same way).
+func TestREADMESubcommandsDocumented(t *testing.T) {
+	buf, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(buf)
+	for _, sub := range []string{
+		"eval", "sweep", "study", "serve", "bench",
+		"template", "networks", "presets", "classes",
+	} {
+		if !strings.Contains(text, "photoloop "+sub) {
+			t.Errorf("README.md does not document the %q subcommand", sub)
+		}
+	}
+	// And the usage text in cmd/photoloop must list them all too.
+	main, err := os.ReadFile(filepath.Join("cmd", "photoloop", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{
+		"photoloop eval", "photoloop sweep", "photoloop study",
+		"photoloop serve", "photoloop bench", "photoloop template",
+		"photoloop networks", "photoloop presets", "photoloop classes",
+		"photoloop version", "photoloop help",
+	} {
+		if !bytes.Contains(main, []byte(sub)) {
+			t.Errorf("cmd/photoloop usage does not mention %q", sub)
 		}
 	}
 }

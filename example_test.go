@@ -113,3 +113,29 @@ func ExampleParseArchSpec() {
 	// Output:
 	// mini-photonic: 5 levels, peak 864 MACs/cycle
 }
+
+// ExampleStudy compares architecture presets on one workload and prints
+// each objective's winner — the engine behind `photoloop study` and
+// `POST /v1/study`. Rows arrive ranked per (workload, objective) group,
+// bit-identical to evaluating each (preset, workload) pair individually.
+func ExampleStudy() {
+	res, err := photoloop.Study(photoloop.StudySpec{
+		Presets:       []string{"albireo", "electrical-baseline"},
+		Workloads:     []string{"alexnet"},
+		Objectives:    []string{"energy", "delay"},
+		Budget:        60,
+		Seed:          1,
+		SearchWorkers: 1,
+	}, photoloop.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Rank == 1 {
+			fmt.Printf("%s/%s winner: %s\n", row.Network, row.Objective, row.Preset)
+		}
+	}
+	// Output:
+	// alexnet/energy winner: electrical-baseline
+	// alexnet/delay winner: albireo
+}

@@ -1,0 +1,57 @@
+// comparative_study runs the architecture-level comparison the source
+// paper's methodology exists to answer: which accelerator ORGANIZATION
+// wins on which workload class? It crosses the photonic preset library
+// (stock Albireo, the WDM-scaled wide variant, the ADC-lean
+// shared-converter variant) and the electrical baseline against a
+// conv-era CNN, a depthwise-dominated modern CNN and a transformer
+// encoder, then prints each workload's ranked energy table.
+//
+// The same cross product runs from the command line as
+//
+//	photoloop study -presets all -workloads alexnet,mobilenet_v2,bert_base
+//
+// and over HTTP as POST /v1/study; all three share the cached sweep
+// engine, so rows here are bit-identical to `photoloop eval -preset` at
+// the same budget and seed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"photoloop"
+)
+
+func main() {
+	res, err := photoloop.Study(photoloop.StudySpec{
+		Name:      "organization-vs-workload",
+		Presets:   []string{"all"},
+		Workloads: []string{"alexnet", "mobilenet_v2", "bert_base"},
+		// Small pinned budget and single-threaded searches keep the run
+		// fast and machine-independent; raise Budget for tighter mappings.
+		Budget:        150,
+		Seed:          1,
+		SearchWorkers: 1,
+	}, photoloop.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "workload\trank\tpreset\tpJ/MAC\tMACs/cycle\tutil\tarea mm^2")
+	for i, row := range res.Rows {
+		if i > 0 && row.Network != res.Rows[i-1].Network {
+			fmt.Fprintln(w, "\t\t\t\t\t\t")
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%.3f\t%.0f\t%.0f%%\t%.1f\n",
+			row.Network, row.Rank, row.Preset, row.PJPerMAC, row.MACsPerCycle,
+			100*row.Utilization, row.AreaUM2/1e6)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d layer searches, %d served from the shared cache\n",
+		res.CacheHits+res.CacheMisses, res.CacheHits)
+}

@@ -1,0 +1,145 @@
+// Package presets is the named architecture preset library: a curated set
+// of photonic accelerator organizations (and the electrical rival) that
+// the CLI, the HTTP service and the study runner can reference by name.
+// Each preset is a parameterization of an existing builder — an
+// albireo.Config variant or the baseline digital array — and Build
+// produces a fully validated architecture, so every preset flows through
+// the same compiled evaluation engine as hand-written specs.
+//
+// The library exists for architecture-level comparison, the source
+// paper's whole point: stock Albireo answers "what does THIS design
+// cost", the presets answer "which ORGANIZATION wins on THIS workload" —
+// WDM-scaled wide fan-out, ADC-lean analog sharing, and the electrical
+// baseline, side by side via `photoloop study`.
+package presets
+
+import (
+	"fmt"
+	"strings"
+
+	"photoloop/internal/albireo"
+	"photoloop/internal/arch"
+	"photoloop/internal/baseline"
+)
+
+// Preset is one named architecture in the library. Exactly one of the
+// backing configurations is set; Build constructs and validates the
+// architecture it describes.
+type Preset struct {
+	// Name is the registry key ("albireo", "electrical-baseline", ...).
+	Name string
+	// Description is the one-line summary surfaced by `photoloop
+	// presets`, GET /v1/presets and the generated README table.
+	Description string
+
+	albireoCfg  *albireo.Config
+	baselineCfg *baseline.Config
+}
+
+// Kind reports the preset's backing family: "albireo" for photonic
+// presets built from an albireo.Config, "electrical" for the digital
+// baseline.
+func (p *Preset) Kind() string {
+	if p.albireoCfg != nil {
+		return "albireo"
+	}
+	return "electrical"
+}
+
+// Albireo returns the preset's Albireo configuration (a copy) and true
+// when the preset is albireo-backed. Albireo-backed presets support the
+// sweep engine's Albireo axes and fused workloads; electrical presets do
+// not.
+func (p *Preset) Albireo() (albireo.Config, bool) {
+	if p.albireoCfg == nil {
+		return albireo.Config{}, false
+	}
+	return *p.albireoCfg, true
+}
+
+// Build constructs the preset's architecture, validated.
+func (p *Preset) Build() (*arch.Arch, error) {
+	switch {
+	case p.albireoCfg != nil:
+		return p.albireoCfg.Build()
+	case p.baselineCfg != nil:
+		return p.baselineCfg.Build()
+	}
+	return nil, fmt.Errorf("presets: preset %q has no backing configuration", p.Name)
+}
+
+// All returns the preset library in curated order (stock Albireo first,
+// then its photonic variants, then the electrical baseline). Every call
+// returns fresh values, so callers cannot corrupt the library.
+func All() []*Preset {
+	stock := albireo.Default(albireo.Conservative)
+	aggressive := albireo.Default(albireo.Aggressive)
+
+	// WDM-scaled wide variant: triple the wavelengths one modulated input
+	// feeds through the star coupler (IR 9 -> 27) and merge three analog
+	// OR lanes per ADC sample (OR 3 -> 9) — the high-reuse corner of the
+	// paper's Fig. 5 grid, where input modulation and readout conversions
+	// amortize across a much wider optical fan-out.
+	wdmWide := albireo.Default(albireo.Conservative)
+	wdmWide.OutputLanes = 9
+	wdmWide.ORLanes = 3
+
+	// ADC-lean shared-converter variant: five OR lanes merge 15
+	// photocurrents per ADC sample, and the ring banks move below the
+	// pixel-lane fan-out so one programmed weight serves every lane
+	// (Albireo's "more weight reuse" topology) — trading extra optical
+	// distribution loss for far fewer ADC conversions and ring programs.
+	adcLean := albireo.Default(albireo.Conservative)
+	adcLean.ORLanes = 5
+	adcLean.WeightReuse = true
+
+	electrical := baseline.Default()
+
+	return []*Preset{
+		{
+			Name:        "albireo",
+			Description: "stock Albireo (8 clusters x 32 pixel lanes, IR=9, OR=3), conservative calibration",
+			albireoCfg:  &stock,
+		},
+		{
+			Name:        "albireo-aggressive",
+			Description: "stock Albireo under the aggressive technology projection (optical/converter energies x0.158)",
+			albireoCfg:  &aggressive,
+		},
+		{
+			Name:        "albireo-wdm-wide",
+			Description: "WDM-scaled wide variant: IR=27 input fan-out, OR=9 analog merge (the Fig. 5 high-reuse corner)",
+			albireoCfg:  &wdmWide,
+		},
+		{
+			Name:        "albireo-adc-lean",
+			Description: "ADC-lean shared-converter variant: OR=15 photocurrents per ADC sample + shared ring banks (more weight reuse)",
+			albireoCfg:  &adcLean,
+		},
+		{
+			Name:        "electrical-baseline",
+			Description: "conventional digital weight-stationary 64x108 PE array matched to Albireo's 6912 MACs/cycle peak",
+			baselineCfg: &electrical,
+		},
+	}
+}
+
+// Names returns the preset names in library order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, p := range all {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ByName looks a preset up by its registry name.
+func ByName(name string) (*Preset, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("presets: unknown preset %q (have %s)", name, strings.Join(Names(), ", "))
+}

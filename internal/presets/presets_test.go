@@ -1,0 +1,117 @@
+package presets
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllPresetsBuild is the library's validity contract: every preset
+// must construct a validated architecture with a positive area and peak
+// throughput, carry a description, and have a unique name.
+func TestAllPresetsBuild(t *testing.T) {
+	all := All()
+	if len(all) < 4 {
+		t.Fatalf("library has %d presets, want >= 4 (stock + 3 variants)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if p.Name == "" || p.Description == "" {
+			t.Errorf("preset %+v: name and description are required", p)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate preset name %q", p.Name)
+		}
+		seen[p.Name] = true
+		a, err := p.Build()
+		if err != nil {
+			t.Errorf("%s: Build: %v", p.Name, err)
+			continue
+		}
+		if a.PeakMACsPerCycle() <= 0 {
+			t.Errorf("%s: peak %d MACs/cycle", p.Name, a.PeakMACsPerCycle())
+		}
+		area, err := a.Area()
+		if err != nil || area <= 0 {
+			t.Errorf("%s: area %.1f, err %v", p.Name, area, err)
+		}
+		switch p.Kind() {
+		case "albireo":
+			if _, ok := p.Albireo(); !ok {
+				t.Errorf("%s: Kind albireo but no Albireo config", p.Name)
+			}
+		case "electrical":
+			if _, ok := p.Albireo(); ok {
+				t.Errorf("%s: Kind electrical but has an Albireo config", p.Name)
+			}
+		default:
+			t.Errorf("%s: unknown kind %q", p.Name, p.Kind())
+		}
+	}
+}
+
+// TestByName covers the lookup path and its error message (the CLI prints
+// it verbatim, so it must name the valid presets).
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	_, err := ByName("tpu-v4")
+	if err == nil {
+		t.Fatal("ByName(tpu-v4) succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "albireo") {
+		t.Errorf("error %q should list the valid presets", err)
+	}
+}
+
+// TestAlbireoReturnsCopy guards the library against mutation through the
+// returned configuration.
+func TestAlbireoReturnsCopy(t *testing.T) {
+	p, err := ByName("albireo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, ok := p.Albireo()
+	if !ok {
+		t.Fatal("stock albireo preset is not albireo-backed")
+	}
+	cfg.Clusters = 1
+	again, _ := p.Albireo()
+	if again.Clusters == 1 {
+		t.Error("mutating the returned config changed the preset")
+	}
+}
+
+// TestPresetPeaksDiffer sanity-checks that the variants actually describe
+// different machines: the WDM-wide and ADC-lean presets scale the compute
+// width, the electrical baseline matches stock Albireo's peak.
+func TestPresetPeaksDiffer(t *testing.T) {
+	peak := func(name string) int64 {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := p.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.PeakMACsPerCycle()
+	}
+	stock := peak("albireo")
+	if stock != 6912 {
+		t.Errorf("stock peak = %d, want 6912", stock)
+	}
+	if peak("electrical-baseline") != stock {
+		t.Errorf("electrical baseline peak %d != stock %d (throughput-matched by design)", peak("electrical-baseline"), stock)
+	}
+	if peak("albireo-wdm-wide") <= stock || peak("albireo-adc-lean") <= stock {
+		t.Errorf("reuse variants should widen the array: wdm %d, adc-lean %d, stock %d",
+			peak("albireo-wdm-wide"), peak("albireo-adc-lean"), stock)
+	}
+}

@@ -3,23 +3,34 @@ package sweep
 import (
 	"fmt"
 
+	"photoloop/internal/albireo"
 	"photoloop/internal/arch"
 	"photoloop/internal/mapper"
 	"photoloop/internal/model"
+	"photoloop/internal/presets"
 	"photoloop/internal/spec"
 	"photoloop/internal/workload"
 )
 
 // EvalRequest is one architecture × network evaluation: the request body
 // of `POST /v1/eval` and the engine behind `photoloop eval`. Exactly one
-// of Arch/Albireo selects the architecture, and exactly one of
+// of Arch/Albireo/Preset selects the architecture, and exactly one of
 // Network/Inline selects the workload. With no Mapping, every layer is
 // mapper-searched; with one, the fixed schedule is evaluated as-is.
+//
+// Searched evaluations of Albireo-backed architectures (an Albireo base
+// or an albireo-backed preset) run through albireo.EvalNetwork — the
+// canonical schedules seed each search and repeated layer shapes share
+// one search — exactly as sweep and study points do, so a study row and
+// the corresponding `photoloop eval` answer are bit-identical.
 type EvalRequest struct {
 	// Arch is a raw architecture spec document.
 	Arch *spec.ArchSpec `json:"arch,omitempty"`
 	// Albireo selects the paper's Albireo instantiation instead.
 	Albireo *AlbireoBase `json:"albireo,omitempty"`
+	// Preset selects a named architecture from the preset library
+	// (presets.ByName) instead.
+	Preset string `json:"preset,omitempty"`
 	// Network names a zoo network; Inline embeds one.
 	Network string            `json:"network,omitempty"`
 	Inline  *workload.Network `json:"inline,omitempty"`
@@ -62,29 +73,52 @@ type EvalResponse struct {
 	FullEvals  int `json:"full_evals,omitempty"`
 }
 
-// buildArch constructs the request's architecture.
-func (req *EvalRequest) buildArch() (*arch.Arch, error) {
-	switch {
-	case req.Arch != nil && req.Albireo != nil:
-		return nil, fmt.Errorf("sweep: eval request sets both arch and albireo")
-	case req.Arch != nil:
-		return req.Arch.Build()
-	case req.Albireo != nil:
-		cfg, err := req.Albireo.config()
-		if err != nil {
-			return nil, err
+// resolveBase resolves the request's architecture. For Albireo-backed
+// requests (an Albireo base or an albireo-backed preset) the returned
+// config is non-nil, letting searched evaluations run the same
+// albireo.EvalNetwork path the sweep engine uses.
+func (req *EvalRequest) resolveBase() (*albireo.Config, *arch.Arch, error) {
+	selectors := 0
+	for _, set := range []bool{req.Arch != nil, req.Albireo != nil, req.Preset != ""} {
+		if set {
+			selectors++
 		}
-		return cfg.Build()
-	default:
-		return nil, fmt.Errorf("sweep: eval request needs an arch or albireo base")
 	}
+	if selectors != 1 {
+		return nil, nil, fmt.Errorf("sweep: eval request must set exactly one of arch, albireo or preset")
+	}
+	var cfg *albireo.Config
+	switch {
+	case req.Arch != nil:
+		a, err := req.Arch.Build()
+		return nil, a, err
+	case req.Albireo != nil:
+		c, err := req.Albireo.config()
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg = &c
+	default:
+		p, err := presets.ByName(req.Preset)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep: eval request: %w", err)
+		}
+		if c, ok := p.Albireo(); ok {
+			cfg = &c
+		} else {
+			a, err := p.Build()
+			return nil, a, err
+		}
+	}
+	a, err := cfg.Build()
+	return cfg, a, err
 }
 
 // Eval runs one evaluation request. An optional shared cache deduplicates
 // searches across requests (the HTTP server passes its process-wide
 // cache; pass nil for a one-shot evaluation).
 func Eval(req *EvalRequest, cache *mapper.Cache) (*EvalResponse, error) {
-	a, err := req.buildArch()
+	cfg, a, err := req.resolveBase()
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +151,36 @@ func Eval(req *EvalRequest, cache *mapper.Cache) (*EvalResponse, error) {
 	resp := &EvalResponse{Arch: a.Name, Network: netName, PeakMACsPerCycle: a.PeakMACsPerCycle()}
 	if area, err := a.Area(); err == nil {
 		resp.AreaUM2 = area
+	}
+
+	if cfg != nil && req.Mapping == nil {
+		// Albireo-backed search: run the exact network-evaluator path the
+		// sweep engine uses (canonical seeds, shape-deduplicated
+		// searches), so eval answers match sweep and study points
+		// bit-for-bit.
+		sub := workload.Network{Name: netName, Layers: layers}
+		nres, err := albireo.EvalNetwork(*cfg, sub, albireo.NetOptions{
+			Batch: req.Batch,
+			Mapper: mapper.Options{
+				Objective: obj, Budget: req.Budget, Seed: req.Seed,
+				Workers: req.Workers, Cache: cache,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		total := model.Result{Layer: netName}
+		for i := range nres.Layers {
+			best := nres.Layers[i].Best
+			resp.Layers = append(resp.Layers, layerOutcome(best))
+			resp.Evaluations += best.Evaluations
+			resp.Pruned += best.Stats.Pruned
+			resp.DeltaEvals += best.Stats.DeltaEvals
+			resp.FullEvals += best.Stats.FullEvals
+			total.Accumulate(best.Result)
+		}
+		resp.fillTotals(&total)
+		return resp, nil
 	}
 
 	var fixed func(l *workload.Layer) (*model.Result, error)
@@ -162,11 +226,17 @@ func Eval(req *EvalRequest, cache *mapper.Cache) (*EvalResponse, error) {
 		resp.FullEvals += stats.FullEvals
 		total.Accumulate(res)
 	}
+	resp.fillTotals(&total)
+	return resp, nil
+}
+
+// fillTotals copies the accumulated whole-network metrics into the
+// response.
+func (resp *EvalResponse) fillTotals(total *model.Result) {
 	resp.MACs = total.MACs
 	resp.Cycles = total.Cycles
 	resp.TotalPJ = total.TotalPJ
 	resp.PJPerMAC = total.PJPerMAC()
 	resp.MACsPerCycle = total.MACsPerCycle
 	resp.Utilization = total.Utilization
-	return resp, nil
 }

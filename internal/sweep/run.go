@@ -153,8 +153,8 @@ func Run(sp Spec, opts Options) (*Result, error) {
 	netNames := make([]string, len(sp.Workloads))
 	for i := range sp.Workloads {
 		w := &sp.Workloads[i]
-		if w.Fused && sp.Base.Albireo == nil {
-			return nil, fmt.Errorf("sweep: workload %d: fused evaluation needs an albireo base", i)
+		if w.Fused && variants[0].albireo == nil {
+			return nil, fmt.Errorf("sweep: workload %d: fused evaluation needs an albireo-backed base", i)
 		}
 		networks[i], netNames[i], err = w.resolve()
 		if err != nil {

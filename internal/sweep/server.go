@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"photoloop/internal/mapper"
+	"photoloop/internal/presets"
 	"photoloop/internal/workload"
 )
 
@@ -42,7 +43,9 @@ const maxRequestBytes = 8 << 20
 //
 //	POST /v1/eval     — one EvalRequest  -> EvalResponse
 //	POST /v1/sweep    — one Spec         -> Result (JSON, or CSV with ?format=csv)
+//	POST /v1/study    — one StudySpec    -> StudyResult (JSON, or CSV with ?format=csv)
 //	GET  /v1/networks — the built-in workload zoo
+//	GET  /v1/presets  — the architecture preset library
 //
 // All requests share one fingerprint-keyed search cache, so repeated
 // evaluations of the same (architecture, layer shape) — across requests
@@ -78,7 +81,9 @@ func NewServer() *Server {
 	}
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/study", s.handleStudy)
 	s.mux.HandleFunc("GET /v1/networks", s.handleNetworks)
+	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
 	return s
 }
 
@@ -132,30 +137,85 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, res)
 }
 
+// handleStudy runs a comparative preset study; like sweeps, studies spin
+// up a full point pool, so they share the sweep admission semaphore.
+func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
+	var sp StudySpec
+	if !decodeBody(w, r, &sp) {
+		return
+	}
+	select {
+	case s.sweepSem <- struct{}{}:
+		defer func() { <-s.sweepSem }()
+	case <-r.Context().Done():
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("study queue: %w", r.Context().Err()))
+		return
+	}
+	res, err := RunStudy(sp, Options{Workers: s.Workers, Cache: s.cache, Context: r.Context()})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		if err := res.WriteCSV(w); err != nil {
+			log.Printf("study: writing CSV response: %v", err)
+		}
+		return
+	}
+	writeJSON(w, res)
+}
+
 // networkInfo is one zoo entry of GET /v1/networks.
 type networkInfo struct {
-	Name    string `json:"name"`
-	Layers  int    `json:"layers"`
-	MACs    int64  `json:"macs"`
-	Weights int64  `json:"weights"`
+	Name        string `json:"name"`
+	Family      string `json:"family"`
+	Description string `json:"description"`
+	Layers      int    `json:"layers"`
+	MACs        int64  `json:"macs"`
+	Weights     int64  `json:"weights"`
 }
 
 func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
-	names := make([]string, 0)
-	for name := range workload.Zoo() {
-		names = append(names, name)
+	entries := workload.ZooEntries()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	out := make([]networkInfo, 0, len(entries))
+	for _, e := range entries {
+		n := e.Build(1)
+		out = append(out, networkInfo{
+			Name: e.Name, Family: e.Family, Description: e.Description,
+			Layers: len(n.Layers), MACs: n.MACs(), Weights: n.WeightElems(),
+		})
 	}
-	sort.Strings(names)
-	out := make([]networkInfo, 0, len(names))
-	for _, name := range names {
-		n, err := workload.ByName(name, 1)
+	writeJSON(w, out)
+}
+
+// presetInfo is one library entry of GET /v1/presets.
+type presetInfo struct {
+	Name             string  `json:"name"`
+	Kind             string  `json:"kind"`
+	Description      string  `json:"description"`
+	PeakMACsPerCycle int64   `json:"peak_macs_per_cycle"`
+	AreaUM2          float64 `json:"area_um2"`
+}
+
+func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
+	all := presets.All()
+	out := make([]presetInfo, 0, len(all))
+	for _, p := range all {
+		a, err := p.Build()
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
-		out = append(out, networkInfo{
-			Name: name, Layers: len(n.Layers),
-			MACs: n.MACs(), Weights: n.WeightElems(),
+		area, err := a.Area()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out = append(out, presetInfo{
+			Name: p.Name, Kind: p.Kind(), Description: p.Description,
+			PeakMACsPerCycle: a.PeakMACsPerCycle(), AreaUM2: area,
 		})
 	}
 	writeJSON(w, out)

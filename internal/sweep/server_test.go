@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"photoloop/internal/presets"
 	"photoloop/internal/spec"
 )
 
@@ -198,5 +199,76 @@ func TestServeNetworks(t *testing.T) {
 	vgg := byName["vgg16"]
 	if vgg.Layers != 16 || vgg.MACs <= 0 || vgg.Weights <= 0 {
 		t.Errorf("vgg16 info wrong: %+v", vgg)
+	}
+	bert := byName["bert_base"]
+	if bert.Family != "transformer" || bert.Description == "" || bert.Layers != 96 {
+		t.Errorf("bert_base info wrong: %+v", bert)
+	}
+}
+
+func TestServePresets(t *testing.T) {
+	srv := NewServer()
+	req := httptest.NewRequest("GET", "/v1/presets", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var infos []presetInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(presets.Names()) {
+		t.Fatalf("got %d presets, want %d", len(infos), len(presets.Names()))
+	}
+	for _, info := range infos {
+		if info.Name == "" || info.Kind == "" || info.Description == "" ||
+			info.PeakMACsPerCycle <= 0 || info.AreaUM2 <= 0 {
+			t.Errorf("incomplete preset info: %+v", info)
+		}
+	}
+}
+
+// TestServeStudyMatchesLocal pins POST /v1/study to the local RunStudy
+// path (the CLI's engine), CSV negotiation included.
+func TestServeStudyMatchesLocal(t *testing.T) {
+	srv := NewServer()
+	sp := StudySpec{
+		Presets:       []string{"albireo"},
+		Workloads:     []string{"alexnet"},
+		Budget:        60,
+		Seed:          1,
+		SearchWorkers: 1,
+	}
+	w := postJSON(t, srv, "/v1/study", sp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var got StudyResult
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	local, err := RunStudy(sp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(local.Rows) {
+		t.Fatalf("server %d rows, local %d", len(got.Rows), len(local.Rows))
+	}
+	for i := range got.Rows {
+		if got.Rows[i].TotalPJ != local.Rows[i].TotalPJ || got.Rows[i].Rank != local.Rows[i].Rank {
+			t.Errorf("row %d differs: server %+v local %+v", i, got.Rows[i], local.Rows[i])
+		}
+	}
+
+	w = postJSON(t, srv, "/v1/study?format=csv", sp)
+	if w.Code != http.StatusOK || w.Header().Get("Content-Type") != "text/csv" {
+		t.Fatalf("csv status %d, type %q", w.Code, w.Header().Get("Content-Type"))
+	}
+
+	// Unknown preset is a 422.
+	w = postJSON(t, srv, "/v1/study", StudySpec{Presets: []string{"nope"}})
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Errorf("bad study status %d", w.Code)
 	}
 }

@@ -1,0 +1,332 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"photoloop/internal/mapper"
+	"photoloop/internal/presets"
+	"photoloop/internal/workload"
+)
+
+// StudySpec declares a comparative study: the cross product of named
+// architecture presets × zoo workloads × mapper objectives, evaluated
+// through the cached sweep engine and ranked per (workload, objective)
+// group. It is the declarative form behind `photoloop study` and
+// `POST /v1/study`.
+type StudySpec struct {
+	// Name labels the study in outputs.
+	Name string `json:"name,omitempty"`
+	// Presets names the architecture presets to compare (presets.Names).
+	// Empty, or any entry equal to "all", selects the whole library.
+	Presets []string `json:"presets,omitempty"`
+	// Workloads names the zoo networks to evaluate. Empty, or any entry
+	// equal to "all", selects the whole zoo.
+	Workloads []string `json:"workloads,omitempty"`
+	// Objectives are mapper objectives ("energy", "delay", "edp");
+	// default is energy only. Rows are ranked within each (workload,
+	// objective) group by the objective's own metric.
+	Objectives []string `json:"objectives,omitempty"`
+	// Batch is the batch size applied to every workload (default 1).
+	Batch int `json:"batch,omitempty"`
+	// Budget is the mapper evaluation budget per layer (0 = mapper
+	// default).
+	Budget int `json:"budget,omitempty"`
+	// Seed fixes the mapper's randomness (0 = mapper default).
+	Seed int64 `json:"seed,omitempty"`
+	// SearchWorkers caps per-layer search parallelism (0 = mapper
+	// default). Results are deterministic for a fixed (Seed,
+	// SearchWorkers) pair.
+	SearchWorkers int `json:"search_workers,omitempty"`
+}
+
+// resolvePresets expands the preset selection, treating empty and "all"
+// as the whole library.
+func (sp *StudySpec) resolvePresets() ([]string, error) {
+	names := sp.Presets
+	if len(names) == 0 {
+		return presets.Names(), nil
+	}
+	for _, n := range names {
+		if n == "all" {
+			return presets.Names(), nil
+		}
+	}
+	for _, n := range names {
+		if _, err := presets.ByName(n); err != nil {
+			return nil, fmt.Errorf("sweep: study: %w", err)
+		}
+	}
+	return names, nil
+}
+
+// resolveWorkloads expands the workload selection, treating empty and
+// "all" as the whole zoo (in curated zoo order).
+func (sp *StudySpec) resolveWorkloads() ([]string, error) {
+	names := sp.Workloads
+	all := false
+	if len(names) == 0 {
+		all = true
+	}
+	for _, n := range names {
+		if n == "all" {
+			all = true
+		}
+	}
+	if all {
+		var out []string
+		for _, e := range workload.ZooEntries() {
+			out = append(out, e.Name)
+		}
+		return out, nil
+	}
+	zoo := workload.Zoo()
+	for _, n := range names {
+		if _, ok := zoo[n]; !ok {
+			return nil, fmt.Errorf("sweep: study: unknown network %q", n)
+		}
+	}
+	return names, nil
+}
+
+// StudyRow is one evaluated (preset, workload, objective) combination
+// with its rank inside the (workload, objective) group (1 = best).
+type StudyRow struct {
+	// Rank orders presets within the row's (network, objective) group by
+	// Score, ascending; 1 is the winner.
+	Rank int `json:"rank"`
+	// Preset, Network, Batch and Objective identify the evaluation.
+	Preset    string `json:"preset"`
+	Network   string `json:"network"`
+	Batch     int    `json:"batch"`
+	Objective string `json:"objective"`
+	// Arch is the built architecture's name.
+	Arch string `json:"arch"`
+	// AreaUM2 and PeakMACsPerCycle are mapping-independent properties.
+	AreaUM2          float64 `json:"area_um2"`
+	PeakMACsPerCycle int64   `json:"peak_macs_per_cycle"`
+	// Whole-network metrics (identical to the underlying sweep Point's).
+	MACs         int64   `json:"macs"`
+	Cycles       float64 `json:"cycles"`
+	TotalPJ      float64 `json:"total_pj"`
+	PJPerMAC     float64 `json:"pj_per_mac"`
+	MACsPerCycle float64 `json:"macs_per_cycle"`
+	Utilization  float64 `json:"utilization"`
+	// Score is the ranked metric: total pJ for "energy", cycles for
+	// "delay", their product for "edp".
+	Score float64 `json:"score"`
+}
+
+// StudyResult is a completed study: rows grouped by (network, objective)
+// in selection order, ranked best-first inside each group.
+type StudyResult struct {
+	Name string     `json:"name,omitempty"`
+	Rows []StudyRow `json:"rows"`
+	// CacheHits and CacheMisses count deduplicated versus computed layer
+	// searches across the whole study (one shared cache spans all
+	// presets).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
+// score derives the ranked metric from a point.
+func score(objective string, p *Point) float64 {
+	switch objective {
+	case "delay":
+		return p.Cycles
+	case "edp":
+		return p.TotalPJ * p.Cycles
+	default: // energy
+		return p.TotalPJ
+	}
+}
+
+// RunStudy evaluates the study: one sweep per preset through the shared
+// cached engine, then a rank pass. Every (preset, workload, objective)
+// row is bit-identical to evaluating the same pair individually (Eval
+// with the same budget/seed/workers), because both run the identical
+// evaluation path — test-guarded.
+func RunStudy(sp StudySpec, opts Options) (*StudyResult, error) {
+	presetNames, err := sp.resolvePresets()
+	if err != nil {
+		return nil, err
+	}
+	workloadNames, err := sp.resolveWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	objectives := sp.Objectives
+	if len(objectives) == 0 {
+		objectives = []string{"energy"}
+	}
+
+	wls := make([]Workload, len(workloadNames))
+	for i, n := range workloadNames {
+		wls[i] = Workload{Network: n, Batch: sp.Batch}
+	}
+
+	// One cache across every preset's sweep: identical layer shapes on
+	// identical architectures (e.g. two presets sharing a sub-hierarchy)
+	// dedupe study-wide, and callers can share further.
+	runOpts := opts
+	if runOpts.Cache == nil {
+		runOpts.Cache = mapper.NewCache()
+	}
+	total := len(presetNames) * len(workloadNames) * len(objectives)
+	done := 0
+
+	res := &StudyResult{Name: sp.Name}
+	for _, preset := range presetNames {
+		sub := Spec{
+			Name:          preset,
+			Base:          Base{Preset: preset},
+			Workloads:     wls,
+			Objectives:    objectives,
+			Budget:        sp.Budget,
+			Seed:          sp.Seed,
+			SearchWorkers: sp.SearchWorkers,
+		}
+		presetOpts := runOpts
+		if opts.Progress != nil {
+			base := done
+			presetOpts.Progress = func(d, _ int) { opts.Progress(base+d, total) }
+		}
+		sres, err := Run(sub, presetOpts)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: study preset %q: %w", preset, err)
+		}
+		done += len(sres.Points)
+		res.CacheHits += sres.CacheHits
+		res.CacheMisses += sres.CacheMisses
+		for i := range sres.Points {
+			p := &sres.Points[i]
+			res.Rows = append(res.Rows, StudyRow{
+				Preset:           preset,
+				Network:          p.Network,
+				Batch:            p.Batch,
+				Objective:        p.Objective,
+				Arch:             p.Arch,
+				AreaUM2:          p.AreaUM2,
+				PeakMACsPerCycle: p.PeakMACsPerCycle,
+				MACs:             p.MACs,
+				Cycles:           p.Cycles,
+				TotalPJ:          p.TotalPJ,
+				PJPerMAC:         p.PJPerMAC,
+				MACsPerCycle:     p.MACsPerCycle,
+				Utilization:      p.Utilization,
+				Score:            score(p.Objective, p),
+			})
+		}
+	}
+
+	rankRows(res.Rows, workloadNames, objectives, presetNames)
+	return res, nil
+}
+
+// rankRows sorts rows into (workload, objective) groups in selection
+// order and assigns ranks by ascending score, breaking ties by preset
+// order so the result is fully deterministic.
+func rankRows(rows []StudyRow, workloads, objectives, presetNames []string) {
+	pos := func(list []string, v string) int {
+		for i, s := range list {
+			if s == v {
+				return i
+			}
+		}
+		return len(list)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := &rows[i], &rows[j]
+		if wa, wb := pos(workloads, a.Network), pos(workloads, b.Network); wa != wb {
+			return wa < wb
+		}
+		if oa, ob := pos(objectives, a.Objective), pos(objectives, b.Objective); oa != ob {
+			return oa < ob
+		}
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return pos(presetNames, a.Preset) < pos(presetNames, b.Preset)
+	})
+	rank := 0
+	for i := range rows {
+		if i == 0 || rows[i].Network != rows[i-1].Network || rows[i].Objective != rows[i-1].Objective {
+			rank = 0
+		}
+		rank++
+		rows[i].Rank = rank
+	}
+}
+
+// WriteJSON writes the study as an indented JSON document.
+func (r *StudyResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// studyColumns are the CSV/markdown/table columns, in order.
+var studyColumns = []string{
+	"network", "objective", "rank", "preset", "arch",
+	"area_mm2", "peak_macs_per_cycle",
+	"total_pj", "pj_per_mac", "cycles", "macs_per_cycle", "utilization",
+}
+
+// fields renders the row's column values.
+func (row *StudyRow) fields() []string {
+	return []string{
+		row.Network, row.Objective, strconv.Itoa(row.Rank), row.Preset, row.Arch,
+		fmt.Sprintf("%.4f", row.AreaUM2/1e6), strconv.FormatInt(row.PeakMACsPerCycle, 10),
+		fmt.Sprintf("%.4f", row.TotalPJ), fmt.Sprintf("%.6f", row.PJPerMAC),
+		fmt.Sprintf("%.1f", row.Cycles), fmt.Sprintf("%.3f", row.MACsPerCycle),
+		fmt.Sprintf("%.4f", row.Utilization),
+	}
+}
+
+// WriteCSV writes the study as CSV, one row per (preset, workload,
+// objective), in ranked group order.
+func (r *StudyResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(studyColumns); err != nil {
+		return err
+	}
+	for i := range r.Rows {
+		if err := cw.Write(r.Rows[i].fields()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMarkdown writes the study as one ranked markdown table per
+// (workload, objective) group — directly pasteable into docs.
+func (r *StudyResult) WriteMarkdown(w io.Writer) error {
+	const header = "| rank | preset | total pJ | pJ/MAC | cycles | MACs/cycle | util | area mm² |\n|---:|---|---:|---:|---:|---:|---:|---:|\n"
+	prevKey := ""
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		key := row.Network + "\x00" + row.Objective
+		if key != prevKey {
+			if prevKey != "" {
+				if _, err := fmt.Fprintln(w); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "### %s · batch %d · objective %s\n\n%s", row.Network, row.Batch, row.Objective, header); err != nil {
+				return err
+			}
+			prevKey = key
+		}
+		if _, err := fmt.Fprintf(w, "| %d | %s | %.4g | %.4f | %.4g | %.1f | %.1f%% | %.2f |\n",
+			row.Rank, row.Preset, row.TotalPJ, row.PJPerMAC, row.Cycles,
+			row.MACsPerCycle, 100*row.Utilization, row.AreaUM2/1e6); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package sweep
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"photoloop/internal/presets"
+	"photoloop/internal/workload"
+)
+
+// studySpecSmall is the deterministic fixture the study tests share:
+// pinned seed and search workers, tiny budget, two presets spanning both
+// preset kinds, one workload, two objectives.
+func studySpecSmall() StudySpec {
+	return StudySpec{
+		Name:          "test-study",
+		Presets:       []string{"albireo", "electrical-baseline"},
+		Workloads:     []string{"alexnet"},
+		Objectives:    []string{"energy", "delay"},
+		Budget:        60,
+		Seed:          1,
+		SearchWorkers: 1,
+	}
+}
+
+// TestStudyMatchesEval is the study's equivalence anchor: every study row
+// must be bit-identical to evaluating the same (preset, workload,
+// objective) individually through Eval — the engine behind
+// `photoloop eval -preset`.
+func TestStudyMatchesEval(t *testing.T) {
+	sp := studySpecSmall()
+	res, err := RunStudy(sp, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (2 presets x 1 workload x 2 objectives)", len(res.Rows))
+	}
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		resp, err := Eval(&EvalRequest{
+			Preset: row.Preset, Network: row.Network, Batch: row.Batch,
+			Objective: row.Objective, Budget: sp.Budget, Seed: sp.Seed,
+			Workers: sp.SearchWorkers,
+		}, nil)
+		if err != nil {
+			t.Fatalf("eval %s/%s/%s: %v", row.Preset, row.Network, row.Objective, err)
+		}
+		if row.TotalPJ != resp.TotalPJ || row.Cycles != resp.Cycles ||
+			row.MACs != resp.MACs || row.Utilization != resp.Utilization ||
+			row.PJPerMAC != resp.PJPerMAC || row.MACsPerCycle != resp.MACsPerCycle {
+			t.Errorf("%s/%s/%s: study row (%.9g pJ, %.9g cyc) != eval (%.9g pJ, %.9g cyc)",
+				row.Preset, row.Network, row.Objective,
+				row.TotalPJ, row.Cycles, resp.TotalPJ, resp.Cycles)
+		}
+		if row.Arch != resp.Arch || row.AreaUM2 != resp.AreaUM2 ||
+			row.PeakMACsPerCycle != resp.PeakMACsPerCycle {
+			t.Errorf("%s: architecture metadata differs: %q/%q", row.Preset, row.Arch, resp.Arch)
+		}
+	}
+}
+
+// TestStudyRanking pins the grouping and rank invariants: rows arrive in
+// (workload, objective) group order, ranks are 1..n per group, and scores
+// never decrease within a group.
+func TestStudyRanking(t *testing.T) {
+	res, err := RunStudy(studySpecSmall(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGroups := []string{"alexnet/energy", "alexnet/delay"}
+	gi, rank := 0, 0
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		key := row.Network + "/" + row.Objective
+		if key != wantGroups[gi] {
+			gi++
+			rank = 0
+			if gi >= len(wantGroups) || key != wantGroups[gi] {
+				t.Fatalf("row %d: unexpected group %s", i, key)
+			}
+		}
+		rank++
+		if row.Rank != rank {
+			t.Errorf("row %d (%s): rank = %d, want %d", i, row.Preset, row.Rank, rank)
+		}
+		if rank > 1 && res.Rows[i-1].Score > row.Score {
+			t.Errorf("row %d: scores not ascending within group: %.9g > %.9g",
+				i, res.Rows[i-1].Score, row.Score)
+		}
+		switch row.Objective {
+		case "energy":
+			if row.Score != row.TotalPJ {
+				t.Errorf("energy score %.9g != total pJ %.9g", row.Score, row.TotalPJ)
+			}
+		case "delay":
+			if row.Score != row.Cycles {
+				t.Errorf("delay score %.9g != cycles %.9g", row.Score, row.Cycles)
+			}
+		}
+	}
+}
+
+// TestStudyAllExpansion checks that "all" (and empty) selections expand
+// to the full preset library and zoo.
+func TestStudyAllExpansion(t *testing.T) {
+	sp := StudySpec{Presets: []string{"all"}}
+	names, err := sp.resolvePresets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(presets.Names()) {
+		t.Errorf("presets all -> %d, want %d", len(names), len(presets.Names()))
+	}
+	wls, err := sp.resolveWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wls) != len(workload.ZooEntries()) {
+		t.Errorf("workloads empty -> %d, want %d", len(wls), len(workload.ZooEntries()))
+	}
+	if _, err := (&StudySpec{Presets: []string{"nope"}}).resolvePresets(); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := (&StudySpec{Workloads: []string{"nope"}}).resolveWorkloads(); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+// TestStudyGoldenMarkdown pins the rendered markdown byte-for-byte: the
+// study is deterministic for a fixed (Seed, SearchWorkers) pair, and this
+// is the regression anchor for both the numbers and the format. Run with
+// UPDATE_STUDY_GOLDEN=1 to regenerate after an intentional change.
+func TestStudyGoldenMarkdown(t *testing.T) {
+	res, err := RunStudy(studySpecSmall(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "study_golden.md")
+	if os.Getenv("UPDATE_STUDY_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_STUDY_GOLDEN=1 to create it)", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("study markdown drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestPresetBaseSweep covers preset bases in plain sweeps: an
+// albireo-backed preset accepts Albireo axes, the electrical preset
+// evaluates but rejects axes.
+func TestPresetBaseSweep(t *testing.T) {
+	res, err := Run(Spec{
+		Base:          Base{Preset: "albireo-wdm-wide"},
+		Axes:          []Axis{{Param: "clusters", Values: []any{4, 8}}},
+		Workloads:     []Workload{{Inline: tinyNet()}},
+		Budget:        40,
+		Seed:          1,
+		SearchWorkers: 1,
+	}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || res.Points[0].TotalPJ <= 0 {
+		t.Fatalf("wdm-wide sweep: %d points, first %.4g pJ", len(res.Points), res.Points[0].TotalPJ)
+	}
+
+	res, err = Run(Spec{
+		Base:          Base{Preset: "electrical-baseline"},
+		Workloads:     []Workload{{Inline: tinyNet()}},
+		Budget:        40,
+		Seed:          1,
+		SearchWorkers: 1,
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Points[0].TotalPJ <= 0 {
+		t.Fatalf("electrical sweep: %+v", res.Points)
+	}
+
+	_, err = Run(Spec{
+		Base:      Base{Preset: "electrical-baseline"},
+		Axes:      []Axis{{Param: "clusters", Values: []any{4}}},
+		Workloads: []Workload{{Inline: tinyNet()}},
+	}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "accepts no axes") {
+		t.Errorf("axes on the electrical preset: err = %v, want 'accepts no axes'", err)
+	}
+
+	_, err = Run(Spec{
+		Base:      Base{Preset: "albireo", Albireo: &AlbireoBase{}},
+		Workloads: []Workload{{Inline: tinyNet()}},
+	}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "exactly one") {
+		t.Errorf("double base: err = %v, want 'exactly one'", err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"photoloop/internal/albireo"
 	"photoloop/internal/arch"
+	"photoloop/internal/presets"
 	"photoloop/internal/spec"
 	"photoloop/internal/workload"
 )
@@ -66,12 +67,32 @@ type Spec struct {
 }
 
 // Base selects the architecture a sweep starts from: exactly one of
-// Albireo or Arch must be set.
+// Albireo, Arch or Preset must be set.
 type Base struct {
 	// Albireo starts from the paper's Albireo instantiation.
 	Albireo *AlbireoBase `json:"albireo,omitempty"`
 	// Arch starts from a raw architecture spec document.
 	Arch *spec.ArchSpec `json:"arch,omitempty"`
+	// Preset starts from a named architecture of the preset library
+	// (presets.ByName). Albireo-backed presets behave like Albireo bases
+	// (Albireo axes, fused workloads); the electrical preset accepts no
+	// axes.
+	Preset string `json:"preset,omitempty"`
+}
+
+// set counts how many base selectors are populated.
+func (b *Base) set() int {
+	n := 0
+	if b.Albireo != nil {
+		n++
+	}
+	if b.Arch != nil {
+		n++
+	}
+	if b.Preset != "" {
+		n++
+	}
+	return n
 }
 
 // AlbireoBase parameterizes the Albireo starting point.
@@ -150,8 +171,9 @@ func (w *Workload) resolve() (workload.Network, string, error) {
 type variant struct {
 	label   string
 	params  map[string]any
-	albireo *albireo.Config // Albireo bases
+	albireo *albireo.Config // Albireo bases and albireo-backed presets
 	arch    *spec.ArchSpec  // raw-spec bases (deep copy with overrides)
+	preset  *presets.Preset // non-albireo presets (the electrical baseline)
 }
 
 // build constructs the variant's architecture (the unfused one, for
@@ -160,6 +182,9 @@ func (v *variant) build() (*arch.Arch, error) {
 	if v.albireo != nil {
 		return v.albireo.Build()
 	}
+	if v.preset != nil {
+		return v.preset.Build()
+	}
 	return v.arch.Build()
 }
 
@@ -167,8 +192,8 @@ func (v *variant) build() (*arch.Arch, error) {
 // returns one variant per combination (a single variant when Axes is
 // empty).
 func (s *Spec) expand() ([]*variant, error) {
-	if (s.Base.Albireo == nil) == (s.Base.Arch == nil) {
-		return nil, fmt.Errorf("sweep: base must set exactly one of albireo or arch")
+	if s.Base.set() != 1 {
+		return nil, fmt.Errorf("sweep: base must set exactly one of albireo, arch or preset")
 	}
 	total := 1
 	for _, ax := range s.Axes {
@@ -213,13 +238,24 @@ const maxVariants = 100000
 func (s *Spec) variantAt(choice []int) (*variant, error) {
 	v := &variant{params: make(map[string]any, len(s.Axes))}
 	var labels []string
-	if s.Base.Albireo != nil {
+	switch {
+	case s.Base.Albireo != nil:
 		cfg, err := s.Base.Albireo.config()
 		if err != nil {
 			return nil, err
 		}
 		v.albireo = &cfg
-	} else {
+	case s.Base.Preset != "":
+		p, err := presets.ByName(s.Base.Preset)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: base: %w", err)
+		}
+		if cfg, ok := p.Albireo(); ok {
+			v.albireo = &cfg
+		} else {
+			v.preset = p
+		}
+	default:
 		cp, err := copyArchSpec(s.Base.Arch)
 		if err != nil {
 			return nil, err
@@ -243,6 +279,9 @@ func (s *Spec) variantAt(choice []int) (*variant, error) {
 func (v *variant) apply(param string, raw any) (any, error) {
 	if v.albireo != nil {
 		return v.applyAlbireo(param, raw)
+	}
+	if v.preset != nil {
+		return nil, fmt.Errorf("sweep: axis %q: preset %q is not albireo-backed and accepts no axes", param, v.preset.Name)
 	}
 	return v.applyArch(param, raw)
 }

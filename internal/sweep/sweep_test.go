@@ -111,7 +111,7 @@ func TestRunValidationErrors(t *testing.T) {
 		{"bad objective", Spec{Base: base, Workloads: []Workload{{Network: "vgg16"}},
 			Objectives: []string{"speed"}}, "unknown objective"},
 		{"fused needs albireo", Spec{Base: templateBase(t),
-			Workloads: []Workload{{Inline: tinyNet(), Fused: true}}}, "albireo base"},
+			Workloads: []Workload{{Inline: tinyNet(), Fused: true}}}, "albireo-backed base"},
 	}
 	for _, c := range cases {
 		if _, err := Run(c.sp, Options{}); err == nil || !strings.Contains(err.Error(), c.want) {

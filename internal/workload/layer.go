@@ -9,13 +9,15 @@ import (
 // types share the same 7-dimensional iteration space.
 type LayerType uint8
 
-// Supported layer types. Depthwise/grouped convolutions are not
+// Supported layer types. Depthwise/grouped convolutions are not directly
 // representable in the dense 7-dimensional projection (each output channel
-// would read a disjoint input-channel slice); decompose them into
-// per-group Conv layers instead.
+// would read a disjoint input-channel slice); fold the channel-parallel
+// groups into the batch dimension with NewDepthwise (exact MACs and
+// activation footprints) or decompose them into per-group Conv layers
+// (exact everything, at one layer per group).
 const (
 	Conv LayerType = iota // spatial convolution
-	FC                    // fully connected (P=Q=R=S=1)
+	FC                    // fully connected / matmul (P=Q=R=S=1)
 )
 
 var layerTypeNames = map[LayerType]string{Conv: "Conv", FC: "FC"}
@@ -56,6 +58,16 @@ type Layer struct {
 	WeightBits int `json:"weight_bits,omitempty"`
 	InputBits  int `json:"input_bits,omitempty"`
 	OutputBits int `json:"output_bits,omitempty"`
+
+	// NPerBatch is how many units of N one batch item contributes; 0
+	// means 1 (the plain CNN convention where N is the image count).
+	// Layers that fold another data-parallel axis into N — sequence
+	// positions in transformer matmuls (N = batch x sequence), channel
+	// groups in depthwise convolutions (N = batch x channels) — set it so
+	// WithBatch rescales N correctly instead of overwriting the folded
+	// axis. It annotates batching only and does not affect evaluation
+	// (and therefore is not part of ShapeFingerprint).
+	NPerBatch int `json:"n_per_batch,omitempty"`
 }
 
 // NewConv builds a square-filter convolution layer. pad is per-side padding.
@@ -74,6 +86,33 @@ func NewConv(name string, n, k, c, p, q, r, s, stride, pad int) Layer {
 func NewFC(name string, n, k, c int) Layer {
 	l := NewConv(name, n, k, c, 1, 1, 1, 1, 1, 0)
 	l.Type = FC
+	return l
+}
+
+// NewMatmul builds a general matrix multiplication
+// Out[rows][cols] = A[rows][inner] x B[inner][cols] as an FC layer with
+// N=rows, K=cols, C=inner. The B operand occupies the Weights slot whether
+// it holds trained parameters (a projection) or activations (the QK^T and
+// attention-x-V matmuls of a transformer block); the analytical model
+// charges its movement identically either way. Batched matmuls fold the
+// batch axis into rows (see Layer.NPerBatch).
+func NewMatmul(name string, rows, cols, inner int) Layer {
+	return NewFC(name, rows, cols, inner)
+}
+
+// NewDepthwise builds a depthwise convolution over ch channels in the
+// dense 7-dimensional projection by folding the channel-parallel groups
+// into the batch dimension: N = n*ch, K = C = 1, NPerBatch = ch. MAC
+// count, input footprint and output footprint are exact under this
+// folding; the ch per-channel filters collapse into one shared RxS filter,
+// so the weight footprint is understated by a factor of ch and weight
+// reuse across channels is optimistic — a small error at mobile scales,
+// where depthwise filters are under 2% of the parameters. Callers needing
+// exact weight traffic should decompose into per-group Conv layers
+// instead.
+func NewDepthwise(name string, n, ch, p, q, r, s, stride, pad int) Layer {
+	l := NewConv(name, n*ch, 1, 1, p, q, r, s, stride, pad)
+	l.NPerBatch = ch
 	return l
 }
 
@@ -97,6 +136,9 @@ func (l *Layer) Validate() error {
 	}
 	if l.PadH < 0 || l.PadW < 0 {
 		return fmt.Errorf("workload: layer %s: negative padding", l.Name)
+	}
+	if l.NPerBatch < 0 {
+		return fmt.Errorf("workload: layer %s: NPerBatch = %d, want >= 0", l.Name, l.NPerBatch)
 	}
 	if l.Type == FC && (l.P != 1 || l.Q != 1 || l.R != 1 || l.S != 1) {
 		return fmt.Errorf("workload: layer %s: FC layers require P=Q=R=S=1", l.Name)
@@ -201,9 +243,12 @@ func (l *Layer) IsStrided() bool { return l.StrideH > 1 || l.StrideW > 1 }
 // IsPointwise reports whether the filter is 1x1.
 func (l *Layer) IsPointwise() bool { return l.R == 1 && l.S == 1 }
 
-// WithBatch returns a copy of the layer with batch size n.
+// WithBatch returns a copy of the layer at batch size n: N becomes
+// n x NPerBatch, so layers that fold sequence positions or channel groups
+// into N (transformer matmuls, depthwise convolutions) rescale instead of
+// losing the folded axis.
 func (l Layer) WithBatch(n int) Layer {
-	l.N = n
+	l.N = n * max(1, l.NPerBatch)
 	return l
 }
 

@@ -2,13 +2,20 @@ package workload
 
 import "fmt"
 
-// This file contains the layer tables for the three DNNs evaluated in the
-// paper: VGG16 and AlexNet (throughput validation, Fig. 3) and ResNet18
-// (full-system and architecture exploration, Figs. 4 and 5). Shapes follow
-// the original publications with 224x224 ImageNet inputs. AlexNet is
-// modeled ungrouped (the common convention in dataflow-modeling work;
-// grouping does not change the under-utilization phenomena the paper
-// studies: large strided filters and fully-connected layers).
+// This file contains the layer tables of the built-in workload zoo. The
+// conv-era entries are the DNNs evaluated in the paper: VGG16 and AlexNet
+// (throughput validation, Fig. 3) and ResNet18 (full-system and
+// architecture exploration, Figs. 4 and 5); shapes follow the original
+// publications with 224x224 ImageNet inputs. AlexNet is modeled ungrouped
+// (the common convention in dataflow-modeling work; grouping does not
+// change the under-utilization phenomena the paper studies: large strided
+// filters and fully-connected layers). The modern-CNN entries (ResNet-50's
+// bottleneck 1x1s, MobileNetV2's depthwise+pointwise inverted residuals)
+// and the transformer entries (BERT-base and GPT-2-small encoder blocks as
+// matmuls with sequence folded into the batch dimension) open the scenario
+// axes the paper's related work motivates: pointwise-dominated and
+// attention-style workloads stress photonic organizations very differently
+// from 3x3-conv CNNs.
 
 // VGG16 returns the VGG16 network (13 convolutions + 3 fully-connected
 // layers) at the given batch size.
@@ -122,14 +129,179 @@ func ResNet34(batch int) Network {
 	return n
 }
 
+// ResNet50 returns the ResNet-50 network at the given batch size: the 7x7
+// stride-2 stem and four stages of bottleneck blocks ({3,4,6,3} blocks of
+// 1x1 reduce / 3x3 / 1x1 expand, stride on the 3x3 as in the torchvision
+// reference, with 1x1 projection convolutions on the residual paths), and
+// the final classifier. The bottleneck 1x1s make pointwise convolutions —
+// no window parallelism to exploit — the dominant layer population.
+func ResNet50(batch int) Network {
+	n := Network{Name: "resnet50"}
+	add := func(l Layer) { n.Layers = append(n.Layers, l) }
+
+	add(NewConv("conv1", batch, 64, 3, 112, 112, 7, 7, 2, 3))
+	// After 3x3/2 max pooling the feature map is 56x56.
+
+	in := 64
+	stage := func(idx, planes, blocks, stride, hwOut int) {
+		hwIn := hwOut * stride
+		for b := 1; b <= blocks; b++ {
+			s, hw1 := 1, hwOut
+			if b == 1 {
+				s, hw1 = stride, hwIn
+			}
+			add(NewConv(fmt.Sprintf("layer%d.%d.conv1", idx, b), batch, planes, in, hw1, hw1, 1, 1, 1, 0))
+			add(NewConv(fmt.Sprintf("layer%d.%d.conv2", idx, b), batch, planes, planes, hwOut, hwOut, 3, 3, s, 1))
+			add(NewConv(fmt.Sprintf("layer%d.%d.conv3", idx, b), batch, 4*planes, planes, hwOut, hwOut, 1, 1, 1, 0))
+			if b == 1 {
+				add(NewConv(fmt.Sprintf("layer%d.%d.downsample", idx, b), batch, 4*planes, in, hwOut, hwOut, 1, 1, s, 0))
+			}
+			in = 4 * planes
+		}
+	}
+	stage(1, 64, 3, 1, 56)
+	stage(2, 128, 4, 2, 28)
+	stage(3, 256, 6, 2, 14)
+	stage(4, 512, 3, 2, 7)
+
+	add(NewFC("fc", batch, 1000, 2048))
+	return n
+}
+
+// MobileNetV2 returns the MobileNetV2 (width 1.0, 224x224) network at the
+// given batch size: the 3x3 stride-2 stem, seven groups of inverted
+// residual blocks (1x1 expansion, 3x3 depthwise, 1x1 linear projection),
+// the 1x1 head convolution and the classifier. Depthwise layers use the
+// batch-folded dense projection (see NewDepthwise): MACs and activation
+// footprints are exact; the per-channel filters are modeled as one shared
+// filter, so the ~62k depthwise weights (of ~3.5M parameters) collapse to
+// a few tens.
+func MobileNetV2(batch int) Network {
+	n := Network{Name: "mobilenet_v2"}
+	add := func(l Layer) { n.Layers = append(n.Layers, l) }
+
+	add(NewConv("stem", batch, 32, 3, 112, 112, 3, 3, 2, 1))
+
+	in, hw, block := 32, 112, 0
+	group := func(t, c, blocks, stride int) {
+		for b := 1; b <= blocks; b++ {
+			block++
+			s := 1
+			if b == 1 {
+				s = stride
+			}
+			hidden := in * t
+			if t != 1 {
+				add(NewConv(fmt.Sprintf("block%d.expand", block), batch, hidden, in, hw, hw, 1, 1, 1, 0))
+			}
+			hw /= s
+			add(NewDepthwise(fmt.Sprintf("block%d.dw", block), batch, hidden, hw, hw, 3, 3, s, 1))
+			add(NewConv(fmt.Sprintf("block%d.project", block), batch, c, hidden, hw, hw, 1, 1, 1, 0))
+			in = c
+		}
+	}
+	// The paper's (expansion, channels, blocks, stride) table.
+	group(1, 16, 1, 1)
+	group(6, 24, 2, 2)
+	group(6, 32, 3, 2)
+	group(6, 64, 4, 2)
+	group(6, 96, 3, 1)
+	group(6, 160, 3, 2)
+	group(6, 320, 1, 1)
+
+	add(NewConv("head", batch, 1280, 320, 7, 7, 1, 1, 1, 0))
+	add(NewFC("fc", batch, 1000, 1280))
+	return n
+}
+
+// encoderBlocks builds `blocks` identical transformer encoder blocks as
+// matmul layers with the sequence axis folded into the batch dimension
+// (N = batch x seq for the projections, batch x heads x seq for the
+// per-head attention matmuls; see Layer.NPerBatch). The QK^T score and
+// attention-x-V context matmuls are activation-activation products: their
+// K operand occupies the Weights slot of the 7-D projection, shared
+// across the folded head axis — exact MACs, optimistic K/V reuse across
+// heads. Attention masking (causal or padding) is ignored, as in dense
+// FLOP accounting.
+func encoderBlocks(prefix string, batch, blocks, seq, hidden, heads, ffn int) []Layer {
+	headDim := hidden / heads
+	at := func(name string, perBatch, k, c int) Layer {
+		l := NewMatmul(name, batch*perBatch, k, c)
+		l.NPerBatch = perBatch
+		return l
+	}
+	var layers []Layer
+	for i := 1; i <= blocks; i++ {
+		p := fmt.Sprintf("%s%d", prefix, i)
+		layers = append(layers,
+			at(p+".attn.query", seq, hidden, hidden),
+			at(p+".attn.key", seq, hidden, hidden),
+			at(p+".attn.value", seq, hidden, hidden),
+			at(p+".attn.scores", heads*seq, seq, headDim),
+			at(p+".attn.context", heads*seq, headDim, seq),
+			at(p+".attn.out", seq, hidden, hidden),
+			at(p+".ffn.expand", seq, ffn, hidden),
+			at(p+".ffn.project", seq, hidden, ffn),
+		)
+	}
+	return layers
+}
+
+// BERTBase returns the BERT-base encoder stack (12 blocks, hidden 768, 12
+// heads, FFN 3072) at sequence length 128, expressed as matmul layers with
+// batch x sequence folded into N. Embedding lookup, layer norms, softmax
+// and the pooler are omitted (they are not MAC workloads); at batch 1 the
+// stack is ~11.2 GMACs over ~85M projection parameters.
+func BERTBase(batch int) Network {
+	return Network{Name: "bert_base", Layers: encoderBlocks("enc", batch, 12, 128, 768, 12, 3072)}
+}
+
+// GPT2Small returns the GPT-2-small decoder stack (12 blocks, hidden 768,
+// 12 heads, FFN 3072) at its full 1024-token context, expressed as matmul
+// layers with batch x sequence folded into N. Causal masking is ignored
+// (dense-matmul accounting, the convention of FLOP tables); embeddings and
+// normalization are omitted. At batch 1 the stack is ~106 GMACs — a
+// long-sequence stress of the same block shape BERTBase exercises at
+// sequence 128.
+func GPT2Small(batch int) Network {
+	return Network{Name: "gpt2_small", Layers: encoderBlocks("block", batch, 12, 1024, 768, 12, 3072)}
+}
+
+// ZooEntry describes one built-in workload: its registry name, a coarse
+// family tag ("conv-era cnn", "modern cnn", "transformer"), a one-line
+// description (surfaced by `photoloop networks`, GET /v1/networks and the
+// generated README table), and the builder.
+type ZooEntry struct {
+	Name        string
+	Family      string
+	Description string
+	Build       func(batch int) Network
+}
+
+// ZooEntries returns the built-in workloads in curated order (paper
+// workloads first, then the modern-CNN and transformer extensions). The
+// slice is freshly allocated; callers may reorder it.
+func ZooEntries() []ZooEntry {
+	return []ZooEntry{
+		{"vgg16", "conv-era cnn", "13 uniform 3x3 convs + 3 large FC layers (paper Fig. 3)", VGG16},
+		{"alexnet", "conv-era cnn", "11x11/4 stem and 5x5 conv2 that under-utilize window-parallel hardware (paper Fig. 3)", AlexNet},
+		{"resnet18", "conv-era cnn", "basic-block residual CNN (paper Figs. 4-5)", ResNet18},
+		{"resnet34", "conv-era cnn", "deeper basic-block residual CNN ({3,4,6,3} blocks)", ResNet34},
+		{"resnet50", "modern cnn", "bottleneck residual CNN dominated by pointwise 1x1 convs", ResNet50},
+		{"mobilenet_v2", "modern cnn", "inverted residuals: 1x1 expand, 3x3 depthwise, 1x1 project", MobileNetV2},
+		{"bert_base", "transformer", "12 encoder blocks, hidden 768, seq 128, as batched matmuls", BERTBase},
+		{"gpt2_small", "transformer", "12 decoder blocks, hidden 768, seq 1024, as batched matmuls", GPT2Small},
+	}
+}
+
 // Zoo returns every built-in network builder keyed by name.
 func Zoo() map[string]func(batch int) Network {
-	return map[string]func(int) Network{
-		"vgg16":    VGG16,
-		"alexnet":  AlexNet,
-		"resnet18": ResNet18,
-		"resnet34": ResNet34,
+	entries := ZooEntries()
+	m := make(map[string]func(int) Network, len(entries))
+	for _, e := range entries {
+		m[e.Name] = e.Build
 	}
+	return m
 }
 
 // ByName builds a zoo network by name.

@@ -38,6 +38,7 @@ import (
 	"photoloop/internal/mapper"
 	"photoloop/internal/mapping"
 	"photoloop/internal/model"
+	"photoloop/internal/presets"
 	"photoloop/internal/spec"
 	"photoloop/internal/sweep"
 	"photoloop/internal/workload"
@@ -85,6 +86,18 @@ func NewConv(name string, n, k, c, p, q, r, s, stride, pad int) Layer {
 // NewFC builds a fully-connected layer.
 func NewFC(name string, n, k, c int) Layer { return workload.NewFC(name, n, k, c) }
 
+// NewMatmul builds a general matrix multiplication (the transformer
+// attention/projection primitive) as an FC layer.
+func NewMatmul(name string, rows, cols, inner int) Layer {
+	return workload.NewMatmul(name, rows, cols, inner)
+}
+
+// NewDepthwise builds a depthwise convolution in the batch-folded dense
+// projection (see workload.NewDepthwise for the accuracy contract).
+func NewDepthwise(name string, n, ch, p, q, r, s, stride, pad int) Layer {
+	return workload.NewDepthwise(name, n, ch, p, q, r, s, stride, pad)
+}
+
 // VGG16 builds the paper's VGG16 evaluation workload.
 func VGG16(batch int) Network { return workload.VGG16(batch) }
 
@@ -94,7 +107,35 @@ func AlexNet(batch int) Network { return workload.AlexNet(batch) }
 // ResNet18 builds the paper's ResNet-18 evaluation workload.
 func ResNet18(batch int) Network { return workload.ResNet18(batch) }
 
-// NetworkByName builds a zoo network ("vgg16", "alexnet", "resnet18").
+// ResNet34 builds the deeper basic-block ResNet-34 workload.
+func ResNet34(batch int) Network { return workload.ResNet34(batch) }
+
+// ResNet50 builds the bottleneck ResNet-50 workload (pointwise-1x1
+// dominated).
+func ResNet50(batch int) Network { return workload.ResNet50(batch) }
+
+// MobileNetV2 builds the MobileNetV2 workload (inverted residuals with
+// depthwise convolutions in the batch-folded projection).
+func MobileNetV2(batch int) Network { return workload.MobileNetV2(batch) }
+
+// BERTBase builds the BERT-base encoder stack at sequence 128 as batched
+// matmul layers.
+func BERTBase(batch int) Network { return workload.BERTBase(batch) }
+
+// GPT2Small builds the GPT-2-small decoder stack at its 1024-token
+// context as batched matmul layers.
+func GPT2Small(batch int) Network { return workload.GPT2Small(batch) }
+
+// ZooEntry describes one built-in workload: name, family, description and
+// builder.
+type ZooEntry = workload.ZooEntry
+
+// WorkloadZoo returns the built-in workloads in curated order — the one
+// registry behind NetworkByName, `photoloop networks`, GET /v1/networks
+// and study workload selection.
+func WorkloadZoo() []ZooEntry { return workload.ZooEntries() }
+
+// NetworkByName builds a zoo network by name (WorkloadZoo lists them).
 func NetworkByName(name string, batch int) (Network, error) {
 	return workload.ByName(name, batch)
 }
@@ -346,6 +387,40 @@ type (
 // Sweep expands and concurrently evaluates a design-space sweep.
 func Sweep(spec SweepSpec, opts SweepOptions) (*SweepResult, error) {
 	return sweep.Run(spec, opts)
+}
+
+// ArchPreset is one named architecture of the preset library: a validated
+// photonic organization (or the electrical baseline) referenceable by
+// name from sweeps, studies, `photoloop eval -preset` and the HTTP API.
+type ArchPreset = presets.Preset
+
+// Presets returns the architecture preset library in curated order.
+func Presets() []*ArchPreset { return presets.All() }
+
+// PresetNames returns the preset names in library order.
+func PresetNames() []string { return presets.Names() }
+
+// PresetByName looks an architecture preset up by name.
+func PresetByName(name string) (*ArchPreset, error) { return presets.ByName(name) }
+
+// Comparative study types: the cross product of architecture presets ×
+// zoo workloads × objectives, evaluated through the cached sweep engine
+// and ranked per (workload, objective) group. `photoloop study` and
+// `POST /v1/study` run the same engine.
+type (
+	// StudySpec declares a study (presets × workloads × objectives).
+	StudySpec = sweep.StudySpec
+	// StudyResult is a completed study: ranked rows in group order.
+	StudyResult = sweep.StudyResult
+	// StudyRow is one evaluated (preset, workload, objective) row.
+	StudyRow = sweep.StudyRow
+)
+
+// Study runs a comparative preset study; every row is bit-identical to
+// evaluating the same (preset, workload, objective) individually through
+// EvalSpec with the same budget, seed and search workers.
+func Study(spec StudySpec, opts SweepOptions) (*StudyResult, error) {
+	return sweep.RunStudy(spec, opts)
 }
 
 // EvalSpec runs one spec-driven evaluation request; a non-nil cache
