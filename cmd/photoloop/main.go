@@ -8,6 +8,7 @@
 //
 //	photoloop eval (-arch a.json | -preset name) -network vgg16 [-layer name] [-mapping m.json] [-json] ...
 //	photoloop sweep (-spec sweep.json | -preset fig4|fig5) [-format json|csv] [-out file] ...
+//	photoloop explore (-spec explore.json | -preset name [-axis p=...]) [-budget N] [-strategy auto|grid|adaptive] ...
 //	photoloop study [-presets all] [-workloads all] [-objectives energy] [-format table|markdown|json|csv] ...
 //	photoloop serve [-addr :8080] [-workers N]
 //	photoloop bench [-json] [-out BENCH.json] [-compare prior.json]
@@ -32,6 +33,7 @@ import (
 
 	"photoloop/internal/components"
 	"photoloop/internal/exp"
+	"photoloop/internal/explore"
 	"photoloop/internal/presets"
 	"photoloop/internal/spec"
 	"photoloop/internal/sweep"
@@ -56,6 +58,8 @@ func run(args []string) int {
 		err = cmdEval(args[1:])
 	case "sweep":
 		err = cmdSweep(args[1:])
+	case "explore":
+		err = cmdExplore(args[1:])
 	case "study":
 		err = cmdStudy(args[1:])
 	case "serve":
@@ -106,6 +110,17 @@ func usage(w io.Writer) {
       -warm-start chains same-workload points across the variant axis,
       seeding each search with its neighbor's best mappings so the
       mapper's lower bound prunes from the first candidate.
+  photoloop explore (-spec explore.json | -preset name [-axis param=...])
+                    [-network vgg16] [-objectives energy,area] [-budget N]
+                    [-strategy auto|grid|adaptive] [-mapper-budget N] [-seed N]
+                    [-search-workers N] [-format markdown|json|csv] [-out file]
+      Search a declared parameter space for its Pareto frontier over the
+      given objectives (all minimized). -axis is repeatable and accepts
+      explicit grids (param=1,3,5) or ranges (param=2..16:2); with no
+      axes, the stock Albireo lever space is searched. The grid strategy
+      exhausts small spaces bit-identically to 'photoloop sweep'; the
+      adaptive strategy evaluates at most -budget points of spaces too
+      large to enumerate. See docs/EXPLORATION.md.
   photoloop study [-presets all|a,b,...] [-workloads all|a,b,...]
                   [-objectives energy,delay,edp] [-batch N] [-budget N]
                   [-seed N] [-search-workers N] [-workers N]
@@ -117,7 +132,8 @@ func usage(w io.Writer) {
       -preset' at the same budget/seed/search-workers.
   photoloop serve [-addr :8080] [-workers N] [-debug]
       Serve the model over HTTP: POST /v1/eval, POST /v1/sweep,
-      POST /v1/study, GET /v1/networks, GET /v1/presets. -debug
+      POST /v1/explore, POST /v1/study, GET /v1/networks,
+      GET /v1/presets. -debug
       additionally mounts net/http/pprof under /debug/pprof/ for live
       profiling.
   photoloop bench [-json] [-out BENCH.json] [-compare prior.json] [-label name]
@@ -411,6 +427,7 @@ func cmdServe(args []string) error {
 	}
 	srv := sweep.NewServer()
 	srv.Workers = *workers
+	explore.Attach(srv)
 	handler := http.Handler(srv)
 	if *debugFlag {
 		// pprof endpoints on the same listener: profile the mapper hot
@@ -426,7 +443,7 @@ func cmdServe(args []string) error {
 		handler = mux
 		fmt.Fprintln(os.Stderr, "photoloop: pprof enabled at /debug/pprof/")
 	}
-	fmt.Fprintf(os.Stderr, "photoloop: serving on %s (POST /v1/eval, POST /v1/sweep, GET /v1/networks)\n", *addr)
+	fmt.Fprintf(os.Stderr, "photoloop: serving on %s (POST /v1/eval, POST /v1/sweep, POST /v1/explore, POST /v1/study, GET /v1/networks, GET /v1/presets)\n", *addr)
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: handler,

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"text/tabwriter"
 
 	"photoloop/internal/sweep"
@@ -36,19 +35,10 @@ func cmdStudy(args []string) error {
 		return fmt.Errorf("unknown format %q (want table, markdown, json or csv)", *format)
 	}
 
-	split := func(s string) []string {
-		var out []string
-		for _, f := range strings.Split(s, ",") {
-			if f = strings.TrimSpace(f); f != "" {
-				out = append(out, f)
-			}
-		}
-		return out
-	}
 	spec := sweep.StudySpec{
-		Presets:       split(*presetsFlag),
-		Workloads:     split(*workloads),
-		Objectives:    split(*objectives),
+		Presets:       splitList(*presetsFlag),
+		Workloads:     splitList(*workloads),
+		Objectives:    splitList(*objectives),
 		Batch:         *batch,
 		Budget:        *budget,
 		Seed:          *seed,

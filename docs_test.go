@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"photoloop"
+	"photoloop/internal/md"
 )
 
 // docLintPackages are the directories whose exported identifiers must all
@@ -24,6 +25,8 @@ var docLintPackages = []string{
 	"internal/presets",
 	"internal/workload",
 	"internal/sweep",
+	"internal/explore",
+	"internal/md",
 }
 
 // TestFacadeDocComments enforces the documentation contract: every
@@ -137,6 +140,8 @@ var docRefPackages = map[string]string{
 	"spec":       "internal/spec",
 	"sweep":      "internal/sweep",
 	"presets":    "internal/presets",
+	"explore":    "internal/explore",
+	"md":         "internal/md",
 	"exp":        "internal/exp",
 	"refsim":     "internal/refsim",
 	"report":     "internal/report",
@@ -189,58 +194,68 @@ func exportedNames(t *testing.T, dir string) map[string]bool {
 	return out
 }
 
-// TestModelingDocReferences guards docs/MODELING.md against rot: every
+// TestModelingDocReferences guards the reference-heavy guides
+// (docs/MODELING.md and docs/EXPLORATION.md) against rot: every
 // backticked `pkg.Symbol` reference whose qualifier names one of this
 // module's packages must resolve to an exported identifier that still
 // compiles there.
 func TestModelingDocReferences(t *testing.T) {
-	buf, err := os.ReadFile(filepath.Join("docs", "MODELING.md"))
-	if err != nil {
-		t.Fatal(err)
-	}
 	refRe := regexp.MustCompile("`([a-z][a-zA-Z0-9]*)\\.([A-Z][A-Za-z0-9]*)")
 	names := map[string]map[string]bool{}
-	checked := 0
-	for _, m := range refRe.FindAllStringSubmatch(string(buf), -1) {
-		pkg, sym := m[1], m[2]
-		dir, ok := docRefPackages[pkg]
-		if !ok {
-			continue
+	for doc, minRefs := range map[string]int{
+		"MODELING.md":    30,
+		"EXPLORATION.md": 8,
+	} {
+		buf, err := os.ReadFile(filepath.Join("docs", doc))
+		if err != nil {
+			t.Fatal(err)
 		}
-		if names[pkg] == nil {
-			names[pkg] = exportedNames(t, dir)
+		checked := 0
+		for _, m := range refRe.FindAllStringSubmatch(string(buf), -1) {
+			pkg, sym := m[1], m[2]
+			dir, ok := docRefPackages[pkg]
+			if !ok {
+				continue
+			}
+			if names[pkg] == nil {
+				names[pkg] = exportedNames(t, dir)
+			}
+			checked++
+			if !names[pkg][sym] {
+				t.Errorf("docs/%s references %s.%s, which %s does not export", doc, pkg, sym, dir)
+			}
 		}
-		checked++
-		if !names[pkg][sym] {
-			t.Errorf("docs/MODELING.md references %s.%s, which %s does not export", pkg, sym, dir)
+		if checked < minRefs {
+			t.Errorf("docs/%s: only %d package references found — the extraction regex may have rotted", doc, checked)
 		}
-	}
-	if checked < 30 {
-		t.Errorf("only %d package references found — the extraction regex may have rotted", checked)
 	}
 }
 
 // generatedWorkloadTable renders the README's workload table from the
-// zoo registry — the single source of truth.
+// zoo registry — the single source of truth. Rendering goes through the
+// shared md helper so a `|` in a description cannot break the table.
 func generatedWorkloadTable() string {
-	var b strings.Builder
-	b.WriteString("| network | family | layers | GMACs | params (M) | description |\n")
-	b.WriteString("|---|---|---:|---:|---:|---|\n")
+	var rows [][]string
 	for _, e := range photoloop.WorkloadZoo() {
 		n := e.Build(1)
-		fmt.Fprintf(&b, "| %s | %s | %d | %.2f | %.2f | %s |\n",
-			e.Name, e.Family, len(n.Layers),
-			float64(n.MACs())/1e9, float64(n.WeightElems())/1e6, e.Description)
+		rows = append(rows, []string{
+			e.Name, e.Family, fmt.Sprint(len(n.Layers)),
+			fmt.Sprintf("%.2f", float64(n.MACs())/1e9),
+			fmt.Sprintf("%.2f", float64(n.WeightElems())/1e6),
+			e.Description,
+		})
+	}
+	var b strings.Builder
+	if err := md.Table(&b, []string{"network", "family", "layers", "GMACs", "params (M)", "description"}, "llrrrl", rows); err != nil {
+		panic(err)
 	}
 	return b.String()
 }
 
 // generatedPresetTable renders the README's preset table from the
-// preset library.
+// preset library, through the same escaping md helper.
 func generatedPresetTable() string {
-	var b strings.Builder
-	b.WriteString("| preset | kind | peak MACs/cycle | area (mm²) | description |\n")
-	b.WriteString("|---|---|---:|---:|---|\n")
+	var rows [][]string
 	for _, p := range photoloop.Presets() {
 		a, err := p.Build()
 		if err != nil {
@@ -250,8 +265,14 @@ func generatedPresetTable() string {
 		if err != nil {
 			panic(err)
 		}
-		fmt.Fprintf(&b, "| %s | %s | %d | %.2f | %s |\n",
-			p.Name, p.Kind(), a.PeakMACsPerCycle(), area/1e6, p.Description)
+		rows = append(rows, []string{
+			p.Name, p.Kind(), fmt.Sprint(a.PeakMACsPerCycle()),
+			fmt.Sprintf("%.2f", area/1e6), p.Description,
+		})
+	}
+	var b strings.Builder
+	if err := md.Table(&b, []string{"preset", "kind", "peak MACs/cycle", "area (mm²)", "description"}, "llrrl", rows); err != nil {
+		panic(err)
 	}
 	return b.String()
 }
@@ -299,6 +320,67 @@ func TestREADMEGeneratedTables(t *testing.T) {
 	}
 }
 
+// explorationDocSpec is the worked example docs/EXPLORATION.md walks
+// through — the same fixture the explore package's markdown golden pins.
+func explorationDocSpec() photoloop.ExploreSpec {
+	return photoloop.ExploreSpec{
+		Base: photoloop.SweepBase{Preset: "albireo"},
+		Axes: []photoloop.ExploreAxis{
+			{Param: "or_lanes", Values: []any{1, 3, 5}},
+			{Param: "output_lanes", Values: []any{3, 9, 15}},
+			{Param: "weight_reuse", Values: []any{false, true}},
+		},
+		Workload:      photoloop.SweepWorkload{Network: "alexnet"},
+		Objectives:    []string{"energy", "area"},
+		MapperBudget:  60,
+		Seed:          1,
+		SearchWorkers: 1,
+	}
+}
+
+// TestExplorationDocExample reproduces docs/EXPLORATION.md's worked
+// frontier: the committed table between the marker comments must match
+// what the explorer computes today. Run with UPDATE_DOCS=1 to rewrite
+// the document in place after a model or mapper change.
+func TestExplorationDocExample(t *testing.T) {
+	f, err := photoloop.Explore(explorationDocSpec(), photoloop.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rendered strings.Builder
+	if err := f.WriteMarkdown(&rendered); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimRight(rendered.String(), "\n") + "\n"
+
+	path := filepath.Join("docs", "EXPLORATION.md")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(buf)
+	const begin = "<!-- generated:frontier-example:begin -->\n"
+	const end = "<!-- generated:frontier-example:end -->"
+	bi := strings.Index(text, begin)
+	ei := strings.Index(text, end)
+	if bi < 0 || ei < 0 || ei < bi {
+		t.Fatalf("%s: frontier-example markers missing or out of order", path)
+	}
+	got := text[bi+len(begin) : ei]
+	if got == want {
+		return
+	}
+	if os.Getenv("UPDATE_DOCS") != "" {
+		text = text[:bi+len(begin)] + want + text[ei:]
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("docs/EXPLORATION.md updated")
+		return
+	}
+	t.Errorf("%s worked example is stale (run UPDATE_DOCS=1 go test -run TestExplorationDocExample .):\n--- committed ---\n%s\n--- computed ---\n%s", path, got, want)
+}
+
 // TestREADMESubcommandsDocumented keeps the README and `photoloop help`
 // honest: every CLI subcommand must appear in the README's command-line
 // session (bench was once missing; study must not regress the same way).
@@ -309,7 +391,7 @@ func TestREADMESubcommandsDocumented(t *testing.T) {
 	}
 	text := string(buf)
 	for _, sub := range []string{
-		"eval", "sweep", "study", "serve", "bench",
+		"eval", "sweep", "explore", "study", "serve", "bench",
 		"template", "networks", "presets", "classes",
 	} {
 		if !strings.Contains(text, "photoloop "+sub) {
@@ -322,10 +404,10 @@ func TestREADMESubcommandsDocumented(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, sub := range []string{
-		"photoloop eval", "photoloop sweep", "photoloop study",
-		"photoloop serve", "photoloop bench", "photoloop template",
-		"photoloop networks", "photoloop presets", "photoloop classes",
-		"photoloop version", "photoloop help",
+		"photoloop eval", "photoloop sweep", "photoloop explore",
+		"photoloop study", "photoloop serve", "photoloop bench",
+		"photoloop template", "photoloop networks", "photoloop presets",
+		"photoloop classes", "photoloop version", "photoloop help",
 	} {
 		if !bytes.Contains(main, []byte(sub)) {
 			t.Errorf("cmd/photoloop usage does not mention %q", sub)

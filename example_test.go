@@ -139,3 +139,28 @@ func ExampleStudy() {
 	// alexnet/energy winner: electrical-baseline
 	// alexnet/delay winner: albireo
 }
+
+func ExampleExplore() {
+	f, err := photoloop.Explore(photoloop.ExploreSpec{
+		Base: photoloop.SweepBase{Preset: "albireo"},
+		Axes: []photoloop.ExploreAxis{
+			{Param: "or_lanes", Values: []any{1, 3, 5}},
+			{Param: "output_lanes", Values: []any{3, 9, 15}},
+			{Param: "weight_reuse", Values: []any{false, true}},
+		},
+		Workload:      photoloop.SweepWorkload{Network: "alexnet"},
+		Objectives:    []string{"energy", "area"},
+		MapperBudget:  60,
+		Seed:          1,
+		SearchWorkers: 1,
+	}, photoloop.ExploreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s strategy: %d Pareto-optimal of %d points\n", f.Strategy, len(f.Points), f.Evals)
+	best := f.Points[0] // lowest energy on the frontier
+	fmt.Printf("lowest-energy design: %s\n", best.Variant)
+	// Output:
+	// grid strategy: 5 Pareto-optimal of 18 points
+	// lowest-energy design: or_lanes=5 output_lanes=15 weight_reuse=true
+}

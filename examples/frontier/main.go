@@ -1,0 +1,77 @@
+// frontier discovers the Pareto-optimal corner of a photonic design
+// space instead of enumerating it: which Albireo reuse/scale
+// configurations are simultaneously energy- and area-optimal for a
+// convolutional workload? It first exhausts the paper's Fig. 5 lever
+// grid (18 designs) to get the exact frontier, then turns the cluster
+// count and pixel-lane width into range axes — inflating the space to
+// 4608 designs — and lets the budgeted adaptive strategy find the
+// trade-off curve with 60 evaluations.
+//
+// The same searches run from the command line as
+//
+//	photoloop explore -preset albireo -network alexnet -budget 60
+//
+// and over HTTP as POST /v1/explore; all three share the cached sweep
+// engine underneath. See docs/EXPLORATION.md for the guide.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"photoloop"
+)
+
+func main() {
+	// The paper's Fig. 5 reuse levers: analog output-lane merging,
+	// WDM input fan-out, shared ring banks.
+	levers := []photoloop.ExploreAxis{
+		{Param: "or_lanes", Values: []any{1, 3, 5}},
+		{Param: "output_lanes", Values: []any{3, 9, 15}},
+		{Param: "weight_reuse", Values: []any{false, true}},
+	}
+	base := photoloop.ExploreSpec{
+		Base:     photoloop.SweepBase{Preset: "albireo"},
+		Axes:     levers,
+		Workload: photoloop.SweepWorkload{Network: "alexnet"},
+		// Total energy against silicon area, both minimized.
+		Objectives: []string{"energy", "area"},
+		// Small pinned mapper budget and single-threaded searches keep
+		// the run fast and machine-independent.
+		MapperBudget:  60,
+		Seed:          1,
+		SearchWorkers: 1,
+	}
+
+	// Exhaustive: 18 designs, every one evaluated, exact frontier.
+	exact, err := photoloop.Explore(base, photoloop.ExploreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("## Lever grid (%s strategy, %d of %d designs)\n\n", exact.Strategy, exact.Evals, exact.SpaceSize)
+	if err := exact.WriteMarkdown(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Adaptive: widen two levers into ranges and the space explodes —
+	// the explorer now has to search, not enumerate.
+	wide := base
+	min, max := 1.0, 16.0
+	pmin, pmax := 4.0, 64.0
+	wide.Axes = append(append([]photoloop.ExploreAxis{}, levers...),
+		photoloop.ExploreAxis{Param: "clusters", Min: &min, Max: &max},
+		photoloop.ExploreAxis{Param: "pixel_lanes", Min: &pmin, Max: &pmax, Step: 4},
+	)
+	wide.Budget = 60
+	approx, err := photoloop.Explore(wide, photoloop.ExploreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n## Widened space (%s strategy, %d of %d designs)\n\n", approx.Strategy, approx.Evals, approx.SpaceSize)
+	if err := approx.WriteMarkdown(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsearch dedupe: %d layer searches served from cache, %d computed\n",
+		approx.CacheHits, approx.CacheMisses)
+}

@@ -1,0 +1,290 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"photoloop/internal/sweep"
+)
+
+// generationSize is how many candidates each adaptive generation
+// proposes. Proposals are drawn single-threaded between generations and
+// the archive is updated only after a whole generation is evaluated, so
+// the searched candidate set — and therefore the frontier — depends only
+// on (Spec, Seed), never on the evaluation pool size.
+const generationSize = 16
+
+// proposalRetries bounds how many collisions with already-visited points
+// a proposal tolerates before falling back to a lattice scan for the next
+// unvisited index.
+const proposalRetries = 32
+
+// candidate is one proposed, not-yet-evaluated lattice point.
+type candidate struct {
+	lattice int64
+	values  []any
+}
+
+// adaptive carries the state of one evolutionary run.
+type adaptive struct {
+	sp      *Spec
+	space   *space
+	rng     *rand.Rand
+	visited map[int64]struct{}
+
+	evaluated  []evalPoint
+	archive    []int // indices into evaluated, mutually non-dominated
+	infeasible int
+	firstErr   string
+}
+
+// runAdaptive is the budgeted evolutionary search: seed the lattice
+// corners plus uniform draws, then repeatedly mutate non-dominated
+// incumbents (with occasional uniform jumps), evaluating each generation
+// concurrently through the shared sweep evaluator. When the whole space
+// fits the budget it degenerates to exhaustive enumeration in lattice
+// order — the same point set, and therefore the same frontier, as the
+// grid strategy (test-pinned).
+func runAdaptive(sp *Spec, s *space, opts Options) (*Frontier, error) {
+	ev, err := sweep.NewEvaluator(sp.sweepSpec(s, false), sweep.Options{Cache: opts.Cache})
+	if err != nil {
+		return nil, err
+	}
+	// Surface unknown axis params and unbuildable bases before spending
+	// any evaluation: building the first lattice point exercises base
+	// resolution and every axis's apply path.
+	if err := ev.Validate(s.valuesAt(0)); err != nil {
+		return nil, err
+	}
+	hits0, misses0 := ev.CacheStats()
+
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	x := &adaptive{sp: sp, space: s, rng: rand.New(rand.NewSource(sp.Seed)), visited: map[int64]struct{}{}}
+	total := sp.Budget
+	exhaustive := s.size <= int64(sp.Budget)
+	if exhaustive {
+		total = int(s.size)
+	}
+	workers := poolSize(sp, &opts)
+
+	var mu sync.Mutex
+	done := 0
+	progress := func() {
+		if opts.Progress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		opts.Progress(done, total)
+		mu.Unlock()
+	}
+
+	canceled := func() error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
+	finish := func(runErr error) (*Frontier, error) {
+		f := buildFrontier(sp, StrategyAdaptive, s, x.evaluated, x.infeasible)
+		hits1, misses1 := ev.CacheStats()
+		f.CacheHits, f.CacheMisses = hits1-hits0, misses1-misses0
+		if runErr != nil {
+			return f, fmt.Errorf("explore: %w", runErr)
+		}
+		if len(x.evaluated) == 0 {
+			return f, fmt.Errorf("explore: every evaluated point failed (first: %s)", x.firstErr)
+		}
+		return f, nil
+	}
+
+	evals := 0
+	for evals < total {
+		if err := canceled(); err != nil {
+			return finish(err)
+		}
+		want := total - evals
+		if want > generationSize {
+			want = generationSize
+		}
+		var batch []candidate
+		if exhaustive {
+			// Lattice order, exactly the grid strategy's point order.
+			for k := 0; k < want; k++ {
+				lat := int64(evals + k)
+				batch = append(batch, candidate{lattice: lat, values: s.valuesAt(lat)})
+			}
+		} else {
+			batch = x.propose(want)
+		}
+		if len(batch) == 0 {
+			break // space exhausted below budget
+		}
+		points, err := evaluateBatch(ctx, ev, batch, evals, workers, progress)
+		if err != nil {
+			return finish(err)
+		}
+		for k := range batch {
+			evals++
+			p := points[k]
+			if p.Err != "" {
+				x.infeasible++
+				if x.firstErr == "" {
+					x.firstErr = p.Err
+				}
+				continue
+			}
+			x.insert(evalPoint{point: p, lattice: batch[k].lattice, objs: objsOf(sp.Objectives, p)})
+		}
+	}
+	return finish(nil)
+}
+
+// evaluateBatch evaluates one generation on a bounded worker pool.
+// Results are slot-ordered, so downstream archive updates are
+// deterministic regardless of pool size. Point indices continue the
+// run's evaluation sequence.
+func evaluateBatch(ctx context.Context, ev *sweep.Evaluator, batch []candidate, base, workers int, progress func()) ([]*sweep.Point, error) {
+	points := make([]*sweep.Point, len(batch))
+	errs := make([]error, len(batch))
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	var wg sync.WaitGroup
+	slots := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range slots {
+				points[k], errs[k] = ev.Eval(base+k, batch[k].values, 0, 0)
+				progress()
+			}
+		}()
+	}
+	for k := range batch {
+		slots <- k
+	}
+	close(slots)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for k, err := range errs {
+		if err != nil {
+			// Eval errors are spec-level (bad axis value), not
+			// point-level; they abort the run.
+			return nil, fmt.Errorf("candidate %v: %w", batch[k].values, err)
+		}
+	}
+	return points, nil
+}
+
+// insert adds a feasible evaluated point and maintains the non-dominated
+// archive incrementally.
+func (x *adaptive) insert(p evalPoint) {
+	x.evaluated = append(x.evaluated, p)
+	idx := len(x.evaluated) - 1
+	keep := x.archive[:0]
+	for _, ai := range x.archive {
+		if dominates(x.evaluated[ai].objs, p.objs) {
+			return // dominated; archive unchanged (prefix already intact)
+		}
+		if !dominates(p.objs, x.evaluated[ai].objs) {
+			keep = append(keep, ai)
+		}
+	}
+	x.archive = append(keep, idx)
+}
+
+// propose draws up to want unvisited candidates: mutations of archive
+// incumbents most of the time, uniform jumps otherwise, with a lattice
+// scan as the collision fallback so the budget is always spendable while
+// unvisited points remain.
+func (x *adaptive) propose(want int) []candidate {
+	var out []candidate
+	add := func(lat int64) bool {
+		if _, ok := x.visited[lat]; ok {
+			return false
+		}
+		x.visited[lat] = struct{}{}
+		out = append(out, candidate{lattice: lat, values: x.space.valuesAt(lat)})
+		return true
+	}
+	if len(x.visited) == 0 {
+		// Deterministic anchors: the lattice corners bracket every axis.
+		add(0)
+		if len(out) < want {
+			add(x.space.size - 1)
+		}
+	}
+	for len(out) < want && int64(len(x.visited)) < x.space.size {
+		var lat int64
+		found := false
+		for try := 0; try < proposalRetries; try++ {
+			if len(x.archive) > 0 && x.rng.Float64() < 0.8 {
+				parent := x.evaluated[x.archive[x.rng.Intn(len(x.archive))]]
+				lat = x.mutate(parent.lattice)
+			} else {
+				lat = x.rng.Int63n(x.space.size)
+			}
+			if _, ok := x.visited[lat]; !ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Scan forward from a random start for the next unvisited
+			// index. The visited set is at most Budget entries, so this
+			// terminates quickly even in huge lattices.
+			lat = x.rng.Int63n(x.space.size)
+			for {
+				if _, ok := x.visited[lat]; !ok {
+					break
+				}
+				lat++
+				if lat == x.space.size {
+					lat = 0
+				}
+			}
+		}
+		add(lat)
+	}
+	return out
+}
+
+// mutate perturbs a parent's choice vector: one or two axes move, each
+// either one lattice step (local refinement, the common case) or to a
+// uniform value (exploration).
+func (x *adaptive) mutate(parent int64) int64 {
+	choice := x.space.choiceAt(parent)
+	edits := 1 + x.rng.Intn(2)
+	for e := 0; e < edits; e++ {
+		i := x.rng.Intn(len(choice))
+		n := len(x.space.params[i])
+		if n == 1 {
+			continue
+		}
+		if x.rng.Float64() < 0.7 {
+			step := 1
+			if x.rng.Intn(2) == 0 {
+				step = -1
+			}
+			c := choice[i] + step
+			if c < 0 || c >= n {
+				c = choice[i] - step
+			}
+			choice[i] = c
+		} else {
+			choice[i] = x.rng.Intn(n)
+		}
+	}
+	return x.space.indexOf(choice)
+}

@@ -1,0 +1,19 @@
+package explore
+
+// float returns a pointer for range-axis literals.
+func float(v float64) *float64 { return &v }
+
+// DefaultAlbireoAxes is the stock search space for Albireo-backed bases —
+// the paper's Fig. 5 reuse levers (analog output-lane merging, WDM input
+// fan-out, shared ring banks) crossed with the cluster count as a range
+// axis: 144 lattice points, enough that a default-budget exploration must
+// actually search rather than enumerate. `photoloop explore` uses it when
+// no axes are given.
+func DefaultAlbireoAxes() []Axis {
+	return []Axis{
+		{Param: "weight_reuse", Values: []any{false, true}},
+		{Param: "or_lanes", Values: []any{1, 3, 5}},
+		{Param: "output_lanes", Values: []any{3, 9, 15}},
+		{Param: "clusters", Min: float(2), Max: float(16), Step: 2},
+	}
+}

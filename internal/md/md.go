@@ -1,0 +1,70 @@
+// Package md holds the one markdown-table renderer every markdown-emitting
+// writer shares (the study writer, the explore frontier writer, the
+// generated README tables). Centralizing it exists for one correctness
+// reason: table cells must escape the characters that break GitHub-flavored
+// markdown tables — a `|` in a workload or preset description would
+// otherwise silently split the row.
+package md
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// escaper rewrites the characters that break a GFM table cell: pipes are
+// escaped, newlines (which would end the row) collapse to spaces.
+var escaper = strings.NewReplacer("|", `\|`, "\r\n", " ", "\n", " ", "\r", " ")
+
+// Escape returns s safe for use inside a markdown table cell.
+func Escape(s string) string { return escaper.Replace(s) }
+
+// Table writes a GitHub-flavored markdown table: a header row, the
+// alignment row, then one row per entry. align holds one byte per column,
+// 'l' for left and 'r' for right (numeric) alignment. Every cell —
+// header and body — is escaped with Escape, so callers can pass raw
+// descriptions without breaking the table.
+func Table(w io.Writer, headers []string, align string, rows [][]string) error {
+	if len(align) != len(headers) {
+		return fmt.Errorf("md: %d alignment bytes for %d columns", len(align), len(headers))
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) error {
+		if len(cells) != len(headers) {
+			return fmt.Errorf("md: row has %d cells, want %d", len(cells), len(headers))
+		}
+		b.Reset()
+		for _, c := range cells {
+			b.WriteString("| ")
+			b.WriteString(Escape(c))
+			b.WriteString(" ")
+		}
+		b.WriteString("|\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	b.Reset()
+	for i := range headers {
+		switch align[i] {
+		case 'r':
+			b.WriteString("|---:")
+		case 'l':
+			b.WriteString("|---")
+		default:
+			return fmt.Errorf("md: alignment byte %q for column %d (want 'l' or 'r')", align[i], i)
+		}
+	}
+	b.WriteString("|\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

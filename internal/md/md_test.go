@@ -1,0 +1,54 @@
+package md
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEscape(t *testing.T) {
+	for in, want := range map[string]string{
+		"plain":        "plain",
+		"a|b":          `a\|b`,
+		"line\nbreak":  "line break",
+		"crlf\r\nhere": "crlf here",
+	} {
+		if got := Escape(in); got != want {
+			t.Errorf("Escape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := Table(&buf, []string{"name", "count"}, "lr", [][]string{
+		{"pipe|d description", "3"},
+		{"plain", "12"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"| name | count |",
+		"|---|---:|",
+		`| pipe\|d description | 3 |`,
+		"| plain | 12 |",
+		"",
+	}, "\n")
+	if buf.String() != want {
+		t.Errorf("table:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table(&buf, []string{"a"}, "lr", nil); err == nil {
+		t.Error("alignment arity mismatch accepted")
+	}
+	if err := Table(&buf, []string{"a"}, "x", nil); err == nil {
+		t.Error("bad alignment byte accepted")
+	}
+	if err := Table(&buf, []string{"a"}, "l", [][]string{{"1", "2"}}); err == nil {
+		t.Error("row arity mismatch accepted")
+	}
+}

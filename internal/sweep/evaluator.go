@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"fmt"
+
+	"photoloop/internal/mapper"
+	"photoloop/internal/presets"
+	"photoloop/internal/workload"
+)
+
+// Evaluator evaluates individual variant points of a Spec on demand,
+// without expanding the axis grid: the caller supplies one value per
+// declared axis and gets back the same Point a full Run of an equivalent
+// grid would produce for that combination (same variant construction,
+// same evaluation path, same shared mapper.Cache — bit-identical, which
+// the explore package's equivalence tests pin).
+//
+// This is the hook adaptive design-space explorers build on. The declared
+// Axes contribute only their Param names (and ordering); the supplied
+// values need not appear in any Values list, so an explorer can walk
+// ranges the declarative grid never enumerates. An Evaluator is safe for
+// concurrent use.
+type Evaluator struct {
+	spec     Spec
+	r        *runner
+	networks []workload.Network
+	netNames []string
+	objs     []mapper.Objective
+	objNames []string
+}
+
+// NewEvaluator validates the spec's base, workloads and objectives (its
+// axes' Values lists may be empty — only the Param names matter) and
+// prepares the shared evaluation state. Options.Workers and
+// Options.Progress are ignored: the caller drives its own concurrency and
+// accounting, point by point.
+func NewEvaluator(sp Spec, opts Options) (*Evaluator, error) {
+	if sp.Base.set() != 1 {
+		return nil, fmt.Errorf("sweep: base must set exactly one of albireo, arch or preset")
+	}
+	for _, ax := range sp.Axes {
+		if ax.Param == "" {
+			return nil, fmt.Errorf("sweep: axis has no param")
+		}
+	}
+	if len(sp.Workloads) == 0 {
+		return nil, fmt.Errorf("sweep: spec has no workloads")
+	}
+	objectives := sp.Objectives
+	if len(objectives) == 0 {
+		objectives = []string{"energy"}
+	}
+	e := &Evaluator{
+		spec:     sp,
+		networks: make([]workload.Network, len(sp.Workloads)),
+		netNames: make([]string, len(sp.Workloads)),
+		objs:     make([]mapper.Objective, len(objectives)),
+		objNames: objectives,
+	}
+	// The base kind gates fused workloads exactly as Run does (fusion
+	// needs an albireo-backed variant evaluator).
+	albireoBase := sp.Base.Albireo != nil
+	if sp.Base.Preset != "" {
+		p, err := presets.ByName(sp.Base.Preset)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: base: %w", err)
+		}
+		_, albireoBase = p.Albireo()
+	}
+	var err error
+	for i := range sp.Workloads {
+		w := &sp.Workloads[i]
+		if w.Fused && !albireoBase {
+			return nil, fmt.Errorf("sweep: workload %d: fused evaluation needs an albireo-backed base", i)
+		}
+		e.networks[i], e.netNames[i], err = w.resolve()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: workload %d: %w", i, err)
+		}
+	}
+	for i, name := range objectives {
+		if e.objs[i], err = mapper.ParseObjective(name); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = mapper.NewCache()
+	}
+	e.r = &runner{
+		spec: &e.spec, opts: &Options{}, cache: cache,
+		states: map[*variant]*variantState{},
+	}
+	return e, nil
+}
+
+// Workloads returns the resolved workload names, in spec order.
+func (e *Evaluator) Workloads() []string { return append([]string(nil), e.netNames...) }
+
+// Objectives returns the resolved mapper objective names, in spec order
+// (the default "energy" when the spec named none).
+func (e *Evaluator) Objectives() []string { return append([]string(nil), e.objNames...) }
+
+// Validate builds (and discards) the variant for one set of axis values —
+// base resolution, axis application and architecture construction — so
+// explorers can reject an invalid point or a mistyped axis param before
+// spending any evaluation.
+func (e *Evaluator) Validate(values []any) error {
+	v, err := e.spec.variantWith(values)
+	if err != nil {
+		return err
+	}
+	_, err = v.build()
+	return err
+}
+
+// Eval evaluates one point: the variant with the given axis values,
+// against workload wi and objective oi (spec indices). index labels the
+// returned Point (Point.Index); failures land in Point.Err, exactly as in
+// a Run.
+func (e *Evaluator) Eval(index int, values []any, wi, oi int) (*Point, error) {
+	if wi < 0 || wi >= len(e.networks) {
+		return nil, fmt.Errorf("sweep: workload index %d out of range", wi)
+	}
+	if oi < 0 || oi >= len(e.objs) {
+		return nil, fmt.Errorf("sweep: objective index %d out of range", oi)
+	}
+	v, err := e.spec.variantWith(values)
+	if err != nil {
+		return nil, err
+	}
+	// Each call gets its own variant, so the state is caller-owned rather
+	// than memoized in the runner's map (which would grow by one dead
+	// entry per evaluation for the Evaluator's lifetime).
+	st := &variantState{}
+	st.init(v)
+	job := pointJob{
+		index:    index,
+		variant:  v,
+		workload: &e.spec.Workloads[wi],
+		network:  e.networks[wi],
+		netName:  e.netNames[wi],
+		objName:  e.objNames[oi],
+		obj:      e.objs[oi],
+		state:    st,
+	}
+	p, _ := e.r.evaluate(&job, nil, false)
+	return &p, nil
+}
+
+// CacheStats reports the hit/miss counters of the evaluator's search
+// cache (the one passed in Options.Cache, or its private one).
+func (e *Evaluator) CacheStats() (hits, misses int64) { return e.r.cache.Stats() }

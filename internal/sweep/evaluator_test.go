@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestEvaluatorMatchesRunPoints is the on-demand evaluator's equivalence
+// anchor: for every grid point of a spec, Evaluator.Eval with that
+// point's axis values must reproduce the corresponding Run point bit for
+// bit — same variant construction, same evaluation path.
+func TestEvaluatorMatchesRunPoints(t *testing.T) {
+	sp := Spec{
+		Name: "evaluator-equiv",
+		Base: Base{Albireo: &AlbireoBase{}},
+		Axes: []Axis{
+			{Param: "or_lanes", Values: []any{1, 3}},
+			{Param: "weight_reuse", Values: []any{false, true}},
+		},
+		Workloads:     []Workload{{Network: "alexnet"}},
+		Objectives:    []string{"energy", "delay"},
+		Budget:        60,
+		Seed:          1,
+		SearchWorkers: 1,
+	}
+	res, err := Run(sp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(sp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ev.Workloads(); !reflect.DeepEqual(got, []string{"alexnet"}) {
+		t.Errorf("workloads = %v", got)
+	}
+	if got := ev.Objectives(); !reflect.DeepEqual(got, []string{"energy", "delay"}) {
+		t.Errorf("objectives = %v", got)
+	}
+	for i := range res.Points {
+		p := &res.Points[i]
+		values := []any{p.Params["or_lanes"], p.Params["weight_reuse"]}
+		oi := 0
+		if p.Objective == "delay" {
+			oi = 1
+		}
+		got, err := ev.Eval(p.Index, values, 0, oi)
+		if err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+		// Total carries a pointer; compare the exported value fields.
+		want := *p
+		want.Total, got.Total = nil, nil
+		if !reflect.DeepEqual(*got, want) {
+			t.Errorf("point %d differs:\n got %+v\nwant %+v", i, *got, want)
+		}
+	}
+}
+
+// TestEvaluatorValidate checks spec- and value-level failures surface
+// without evaluation.
+func TestEvaluatorValidate(t *testing.T) {
+	sp := Spec{
+		Base:      Base{Albireo: &AlbireoBase{}},
+		Axes:      []Axis{{Param: "or_lanes"}},
+		Workloads: []Workload{{Network: "alexnet"}},
+	}
+	ev, err := NewEvaluator(sp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.Validate([]any{3}); err != nil {
+		t.Errorf("valid point rejected: %v", err)
+	}
+	if err := ev.Validate([]any{"three"}); err == nil {
+		t.Error("mistyped axis value accepted")
+	}
+	if err := ev.Validate([]any{1, 2}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := ev.Eval(0, []any{3}, 1, 0); err == nil {
+		t.Error("workload index out of range accepted")
+	}
+	if _, err := ev.Eval(0, []any{3}, 0, 5); err == nil {
+		t.Error("objective index out of range accepted")
+	}
+
+	bad := sp
+	bad.Base = Base{}
+	if _, err := NewEvaluator(bad, Options{}); err == nil {
+		t.Error("empty base accepted")
+	}
+	fused := sp
+	fused.Base = Base{Preset: "electrical-baseline"}
+	fused.Workloads = []Workload{{Network: "alexnet", Fused: true}}
+	if _, err := NewEvaluator(fused, Options{}); err == nil {
+		t.Error("fused workload on electrical base accepted")
+	}
+}

@@ -128,6 +128,10 @@ type pointJob struct {
 	netName  string
 	objName  string
 	obj      mapper.Objective
+	// state, when set, carries a caller-owned variant state and bypasses
+	// the runner's per-variant memo map (Evaluator jobs build one variant
+	// per call, so memoizing them would only leak entries).
+	state *variantState
 }
 
 // Run expands and evaluates the sweep. The returned Result always holds
@@ -330,8 +334,18 @@ type variantState struct {
 	err  error
 }
 
-// state builds (once) the variant's architecture and, for raw-spec bases,
+// init builds (once) the variant's architecture and, for raw-spec bases,
 // its mapper session.
+func (st *variantState) init(v *variant) {
+	st.once.Do(func() {
+		st.a, st.err = v.build()
+		if st.err == nil && v.albireo == nil {
+			st.sess, st.err = mapper.NewSession(st.a)
+		}
+	})
+}
+
+// state builds (once) the variant's shared evaluation state.
 func (r *runner) state(v *variant) *variantState {
 	r.stateMu.Lock()
 	st, ok := r.states[v]
@@ -340,12 +354,7 @@ func (r *runner) state(v *variant) *variantState {
 		r.states[v] = st
 	}
 	r.stateMu.Unlock()
-	st.once.Do(func() {
-		st.a, st.err = v.build()
-		if st.err == nil && v.albireo == nil {
-			st.sess, st.err = mapper.NewSession(st.a)
-		}
-	})
+	st.init(v)
 	return st
 }
 
@@ -390,7 +399,10 @@ func (r *runner) evaluate(job *pointJob, warm warmTable, collect bool) (Point, w
 		Fused:     job.workload.Fused,
 		Objective: job.objName,
 	}
-	st := r.state(job.variant)
+	st := job.state
+	if st == nil {
+		st = r.state(job.variant)
+	}
 	if st.err != nil {
 		p.Err = st.err.Error()
 		return p, nil

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -50,6 +51,10 @@ const maxRequestBytes = 8 << 20
 // All requests share one fingerprint-keyed search cache, so repeated
 // evaluations of the same (architecture, layer shape) — across requests
 // and across sweep points — are served without re-searching.
+//
+// Sibling front ends register further endpoints through Mount; the
+// explore package adds POST /v1/explore (see explore.Attach), sharing the
+// same cache and heavy-run admission.
 type Server struct {
 	mux   *http.ServeMux
 	cache *mapper.Cache
@@ -94,6 +99,29 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // CacheStats returns the shared cache's hit/miss counters.
 func (s *Server) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// Mount registers an additional handler on the server's mux. Sibling
+// front ends that would otherwise create an import cycle register their
+// endpoints this way — the explore package mounts POST /v1/explore.
+func (s *Server) Mount(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// SearchCache returns the server's process-wide search cache, so mounted
+// endpoints share the same deduplication the built-in ones use.
+func (s *Server) SearchCache() *mapper.Cache { return s.cache }
+
+// AdmitHeavy reserves one of the server's heavy-run slots (the admission
+// semaphore sweeps and studies queue on), blocking until a slot frees or
+// ctx is done. On success the caller must invoke the returned release.
+// Mounted endpoints that spin up a full point pool (explore) use it so
+// the server's total concurrency stays bounded.
+func (s *Server) AdmitHeavy(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sweepSem <- struct{}{}:
+		return func() { <-s.sweepSem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	var req EvalRequest
@@ -242,6 +270,13 @@ func httpError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+// WriteHTTPError writes the server's JSON error envelope — mounted
+// endpoints (explore) use it so every /v1 route fails with the same
+// document.
+func WriteHTTPError(w http.ResponseWriter, status int, err error) {
+	httpError(w, status, err)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

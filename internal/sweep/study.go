@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"photoloop/internal/mapper"
+	"photoloop/internal/md"
 	"photoloop/internal/presets"
 	"photoloop/internal/workload"
 )
@@ -303,28 +304,42 @@ func (r *StudyResult) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// studyMarkdownHeaders and studyMarkdownAlign describe the per-group
+// markdown table (one byte per column, 'l' left / 'r' right).
+var studyMarkdownHeaders = []string{"rank", "preset", "total pJ", "pJ/MAC", "cycles", "MACs/cycle", "util", "area mm²"}
+
+const studyMarkdownAlign = "rlrrrrrr"
+
 // WriteMarkdown writes the study as one ranked markdown table per
-// (workload, objective) group — directly pasteable into docs.
+// (workload, objective) group — directly pasteable into docs. Tables are
+// rendered through the shared md helper, so a `|` in a preset name or
+// description cannot break a row.
 func (r *StudyResult) WriteMarkdown(w io.Writer) error {
-	const header = "| rank | preset | total pJ | pJ/MAC | cycles | MACs/cycle | util | area mm² |\n|---:|---|---:|---:|---:|---:|---:|---:|\n"
-	prevKey := ""
-	for i := range r.Rows {
-		row := &r.Rows[i]
-		key := row.Network + "\x00" + row.Objective
-		if key != prevKey {
-			if prevKey != "" {
-				if _, err := fmt.Fprintln(w); err != nil {
-					return err
-				}
-			}
-			if _, err := fmt.Fprintf(w, "### %s · batch %d · objective %s\n\n%s", row.Network, row.Batch, row.Objective, header); err != nil {
+	for i := 0; i < len(r.Rows); {
+		group := &r.Rows[i]
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
 				return err
 			}
-			prevKey = key
 		}
-		if _, err := fmt.Fprintf(w, "| %d | %s | %.4g | %.4f | %.4g | %.1f | %.1f%% | %.2f |\n",
-			row.Rank, row.Preset, row.TotalPJ, row.PJPerMAC, row.Cycles,
-			row.MACsPerCycle, 100*row.Utilization, row.AreaUM2/1e6); err != nil {
+		if _, err := fmt.Fprintf(w, "### %s · batch %d · objective %s\n\n",
+			md.Escape(group.Network), group.Batch, md.Escape(group.Objective)); err != nil {
+			return err
+		}
+		var rows [][]string
+		for ; i < len(r.Rows); i++ {
+			row := &r.Rows[i]
+			if row.Network != group.Network || row.Objective != group.Objective {
+				break
+			}
+			rows = append(rows, []string{
+				strconv.Itoa(row.Rank), row.Preset,
+				fmt.Sprintf("%.4g", row.TotalPJ), fmt.Sprintf("%.4f", row.PJPerMAC),
+				fmt.Sprintf("%.4g", row.Cycles), fmt.Sprintf("%.1f", row.MACsPerCycle),
+				fmt.Sprintf("%.1f%%", 100*row.Utilization), fmt.Sprintf("%.2f", row.AreaUM2/1e6),
+			})
+		}
+		if err := md.Table(w, studyMarkdownHeaders, studyMarkdownAlign, rows); err != nil {
 			return err
 		}
 	}

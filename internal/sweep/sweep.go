@@ -234,8 +234,24 @@ func (s *Spec) expand() ([]*variant, error) {
 // limit — fig-5-scale explorations are tens of variants).
 const maxVariants = 100000
 
-// variantAt materializes the variant for one choice vector.
+// variantAt materializes the variant for one choice vector into the
+// axes' value grids.
 func (s *Spec) variantAt(choice []int) (*variant, error) {
+	values := make([]any, len(choice))
+	for i := range choice {
+		values[i] = s.Axes[i].Values[choice[i]]
+	}
+	return s.variantWith(values)
+}
+
+// variantWith materializes the variant for one explicit value per axis.
+// The values need not appear in the axes' Values lists — on-demand
+// evaluators (sweep.Evaluator, the explore package) synthesize points the
+// declared grid never enumerates.
+func (s *Spec) variantWith(values []any) (*variant, error) {
+	if len(values) != len(s.Axes) {
+		return nil, fmt.Errorf("sweep: got %d axis values for %d axes", len(values), len(s.Axes))
+	}
 	v := &variant{params: make(map[string]any, len(s.Axes))}
 	var labels []string
 	switch {
@@ -263,7 +279,7 @@ func (s *Spec) variantAt(choice []int) (*variant, error) {
 		v.arch = cp
 	}
 	for i, ax := range s.Axes {
-		val, err := v.apply(ax.Param, ax.Values[choice[i]])
+		val, err := v.apply(ax.Param, values[i])
 		if err != nil {
 			return nil, err
 		}

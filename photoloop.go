@@ -35,6 +35,7 @@ import (
 	"photoloop/internal/baseline"
 	"photoloop/internal/components"
 	"photoloop/internal/exp"
+	"photoloop/internal/explore"
 	"photoloop/internal/mapper"
 	"photoloop/internal/mapping"
 	"photoloop/internal/model"
@@ -430,8 +431,57 @@ func EvalSpec(req *EvalRequest, cache *SearchCache) (*EvalResponse, error) {
 }
 
 // NewSweepServer builds the HTTP front end with a fresh shared search
-// cache.
-func NewSweepServer() *SweepServer { return sweep.NewServer() }
+// cache; the explore endpoint (POST /v1/explore) comes attached.
+func NewSweepServer() *SweepServer {
+	s := sweep.NewServer()
+	explore.Attach(s)
+	return s
+}
+
+// Design-space explorer types: a multi-objective Pareto-frontier search
+// over the sweep axes plus ranges, behind two strategies (exhaustive grid
+// and budgeted adaptive search). `photoloop explore` and `POST
+// /v1/explore` run the same engine.
+type (
+	// ExploreSpec declares an exploration: base × axes (values or
+	// ranges) × one workload, frontier objectives, strategy and budget.
+	ExploreSpec = explore.Spec
+	// ExploreAxis is one search dimension: an explicit value grid or an
+	// inclusive min/max/step range.
+	ExploreAxis = explore.Axis
+	// ExploreOptions tunes an exploration run (pool size, cache,
+	// context, progress); it never changes the frontier found.
+	ExploreOptions = explore.Options
+	// Frontier is a completed exploration: the Pareto-optimal points
+	// plus coverage and cache accounting.
+	Frontier = explore.Frontier
+	// FrontierPoint is one non-dominated design with its axis-value
+	// provenance, objective vector and dominated count.
+	FrontierPoint = explore.FrontierPoint
+)
+
+// Exploration strategies.
+const (
+	// ExploreAuto picks grid when the space fits the budget, adaptive
+	// otherwise.
+	ExploreAuto = explore.StrategyAuto
+	// ExploreGrid exhausts the space, bit-identical to Sweep plus a
+	// dominance filter.
+	ExploreGrid = explore.StrategyGrid
+	// ExploreAdaptive runs the budgeted evolutionary search.
+	ExploreAdaptive = explore.StrategyAdaptive
+)
+
+// Explore searches a declared parameter space for its Pareto frontier
+// over the spec's objectives. Results are deterministic for a fixed
+// (Spec, Seed, SearchWorkers) triple, independent of Workers and Cache.
+func Explore(spec ExploreSpec, opts ExploreOptions) (*Frontier, error) {
+	return explore.Run(spec, opts)
+}
+
+// DefaultAlbireoExploreAxes returns the stock Albireo-lever search space
+// `photoloop explore` uses when no axes are given.
+func DefaultAlbireoExploreAxes() []ExploreAxis { return explore.DefaultAlbireoAxes() }
 
 // Experiment harnesses (the paper's figures).
 type (
