@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// gateDoc builds a compared bench document where MapperSearch runs at
+// ratio × the baseline's ns/op and everything else is flat.
+func gateDoc(ratio float64) *BenchDoc {
+	base := &BenchDoc{Benchmarks: map[string]BenchMeasurement{
+		"Evaluate":     {NsPerOp: 1000},
+		"MapperSearch": {NsPerOp: 500000},
+	}}
+	doc := &BenchDoc{
+		Benchmarks: map[string]BenchMeasurement{
+			"Evaluate":     {NsPerOp: 1000},
+			"MapperSearch": {NsPerOp: 500000 * ratio},
+		},
+		Baseline: base,
+		Speedup:  map[string]float64{},
+	}
+	for name, m := range doc.Benchmarks {
+		doc.Speedup[name] = base.Benchmarks[name].NsPerOp / m.NsPerOp
+	}
+	return doc
+}
+
+// TestCheckRegressions pins the -max-regress gate's pass/fail boundary
+// and its disabled modes.
+func TestCheckRegressions(t *testing.T) {
+	if err := checkRegressions(gateDoc(1.3), 50); err != nil {
+		t.Errorf("30%% slowdown under a 50%% gate failed: %v", err)
+	}
+	err := checkRegressions(gateDoc(1.8), 50)
+	if err == nil {
+		t.Fatal("80% slowdown under a 50% gate passed")
+	}
+	if !strings.Contains(err.Error(), "MapperSearch") || strings.Contains(err.Error(), "Evaluate") {
+		t.Errorf("gate error should name only the regressed benchmark: %v", err)
+	}
+	if err := checkRegressions(gateDoc(10), -1); err != nil {
+		t.Errorf("negative threshold must disable the gate: %v", err)
+	}
+	if err := checkRegressions(&BenchDoc{}, 50); err != nil {
+		t.Errorf("no baseline must disable the gate: %v", err)
+	}
+	if err := checkRegressions(gateDoc(0.5), 0); err != nil {
+		t.Errorf("a speedup under a 0%% gate failed: %v", err)
+	}
+}

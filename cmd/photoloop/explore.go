@@ -179,6 +179,14 @@ func cmdExplore(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "; %d layer searches, %d deduplicated\n",
 			f.CacheHits+f.CacheMisses, f.CacheHits)
+		if scored := f.Pruned + f.DeltaEvals + f.FullEvals; scored > 0 {
+			fmt.Fprintf(os.Stderr, "explore: mapper scored %d candidates — %.0f%% pruned by lower bound, %d delta, %d full\n",
+				scored, 100*float64(f.Pruned)/float64(scored), f.DeltaEvals, f.FullEvals)
+		}
+		if f.SurrogateRanked > 0 {
+			fmt.Fprintf(os.Stderr, "explore: surrogate ranked %d proposals, kept %d for evaluation\n",
+				f.SurrogateRanked, f.SurrogateKept)
+		}
 	}
 
 	switch *format {

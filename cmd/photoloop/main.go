@@ -399,15 +399,9 @@ func cmdSweep(args []string) error {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "sweep: %d layer searches, %d deduplicated\n",
 			res.CacheHits+res.CacheMisses, res.CacheHits)
-		var pruned, delta, full int
-		for i := range res.Points {
-			pruned += res.Points[i].Pruned
-			delta += res.Points[i].DeltaEvals
-			full += res.Points[i].FullEvals
-		}
-		if scored := pruned + delta + full; scored > 0 {
+		if scored := res.Pruned + res.DeltaEvals + res.FullEvals; scored > 0 {
 			fmt.Fprintf(os.Stderr, "sweep: mapper scored %d candidates — %.0f%% pruned by lower bound, %d delta, %d full\n",
-				scored, 100*float64(pruned)/float64(scored), delta, full)
+				scored, 100*res.PrunedFraction(), res.DeltaEvals, res.FullEvals)
 		}
 	}
 

@@ -66,7 +66,7 @@ func ExampleSearch() {
 	fmt.Printf("utilization %.0f%%, %.0f MACs/cycle\n",
 		100*best.Result.Utilization, best.Result.MACsPerCycle)
 	// Output:
-	// utilization 100%, 221 MACs/cycle
+	// utilization 100%, 6912 MACs/cycle
 }
 
 // ExampleSweep declares a two-variant design-space sweep and evaluates it
@@ -93,8 +93,8 @@ func ExampleSweep() {
 			p.Variant, 3*p.Params["output_lanes"].(int), p.PJPerMAC)
 	}
 	// Output:
-	// output_lanes=3: IR=9, 17.0 pJ/MAC
-	// output_lanes=9: IR=27, 16.8 pJ/MAC
+	// output_lanes=3: IR=9, 16.8 pJ/MAC
+	// output_lanes=9: IR=27, 16.9 pJ/MAC
 }
 
 // ExampleParseArchSpec round-trips the built-in template document and
@@ -161,6 +161,6 @@ func ExampleExplore() {
 	best := f.Points[0] // lowest energy on the frontier
 	fmt.Printf("lowest-energy design: %s\n", best.Variant)
 	// Output:
-	// grid strategy: 5 Pareto-optimal of 18 points
-	// lowest-energy design: or_lanes=5 output_lanes=15 weight_reuse=true
+	// grid strategy: 6 Pareto-optimal of 18 points
+	// lowest-energy design: or_lanes=3 output_lanes=15 weight_reuse=true
 }

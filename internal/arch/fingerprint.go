@@ -1,9 +1,6 @@
 package arch
 
 import (
-	"encoding/binary"
-	"hash/fnv"
-	"io"
 	"math"
 	"sort"
 
@@ -23,8 +20,7 @@ import (
 // call time; it is not cached, so callers mutating an Arch between builds
 // (the sweep's variant expansion does not — it rebuilds) must refingerprint.
 func (a *Arch) Fingerprint() uint64 {
-	h := fnv.New64a()
-	w := fpWriter{h}
+	w := &fpWriter{h: fnvOffset64}
 	w.str(a.Name)
 	w.f64(a.ClockGHz)
 	w.i64(int64(a.DefaultWordBits))
@@ -56,10 +52,10 @@ func (a *Arch) Fingerprint() uint64 {
 			w.f64(c.StaticPower())
 		}
 	}
-	return h.Sum64()
+	return w.h
 }
 
-func (l *Level) fingerprintInto(w fpWriter) {
+func (l *Level) fingerprintInto(w *fpWriter) {
 	w.str(l.Name)
 	w.i64(int64(l.Domain))
 	w.i64(int64(l.Keeps))
@@ -90,20 +86,30 @@ func (l *Level) fingerprintInto(w fpWriter) {
 	w.via(l.DrainVia)
 }
 
-// fpWriter serializes canonical values into a hash. Every field write is
-// self-delimiting (fixed width or length-prefixed) so adjacent fields
-// cannot alias.
-type fpWriter struct{ h io.Writer }
+// fpWriter serializes canonical values into an inlined FNV-1a hash. Every
+// field write is self-delimiting (fixed width or length-prefixed) so
+// adjacent fields cannot alias. The byte stream is little-endian, matching
+// the hash/fnv-backed implementation this replaces, so fingerprints are
+// stable across the change.
+type fpWriter struct{ h uint64 }
 
-func (w fpWriter) i64(v int64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(v))
-	w.h.Write(buf[:])
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func (w *fpWriter) i64(v int64) {
+	h, x := w.h, uint64(v)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime64
+		x >>= 8
+	}
+	w.h = h
 }
 
-func (w fpWriter) f64(v float64) { w.i64(int64(math.Float64bits(v))) }
+func (w *fpWriter) f64(v float64) { w.i64(int64(math.Float64bits(v))) }
 
-func (w fpWriter) bool(v bool) {
+func (w *fpWriter) bool(v bool) {
 	if v {
 		w.i64(1)
 	} else {
@@ -111,12 +117,16 @@ func (w fpWriter) bool(v bool) {
 	}
 }
 
-func (w fpWriter) str(s string) {
+func (w *fpWriter) str(s string) {
 	w.i64(int64(len(s)))
-	io.WriteString(w.h, s)
+	h := w.h
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	w.h = h
 }
 
-func (w fpWriter) refs(refs []ActionRef) {
+func (w *fpWriter) refs(refs []ActionRef) {
 	w.i64(int64(len(refs)))
 	for _, r := range refs {
 		w.str(r.Component)
@@ -126,7 +136,7 @@ func (w fpWriter) refs(refs []ActionRef) {
 	}
 }
 
-func (w fpWriter) via(m map[workload.Tensor][]ActionRef) {
+func (w *fpWriter) via(m map[workload.Tensor][]ActionRef) {
 	w.i64(int64(len(m)))
 	for _, t := range workload.AllTensors() {
 		if refs, ok := m[t]; ok {

@@ -73,6 +73,13 @@ type Spec struct {
 	// SearchWorkers caps per-layer search parallelism (0 = mapper
 	// default). Pin it (with Seed) for machine-independent frontiers.
 	SearchWorkers int `json:"search_workers,omitempty"`
+
+	// noSurrogate disables the adaptive strategy's surrogate proposal
+	// ranking, restoring the plain mutate-and-jump proposal stream. It is
+	// the reference mode the surrogate's tests compare against and is
+	// deliberately unexported: external callers always get the ranked
+	// search, which spends the same budget on better candidates.
+	noSurrogate bool
 }
 
 // Axis is one dimension of the search space: either an explicit Values

@@ -58,6 +58,18 @@ type Frontier struct {
 	// searches (see mapper.Cache).
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+	// Pruned, DeltaEvals and FullEvals sum the mapper's search funnel
+	// across the evaluated feasible points: candidates discarded by the
+	// admissible lower bound without a full evaluation, evaluations that
+	// reused shared-prefix state, and evaluations computed from scratch.
+	Pruned     int `json:"pruned,omitempty"`
+	DeltaEvals int `json:"delta_evals,omitempty"`
+	FullEvals  int `json:"full_evals,omitempty"`
+	// SurrogateRanked counts adaptive proposals scored by the surrogate
+	// predictor; SurrogateKept of them won a real evaluation. Zero for
+	// grid runs and for adaptive runs too small to arm the surrogate.
+	SurrogateRanked int `json:"surrogate_ranked,omitempty"`
+	SurrogateKept   int `json:"surrogate_kept,omitempty"`
 	// Points is the Pareto frontier, sorted by objective vector
 	// (lexicographically ascending, ties by lattice index) — so equal
 	// specs produce byte-equal frontiers regardless of strategy or
@@ -76,6 +88,11 @@ func buildFrontier(sp *Spec, strategy string, s *space, evaluated []evalPoint, i
 		SpaceSize:  s.size,
 		Evals:      len(evaluated) + infeasible,
 		Infeasible: infeasible,
+	}
+	for i := range evaluated {
+		f.Pruned += evaluated[i].point.Pruned
+		f.DeltaEvals += evaluated[i].point.DeltaEvals
+		f.FullEvals += evaluated[i].point.FullEvals
 	}
 	var archive []int
 	for i := range evaluated {

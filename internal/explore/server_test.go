@@ -65,6 +65,15 @@ func TestServeExploreMatchesLocalRun(t *testing.T) {
 	if !bytes.Equal(got.Bytes(), want.Bytes()) {
 		t.Errorf("served frontier differs from local run:\n--- served ---\n%s--- local ---\n%s", got.String(), want.String())
 	}
+	// The wire document must carry the search-funnel accounting (the
+	// fixture's searches always fully evaluate at least one candidate).
+	var round Frontier
+	if err := json.Unmarshal(got.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.FullEvals == 0 {
+		t.Error("served frontier carries no search-funnel stats (full_evals = 0)")
+	}
 }
 
 // TestServeExploreFormats checks the csv and markdown renderings and the

@@ -120,12 +120,16 @@ type Options struct {
 	// results are bit-identical with or without a cache.
 	Cache *Cache
 
-	// noPrune and noDelta disable the admissible-lower-bound gate and the
-	// shared-prefix delta evaluation. Both are behavior-preserving
-	// accelerations, so these exist only for the equivalence tests that
-	// prove it; they are deliberately left out of the cache fingerprint.
+	// noPrune, noDelta and noBatch disable the admissible-lower-bound
+	// gate, the shared-prefix delta evaluation, and the fused
+	// stage-then-finish scoring path (noBatch falls back to separate
+	// LowerBound + EvaluatePartial calls in the legacy order). All are
+	// behavior-preserving accelerations, so these exist only for the
+	// equivalence tests that prove it; they are deliberately left out of
+	// the cache fingerprint.
 	noPrune bool
 	noDelta bool
+	noBatch bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -254,6 +258,54 @@ type Session struct {
 	assignments [][]workload.Dim
 	minLv       workload.Point
 	fp          uint64
+	// tpOne flags levels whose MaxTemporalProduct forbids any temporal
+	// loop (analog accumulators, ring banks): the random draw skips them
+	// instead of wasting its budget on candidates that can never validate.
+	tpOne []bool
+	// capped lists the levels carrying any MaxTemporalProduct cap, so the
+	// hot-loop structural pre-checks visit only those instead of probing
+	// every level's cap through the architecture.
+	capped []capLevel
+	// workers pools per-worker search state (scratch, buffers, dedup set)
+	// across Search calls on this session.
+	workers sync.Pool
+}
+
+// capLevel is one temporal-product-capped level for the pre-reject checks.
+type capLevel struct {
+	level int
+	tp    int64
+}
+
+// splitmix64 is the search's deterministic rand.Source64: SplitMix64
+// (Steele et al.), two multiplies and three xor-shifts per draw. The
+// standard library's seeded source initializes a 607-word feedback table
+// per instance, which showed up in search profiles — every Search call
+// creates fresh per-worker sources to keep (seed, budget) reproducible.
+type splitmix64 struct{ x uint64 }
+
+func (s *splitmix64) Seed(seed int64) { s.x = uint64(seed) }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// workerState pools one search worker's reusable allocations across
+// Search calls: the evaluation scratch, the shared result buffer, the
+// candidate ping-pong buffers and the dedup set dominate the per-call
+// allocation profile of short searches.
+type workerState struct {
+	scratch *model.Scratch
+	res     *model.Result
+	bufA    *mapping.Mapping
+	bufB    *mapping.Mapping
+	seen    map[uint64]struct{}
 }
 
 // NewSession prepares an architecture for repeated searches.
@@ -268,6 +320,14 @@ func NewSession(a *arch.Arch) (*Session, error) {
 		assignments: enumerateSpatialAssignments(a),
 		minLv:       minLevels(a),
 		fp:          a.Fingerprint(),
+		tpOne:       make([]bool, a.NumLevels()),
+	}
+	for i := range s.tpOne {
+		tp := a.Level(i).MaxTemporalProduct
+		s.tpOne[i] = tp == 1
+		if tp > 0 {
+			s.capped = append(s.capped, capLevel{level: i, tp: int64(tp)})
+		}
 	}
 	if len(s.assignments) == 0 {
 		return nil, errors.New("mapper: no spatial assignments")
@@ -275,14 +335,53 @@ func NewSession(a *arch.Arch) (*Session, error) {
 	return s, nil
 }
 
+// maxCachedSessions caps the process-wide session cache below. Sessions are
+// small (resolved energy tables plus the assignment enumeration), but
+// exploration runs build hundreds of architecture variants; past the cap
+// the cache resets rather than growing without bound.
+const maxCachedSessions = 256
+
+// sessionCache reuses Sessions across one-shot Search/SearchNetwork calls,
+// keyed by the architecture fingerprint (which covers structure and
+// component energies — the same key the search Cache dedups on). Building
+// a session costs ~100µs of engine resolution and assignment enumeration,
+// which used to dominate short searches issued through the package-level
+// helpers.
+var (
+	sessionCacheMu sync.Mutex
+	sessionCache   = map[uint64]*Session{}
+)
+
+func sessionFor(a *arch.Arch) (*Session, error) {
+	fp := a.Fingerprint()
+	sessionCacheMu.Lock()
+	s := sessionCache[fp]
+	sessionCacheMu.Unlock()
+	if s != nil {
+		return s, nil
+	}
+	s, err := NewSession(a)
+	if err != nil {
+		return nil, err
+	}
+	sessionCacheMu.Lock()
+	if len(sessionCache) >= maxCachedSessions {
+		sessionCache = make(map[uint64]*Session, maxCachedSessions)
+	}
+	sessionCache[fp] = s
+	sessionCacheMu.Unlock()
+	return s, nil
+}
+
 // Engine returns the session's compiled evaluation engine.
 func (s *Session) Engine() *model.Engine { return s.eng }
 
 // Search finds the best mapping for the layer under the options. It is a
-// convenience wrapper building a one-shot Session; prefer NewSession +
-// Session.Search when mapping several layers on the same architecture.
+// convenience wrapper reusing a process-wide Session cache keyed by the
+// architecture fingerprint; prefer NewSession + Session.Search when mapping
+// several layers on the same architecture.
 func Search(a *arch.Arch, l *workload.Layer, opts Options) (*Best, error) {
-	s, err := NewSession(a)
+	s, err := sessionFor(a)
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +445,7 @@ func (s *Session) search(l *workload.Layer, o Options) (*Best, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919))
+			rng := rand.New(&splitmix64{x: uint64(o.Seed + int64(w)*7919)})
 			best, evals, stats := s.searchWorker(c, l, o, rng, budgets[w], warm)
 			results[w] = outcome{best, evals, stats}
 		}(w)
@@ -471,12 +570,21 @@ type candidate struct {
 	temporal []workload.Point // per level
 }
 
-// drawCandidates replays the legacy exploration draw sequence — the same
-// rng calls in the same order as one randomMapping per loop iteration —
-// into k compact candidates. The set of candidates is therefore identical
-// to what the interleaved draw-and-score loop produced; only the scoring
-// order changes, which cannot change the argmin (the incumbent comparison
-// is a strict total order over distinct schedules).
+// drawCandidates draws the exploration stream — the same rng calls in the
+// same order as one randomMapping per loop iteration — into k compact
+// candidates, so the set is identical to what an interleaved draw-and-score
+// loop would produce; only the scoring order changes, which cannot change
+// the argmin (the incumbent comparison is a strict total order over
+// distinct schedules).
+//
+// The draw is cap-aware: levels whose MaxTemporalProduct forbids any
+// temporal loop are skipped in both the factor chains and the permutation
+// draws. On photonic hierarchies (Albireo's analog accumulator, partial-sum
+// and ring-bank levels) the blind draw landed a temporal factor on a capped
+// level in essentially every candidate, so the whole random budget used to
+// die in validation; skipping them redirects that budget to schedules that
+// can actually win. A capped level's permutation is inert (it has no loops)
+// and stays at the first candidate order.
 func (s *Session) drawCandidates(l *workload.Layer, rng *rand.Rand, k, n int) []candidate {
 	perms := make([]uint8, k*n)
 	temps := make([]workload.Point, k*n)
@@ -529,6 +637,9 @@ func (s *Session) drawCandidates(l *workload.Layer, rng *rand.Rand, k, n int) []
 		for _, d := range workload.AllDims() {
 			left := rem[d]
 			for i := n - 1; i > minLv[d] && left > 1; i-- {
+				if s.tpOne[i] {
+					continue
+				}
 				cs := paddedCands(left)
 				f := cs[rng.Intn(len(cs))]
 				cand.temporal[i][d] = f
@@ -537,47 +648,55 @@ func (s *Session) drawCandidates(l *workload.Layer, rng *rand.Rand, k, n int) []
 			cand.temporal[minLv[d]][d] *= left
 		}
 		for i := 0; i < n; i++ {
+			if s.tpOne[i] {
+				continue
+			}
 			cand.perm[i] = uint8(rng.Intn(len(permCandidates)))
 		}
 	}
 	return cands
 }
 
-// candidateLess orders candidates for scoring: same spatial assignment and
-// permutation set first, then temporal factors outermost level first, so
-// consecutive candidates share the longest possible prefix of identical
-// outer levels (the state delta evaluation reuses). Ties fall back to the
-// draw index, making the order a deterministic total order.
-func candidateLess(cands []candidate, i, j int) bool {
-	a, b := &cands[i], &cands[j]
-	if a.assign != b.assign {
-		return a.assign < b.assign
-	}
-	for lv := range a.perm {
-		if a.perm[lv] != b.perm[lv] {
-			return a.perm[lv] < b.perm[lv]
+// candidateKey packs a candidate's grouping fields into one word for the
+// scoring-order sort: the spatial assignment in the high half, then the
+// per-level permutation picks of the outermost 16 levels (2 bits each —
+// permCandidates has 3 entries). Sorting by key groups candidates that
+// share an assignment and permutation set; key ties keep draw order, so
+// (key, draw index) is a deterministic total order. A single-word compare
+// replaced a field-by-field comparator that dominated the sort's cost —
+// any deterministic order yields the same search outcome (the incumbent
+// comparison is a strict total order over distinct schedules).
+func candidateKey(cand *candidate) uint64 {
+	k := uint64(uint32(cand.assign)) << 32
+	for i, p := range cand.perm {
+		if i == 16 {
+			break
 		}
+		k |= uint64(p&3) << (30 - 2*i)
 	}
-	for lv := range a.temporal {
-		for _, d := range workload.AllDims() {
-			if a.temporal[lv][d] != b.temporal[lv][d] {
-				return a.temporal[lv][d] < b.temporal[lv][d]
-			}
-		}
-	}
-	return i < j
+	return k
 }
 
 // materialize writes a compact candidate into buf, producing exactly the
-// mapping randomMapping would have returned for the same draws.
-func (s *Session) materialize(buf *mapping.Mapping, cand *candidate) {
+// mapping randomMapping would have returned for the same draws. spatialOK
+// asserts buf's spatial configuration (FreeSpatial and SpatialChoice) was
+// last written for the same assignment and left untouched since — Temporal
+// and Perm writes don't disturb it — so the applyAssignment rewrite would
+// reproduce the bytes already there and is skipped. The scoring order
+// groups candidates by assignment, so the skip hits on nearly every
+// candidate after the first two of each run (one per ping-pong buffer).
+func (s *Session) materialize(buf *mapping.Mapping, cand *candidate, spatialOK bool) {
 	for i := range buf.Levels {
 		lm := &buf.Levels[i]
 		lm.Temporal = cand.temporal[i]
-		lm.FreeSpatial = workload.Ones()
+		if !spatialOK {
+			lm.FreeSpatial = workload.Ones()
+		}
 		lm.Perm = append(lm.Perm[:0], permCandidates[cand.perm[i]]...)
 	}
-	applyAssignment(s.a, buf, s.assignments[cand.assign])
+	if !spatialOK {
+		applyAssignment(s.a, buf, s.assignments[cand.assign])
+	}
 }
 
 // levelConfigEqual reports whether two level mappings are configured
@@ -627,75 +746,83 @@ func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, 
 	}
 	a := s.a
 	n := a.NumLevels()
-	scratch := s.eng.NewScratch()
-	res := &model.Result{}
-	seen := make(map[uint64]struct{}, budget)
+	ws, _ := s.workers.Get().(*workerState)
+	if ws == nil {
+		ws = &workerState{
+			scratch: s.eng.NewScratch(),
+			res:     &model.Result{},
+			bufA:    mapping.New(a),
+			bufB:    mapping.New(a),
+			seen:    make(map[uint64]struct{}, 512),
+		}
+	}
+	defer func() {
+		clear(ws.seen)
+		s.workers.Put(ws)
+	}()
+	scratch, res, seen := ws.scratch, ws.res, ws.seen
 	evalOpts := model.Options{SkipValidate: true, ChargeStatic: o.Eval.ChargeStatic}
 	validate := !o.Eval.SkipValidate
 
 	// cutoff is the pruning incumbent's result: phases 0-1 track the
 	// worker best, the hill climb its (only improving) cursor. prevEval
-	// holds the last successfully evaluated mapping — the delta baseline;
-	// its content must stay untouched until the next evaluation, so
+	// holds the delta baseline — the last staged mapping on the batched
+	// path, the last successfully evaluated one on the noBatch reference
+	// path; its content must stay untouched until the next evaluation, so
 	// candidate materialization ping-pongs between two buffers.
 	var cutoff *model.Result
 	var prevEval *mapping.Mapping
+	// lastSpatialKey identifies the spatial configuration of the last
+	// staged mapping: the spatial-assignment index for candidates built
+	// from one (warmup, random draws), -1 for mappings of unknown
+	// provenance (seeds, warm starts, hill-climb cursors). Two mappings
+	// built from the same assignment have bit-identical spatial
+	// configurations (FreeSpatial is Ones, choices copy the assignment),
+	// so a key match lets Stage skip the spatial-factor and instance
+	// resolution outright — no per-level comparison needed.
+	lastSpatialKey := int64(-1)
 	lbTried, lbPruned := 0, 0
-	bufA, bufB := mapping.New(a), mapping.New(a)
+	bufA, bufB := ws.bufA, ws.bufB
 	matBuf := func() *mapping.Mapping {
 		if prevEval == bufA {
 			return bufB
 		}
 		return bufA
 	}
+	// Per-buffer record of which assignment's spatial configuration the
+	// buffer holds (-1: unknown), letting materialize skip the rewrite.
+	assignA, assignB := int32(-1), int32(-1)
+	bufAssign := func(m *mapping.Mapping) *int32 {
+		if m == bufA {
+			return &assignA
+		}
+		return &assignB
+	}
 
-	// try scores a mapping on the compiled fast path. Budget is consumed
-	// per charged attempt; schedules already fingerprinted return nil
-	// without re-evaluating (an already-seen schedule was scored, pruned,
-	// or failed deterministically, and can never beat the incumbent, so
-	// skipping it is behavior preserving). Mappings that fail validation
-	// are not recorded: a malformed seed must not shadow a later
-	// well-formed schedule that happens to hash equal.
-	try := func(m *mapping.Mapping, charge, mustValidate bool) *model.Result {
-		if charge {
-			if evals >= budget {
-				return nil
-			}
-			evals++
-		}
-		if validate || mustValidate {
-			// Fast subset of Valid: temporal loops on a capped level (an
-			// analog accumulator, a ring bank) can never validate, and
-			// hill-climb moves produce them constantly. Rejecting before
-			// fingerprinting and full validation is behavior preserving —
-			// invalid candidates are never recorded either way.
-			for i := 0; i < n; i++ {
-				if tp := a.Level(i).MaxTemporalProduct; tp > 0 && m.Levels[i].Temporal.Product() > int64(tp) {
-					st.Invalid++
-					return nil
-				}
-			}
-		}
-		fp := m.Fingerprint()
-		if _, dup := seen[fp]; dup {
-			st.Duplicates++
-			return nil
-		}
-		if (validate || mustValidate) && !m.Valid(a, l) {
+	// lbGate reports whether the adaptive pruning gate is open: the bound
+	// check runs unconditionally through a probation window, then stays on
+	// only while it keeps a minimum hit rate. Gating never changes results
+	// — a skipped check just means the candidate is fully evaluated. Only
+	// the reference path uses it: there the bound is a separate LowerBound
+	// call worth skipping when it stops paying off, whereas the batched
+	// path gets the bound as a byproduct of staging and always checks it.
+	lbGate := func() bool {
+		return cutoff != nil && !o.noPrune &&
+			(lbTried < lbProbation || lbPruned*lbKeepRate >= lbTried)
+	}
+
+	// tryRef is the reference scoring path (noBatch): separate LowerBound
+	// and EvaluatePartial calls in the legacy order — validate, record,
+	// bound gate, delta evaluation. The batched path below must return a
+	// bit-identical Best for the same candidate stream; the equivalence
+	// tests pin it against this.
+	tryRef := func(m *mapping.Mapping, fp uint64, doValidate bool) *model.Result {
+		if doValidate && !m.Valid(a, l) {
 			st.Invalid++
 			return nil
 		}
 		seen[fp] = struct{}{}
-		// Admissible pruning: skip the full evaluation only when the
-		// bound proves the candidate cannot strictly beat the incumbent.
-		// The gate must be a strict inequality — a candidate whose true
-		// score ties the incumbent can still win the deterministic
-		// tie-break. The check pays for itself only when it fires, so
-		// after a probation window it stays on only while it keeps a
-		// minimum hit rate; turning it off just means those candidates
-		// are fully evaluated — the outcome is identical either way.
-		if cutoff != nil && !o.noPrune &&
-			(lbTried < lbProbation || lbPruned*lbKeepRate >= lbTried) {
+		if lbGate() {
 			lbTried++
 			if boundScore(o.Objective, c.LowerBound(scratch, m, evalOpts)) > Score(o.Objective, cutoff) {
 				lbPruned++
@@ -719,6 +846,109 @@ func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, 
 		prevEval = m
 		return res
 	}
+
+	// try scores a mapping on the compiled fast path. Budget is consumed
+	// per charged attempt; schedules already fingerprinted return nil
+	// without re-evaluating (an already-seen schedule was scored, pruned,
+	// or failed deterministically, and can never beat the incumbent, so
+	// skipping it is behavior preserving). Mappings that fail full
+	// validation are not recorded: a malformed seed must not shadow a
+	// later well-formed schedule that happens to hash equal.
+	//
+	// The default path stages each candidate once (model.Compiled.Stage):
+	// one shared-prefix core resolution serves the admissible bound, and —
+	// only for candidates the bound cannot discard — the finishing passes
+	// (FinishStaged). Pruned candidates therefore cost a core resolution
+	// instead of a bound plus a full evaluation's worth of resolution, and
+	// they still advance the delta-evaluation chain. Pruning happens
+	// before full validation (the bound needs no validity), so a pruned
+	// invalid candidate lands in Pruned rather than Invalid; neither kind
+	// can become the incumbent, so Best is unaffected — only the stats
+	// split differs from the reference path.
+	try := func(m *mapping.Mapping, charge, mustValidate bool, spatialKey int64) *model.Result {
+		if charge {
+			if evals >= budget {
+				return nil
+			}
+			evals++
+		}
+		doValidate := validate || mustValidate
+		if doValidate {
+			// Fast subset of Valid: temporal loops on a capped level (an
+			// analog accumulator, a ring bank) can never validate, and
+			// hill-climb moves produce them constantly. Rejecting before
+			// fingerprinting and full validation is behavior preserving —
+			// invalid candidates are never recorded either way.
+			for _, cl := range s.capped {
+				if m.Levels[cl.level].Temporal.Product() > cl.tp {
+					st.Invalid++
+					return nil
+				}
+			}
+		}
+		fp := m.Fingerprint()
+		if _, dup := seen[fp]; dup {
+			st.Duplicates++
+			return nil
+		}
+		if o.noBatch {
+			return tryRef(m, fp, doValidate)
+		}
+		shared, sfShared := 0, 0
+		if !o.noDelta {
+			shared = levelsShared(prevEval, m)
+			if spatialKey >= 0 && spatialKey == lastSpatialKey {
+				sfShared = n
+			}
+		}
+		// The staged bound is a byproduct of the core resolution, so unlike
+		// the reference path there is no adaptive gate here: checking it is
+		// free, and it always prunes when it can. When the objective is
+		// pure energy, the incumbent's score doubles as Stage's early-exit
+		// threshold: the bound stops accumulating once the partial sum
+		// alone proves the prune. The returned (partial) bound then exceeds
+		// the cutoff exactly when the full bound would, so the decision
+		// below is unchanged. Other objectives need the full bound (their
+		// score mixes in cycles).
+		prune := cutoff != nil && !o.noPrune
+		limitPJ := math.Inf(1)
+		if prune && o.Objective == MinEnergy {
+			limitPJ = cutoff.TotalPJ
+		}
+		bound, err := c.Stage(scratch, m, evalOpts, shared, sfShared, limitPJ)
+		if err != nil {
+			prevEval = nil
+			lastSpatialKey = -1
+			return nil
+		}
+		prevEval = m
+		lastSpatialKey = spatialKey
+		// Admissible pruning: skip the finishing passes only when the
+		// bound proves the candidate cannot strictly beat the incumbent.
+		// The check must be a strict inequality — a candidate whose true
+		// score ties the incumbent can still win the deterministic
+		// tie-break.
+		if prune && boundScore(o.Objective, bound) > Score(o.Objective, cutoff) {
+			st.Pruned++
+			seen[fp] = struct{}{}
+			return nil
+		}
+		if doValidate && !m.Valid(a, l) {
+			st.Invalid++
+			return nil
+		}
+		seen[fp] = struct{}{}
+		if err := c.FinishStaged(scratch, res, evalOpts); err != nil {
+			prevEval = nil
+			return nil
+		}
+		if shared > 0 {
+			st.DeltaEvals++
+		} else {
+			st.FullEvals++
+		}
+		return res
+	}
 	consider := func(m *mapping.Mapping, r *model.Result) {
 		if r == nil {
 			return
@@ -734,15 +964,37 @@ func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, 
 	// Seeds are tried in place: nothing below mutates a candidate, and
 	// consider clones on retention.
 	for _, seed := range o.Seeds {
-		consider(seed, try(seed, true, false))
+		consider(seed, try(seed, true, false, -1))
 	}
 	for _, w := range warm {
 		// Already validated once in search(); try only dedups and scores.
-		r := try(w, false, false)
+		r := try(w, false, false, -1)
 		if r != nil {
 			st.WarmStartEvals++
 		}
 		consider(w, r)
+	}
+
+	// Phase 0.5: when nothing has set an incumbent yet, score the trivial
+	// all-outer mapping of the first few assignments (canonical first)
+	// before random exploration, so the bound gate has a cutoff from the
+	// very first draw instead of fully evaluating candidates until one
+	// happens to succeed. Capped at a tenth of the budget — these are
+	// deliberately mediocre mappings, only there to arm the pruning gate.
+	if best == nil {
+		wcap := budget / 10
+		if wcap > len(s.assignments) {
+			wcap = len(s.assignments)
+		}
+		for ai, assign := range s.assignments[:wcap] {
+			if evals >= budget {
+				break
+			}
+			m := matBuf()
+			outerInto(a, m, l, assign, s.minLv)
+			*bufAssign(m) = int32(ai)
+			consider(m, try(m, true, false, int64(ai)))
+		}
 	}
 
 	// Phase 1: random sampling across spatial assignments. The canonical
@@ -767,8 +1019,8 @@ func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, 
 	prefilter:
 		for ci := range cands {
 			if validate {
-				for i := 0; i < n; i++ {
-					if tp := a.Level(i).MaxTemporalProduct; tp > 0 && cands[ci].temporal[i].Product() > int64(tp) {
+				for _, cl := range s.capped {
+					if cands[ci].temporal[cl.level].Product() > cl.tp {
 						evals++
 						st.Invalid++
 						continue prefilter
@@ -777,11 +1029,22 @@ func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, 
 			}
 			order = append(order, ci)
 		}
-		sort.Slice(order, func(i, j int) bool { return candidateLess(cands, order[i], order[j]) })
+		keys := make([]uint64, len(cands))
+		for ci := range cands {
+			keys[ci] = candidateKey(&cands[ci])
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if keys[order[i]] != keys[order[j]] {
+				return keys[order[i]] < keys[order[j]]
+			}
+			return order[i] < order[j]
+		})
 		for _, ci := range order {
 			m := matBuf()
-			s.materialize(m, &cands[ci])
-			consider(m, try(m, true, false))
+			ba := bufAssign(m)
+			s.materialize(m, &cands[ci], *ba == cands[ci].assign)
+			*ba = cands[ci].assign
+			consider(m, try(m, true, false, int64(cands[ci].assign)))
 		}
 	}
 
@@ -792,13 +1055,14 @@ func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, 
 		// (Albireo unseeded) this is where the incumbent comes from.
 		// Materialized into the ping-pong buffers; construction stops
 		// once the budget cannot admit another attempt.
-		for _, assign := range s.assignments {
+		for ai, assign := range s.assignments {
 			if evals >= budget {
 				break
 			}
 			m := matBuf()
 			outerInto(a, m, l, assign, s.minLv)
-			consider(m, try(m, true, false))
+			*bufAssign(m) = int32(ai)
+			consider(m, try(m, true, false, int64(ai)))
 		}
 	}
 	if best == nil {
@@ -806,13 +1070,20 @@ func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, 
 	}
 	cur := best
 	cutoff = cur.Result
+	// Every climb neighbor copies cur's spatial configuration verbatim
+	// (edits touch only temporal factors and permutations, and cur is only
+	// ever replaced by a clone of such a neighbor), so the whole climb
+	// shares one spatial config. A sentinel key one past the assignment
+	// indices lets consecutive climb evaluations skip re-resolving it.
+	climbKey := int64(len(s.assignments))
 	for evals < budget {
 		improved := false
 		for _, e := range neighborEdits(a, cur.Mapping, rng) {
 			nb := matBuf()
 			copyMapping(nb, cur.Mapping)
+			*bufAssign(nb) = -1
 			applyEdit(nb, e)
-			r := try(nb, true, false)
+			r := try(nb, true, false, climbKey)
 			if r == nil {
 				continue
 			}
@@ -972,7 +1243,10 @@ func outerInto(a *arch.Arch, m *mapping.Mapping, l *workload.Layer, assign []wor
 	}
 }
 
-// randomMapping draws a random temporal split and permutation set.
+// randomMapping draws a random temporal split and permutation set — the
+// reference generator drawCandidates is pinned against. Levels whose
+// MaxTemporalProduct forbids temporal loops are skipped (no factor or
+// permutation draws; see drawCandidates).
 func randomMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim, min workload.Point, rng *rand.Rand) *mapping.Mapping {
 	m := mapping.New(a)
 	applyAssignment(a, m, assign)
@@ -984,6 +1258,9 @@ func randomMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim, min w
 		// on the outermost level allowed for this dimension.
 		left := rem[d]
 		for i := n - 1; i > min[d] && left > 1; i-- {
+			if a.Level(i).MaxTemporalProduct == 1 {
+				continue
+			}
 			cands := mapping.PaddedCandidates(left)
 			f := cands[rng.Intn(len(cands))]
 			m.Levels[i].Temporal[d] = f
@@ -992,7 +1269,11 @@ func randomMapping(a *arch.Arch, l *workload.Layer, assign []workload.Dim, min w
 		m.Levels[min[d]].Temporal[d] *= left
 	}
 	for i := 0; i < n; i++ {
-		m.Levels[i].Perm = append(m.Levels[i].Perm[:0], permCandidates[rng.Intn(len(permCandidates))]...)
+		pi := 0
+		if a.Level(i).MaxTemporalProduct != 1 {
+			pi = rng.Intn(len(permCandidates))
+		}
+		m.Levels[i].Perm = append(m.Levels[i].Perm[:0], permCandidates[pi]...)
 	}
 	return m
 }
@@ -1070,10 +1351,10 @@ func applyEdit(m *mapping.Mapping, e neighborEdit) {
 }
 
 // SearchNetwork maps every layer of a network and returns per-layer bests
-// in layer order, sharing one Session across the layers. Layers are
-// searched concurrently.
+// in layer order, sharing one (cached) Session across the layers. Layers
+// are searched concurrently.
 func SearchNetwork(a *arch.Arch, net *workload.Network, opts Options) ([]*Best, error) {
-	s, err := NewSession(a)
+	s, err := sessionFor(a)
 	if err != nil {
 		return nil, err
 	}

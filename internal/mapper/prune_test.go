@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -158,7 +159,7 @@ func TestPrunedSearchMatchesUnprunedSampler(t *testing.T) {
 					t.Fatalf("%s/%s: %v", name, l.Name, err)
 				}
 				ref := opts
-				ref.noPrune, ref.noDelta = true, true
+				ref.noPrune, ref.noDelta, ref.noBatch = true, true, true
 				unpruned, err := s.Search(&l, ref)
 				if err != nil {
 					t.Fatalf("%s/%s ref: %v", name, l.Name, err)
@@ -172,9 +173,52 @@ func TestPrunedSearchMatchesUnprunedSampler(t *testing.T) {
 	}
 }
 
+// TestBatchedSearchMatchesReferencePath is the PR 6 tentpole equivalence
+// test: the fused stage-then-finish scoring path (one shared-prefix core
+// resolution serving both the admissible bound and the finishing passes)
+// must return a bit-identical Best to the unfused reference path — separate
+// LowerBound + EvaluatePartial calls in the legacy order — at 1, 2 and 8
+// workers, with and without pruning/delta in play.
+func TestBatchedSearchMatchesReferencePath(t *testing.T) {
+	archs := map[string]*arch.Arch{
+		"electrical": testArch(t, 1<<20),
+		"photonic":   photonicTestArch(t),
+	}
+	layers := []workload.Layer{
+		workload.NewConv("conv", 1, 32, 16, 14, 14, 3, 3, 1, 1),
+		workload.NewFC("fc", 1, 64, 128),
+	}
+	for name, a := range archs {
+		s, err := NewSession(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range layers {
+			for _, workers := range []int{1, 2, 8} {
+				for _, obj := range []Objective{MinEnergy, MinEDP} {
+					opts := Options{Objective: obj, Budget: 320, Seed: 3, Workers: workers}
+					batched, err := s.Search(&l, opts)
+					if err != nil {
+						t.Fatalf("%s/%s: %v", name, l.Name, err)
+					}
+					ref := opts
+					ref.noBatch = true
+					unbatched, err := s.Search(&l, ref)
+					if err != nil {
+						t.Fatalf("%s/%s ref: %v", name, l.Name, err)
+					}
+					label := fmt.Sprintf("%s/%s/w%d/%v", name, l.Name, workers, obj)
+					compareBests(t, label, batched, unbatched)
+				}
+			}
+		}
+	}
+}
+
 // TestDrawCandidatesMatchesRandomMapping pins the compact draw pipeline to
-// the legacy generator: for the same rng stream, drawCandidates +
-// materialize must produce exactly the mappings randomMapping produced.
+// the reference generator: for the same rng stream, drawCandidates +
+// materialize must produce exactly the mappings randomMapping produced —
+// including the cap-aware skips on levels that forbid temporal loops.
 func TestDrawCandidatesMatchesRandomMapping(t *testing.T) {
 	for _, a := range []*arch.Arch{testArch(t, 1<<20), photonicTestArch(t)} {
 		s, err := NewSession(a)
@@ -196,7 +240,7 @@ func TestDrawCandidatesMatchesRandomMapping(t *testing.T) {
 		cands := s.drawCandidates(&l, rng, k, a.NumLevels())
 		buf := mapping.New(a)
 		for i := range cands {
-			s.materialize(buf, &cands[i])
+			s.materialize(buf, &cands[i], false)
 			if buf.Fingerprint() != want[i].Fingerprint() || buf.String() != want[i].String() {
 				t.Fatalf("%s: candidate %d diverged from randomMapping:\n%s\nvs\n%s", a.Name, i, buf, want[i])
 			}

@@ -1,0 +1,64 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"photoloop/internal/mapping"
+	"photoloop/internal/workload"
+)
+
+// TestStagedFastPathZeroAlloc guards the batch fast path's allocation
+// contract: once the scratch and result backings are warm, a full
+// Stage → FinishStaged round trip (the mapper's per-candidate hot loop)
+// must not allocate, and neither must the prune-only path where Stage's
+// bound kills the candidate and FinishStaged never runs.
+func TestStagedFastPathZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := photonicArch(t, rng)
+	l := workload.NewConv("alloc", 1, 16, 16, 8, 8, 3, 3, 1, 1)
+	c, err := Compile(a, &l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []*mapping.Mapping
+	for len(ms) < 8 {
+		m := randSearchStyleMapping(rng, a, &l)
+		if m.Validate(a, &l) == nil {
+			ms = append(ms, m)
+		}
+	}
+	s := c.Engine().NewScratch()
+	res := &Result{}
+	opts := Options{SkipValidate: true}
+	stageFinish := func(m *mapping.Mapping, limitPJ float64, finish bool) {
+		if _, err := c.Stage(s, m, opts, 0, 0, limitPJ); err != nil {
+			t.Fatal(err)
+		}
+		if finish {
+			if err := c.FinishStaged(s, res, opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, m := range ms { // size every backing array before measuring
+		stageFinish(m, math.Inf(1), true)
+	}
+
+	i := 0
+	if n := testing.AllocsPerRun(100, func() {
+		stageFinish(ms[i%len(ms)], math.Inf(1), true)
+		i++
+	}); n != 0 {
+		t.Errorf("Stage+FinishStaged allocates %.1f times per candidate, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		// A tiny limit makes the bound's early exit fire, matching what a
+		// pruned candidate pays.
+		stageFinish(ms[i%len(ms)], 1e-9, false)
+		i++
+	}); n != 0 {
+		t.Errorf("prune-only Stage allocates %.1f times per candidate, want 0", n)
+	}
+}

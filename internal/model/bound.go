@@ -1,6 +1,8 @@
 package model
 
 import (
+	"math"
+
 	"photoloop/internal/mapping"
 	"photoloop/internal/workload"
 )
@@ -99,16 +101,20 @@ func (e *Engine) buildBoundTables() {
 // Result.Cycles of any successful EvaluateInto of the same mapping and
 // options. It needs only the mapping's spatial configuration, tile extents
 // and padded iteration count — no loop-nest walk, no per-usage charging —
-// which makes it several times cheaper than a full evaluation.
+// which makes it several times cheaper than a full evaluation. Compiled.Stage
+// produces the identical bound fused with the evaluation's own core
+// resolution, which is how the mapper hot loop obtains it.
 //
 // The bound combines terms that are exact (the compute-bound cycle count,
 // per-MAC compute energy, streaming-station refill traffic, compute
 // consumption reads, and output arrivals at the innermost keeper, all of
-// which depend only on core quantities) with perfect-reuse floors for the
+// which depend only on core quantities) with distinct-tile floors for the
 // rest of the data movement: every non-streaming keeper must fill each
-// resident tile at least once (refetch factor >= 1), and every output
-// keeper drains each tile at least once. Schedules lose energy to refetch
-// above those floors, never below them.
+// distinct tile the temporal loops above it walk at least once (the
+// permutation-aware refetch factor is at least the permutation-independent
+// distinct-tile count), and every output keeper drains each such tile at
+// least once. Schedules lose energy to refetch above those floors, never
+// below them.
 //
 // For mappings whose full evaluation would fail, the returned bound is
 // meaningless — the mapper rejects those candidates either way.
@@ -116,12 +122,32 @@ func (e *Engine) buildBoundTables() {
 // TestLowerBoundAdmissible.
 func (c *Compiled) LowerBound(s *Scratch, m *mapping.Mapping, opts Options) Bound {
 	an := &s.lb
-	an.resetCore(c, m, 0)
+	an.resetCore(c, m, 0, 0)
+	return c.boundFromCoreLimited(an, opts, s.statics, math.Inf(1))
+}
+
+// boundFromCoreLimited derives the admissible bound from an analysis whose
+// core state (spatial factors, extents, instances) is already resolved for
+// the mapping — either LowerBound's nest-free working set or a staged full
+// evaluation. It must not touch the analysis' nest or memo state: the
+// LowerBound path never builds them, and Stage defers theirs.
+//
+// limitPJ is an early-exit threshold: as soon as the partial sum alone
+// proves the bound exceeds it, accumulation stops and the partial bound is
+// returned. Every term is non-negative, so the partial sum is itself
+// admissible and any "bound > limitPJ" comparison decides identically to
+// the full bound. math.Inf(1) disables the exit and yields the exact bound.
+func (c *Compiled) boundFromCoreLimited(an *analysis, opts Options, statics []int64, limitPJ float64) Bound {
 	eng := c.eng
 	a := eng.a
 	n := a.NumLevels()
 	pj := c.macFloorPJ
 
+	// First the exact cycle-scaled terms — streaming-station refills and
+	// compute consumption reads. They need no distinct-tile floors, and on
+	// conversion-heavy architectures they dominate: a candidate with an
+	// oversized schedule usually exceeds the early-exit threshold right
+	// here, before any floor work.
 	for _, t := range readTensors {
 		chain := eng.keeps[t]
 		if len(chain) == 0 {
@@ -132,27 +158,69 @@ func (c *Compiled) LowerBound(s *Scratch, m *mapping.Mapping, opts Options) Boun
 			// Compute consumption out of the innermost keeper (exact).
 			pj += r * float64(an.actualMACs) / an.multicastRange(last, n, t)
 		}
-		for pos := 1; pos < len(chain); pos++ {
-			li, parent := chain[pos], chain[pos-1]
-			lv := a.Level(li)
-			lb := &eng.lbLevels[li]
-			var fills float64
-			if lv.Streaming && pos == len(chain)-1 {
-				// Zero retention refills every cycle (exact; mirrors
-				// readTensorUsage).
-				wsExt := clamp(an.spatialExtentsBelow(li), an.bounds)
-				var ws int64
-				if t == workload.Inputs && !lv.InputOverlapSharing {
-					ws = naiveInputElems(wsExt)
-				} else {
-					ws = an.l.TileElems(t, wsExt)
-				}
-				fills = float64(ws) * float64(an.cycles) * float64(an.instances[li])
+		if lv := a.Level(last); lv.Streaming && len(chain) > 1 {
+			// Zero retention refills every cycle (exact; mirrors
+			// readTensorUsage).
+			lb := &eng.lbLevels[last]
+			wsExt := clamp(an.spatialExtentsBelow(last), an.bounds)
+			var ws int64
+			if t == workload.Inputs && !lv.InputOverlapSharing {
+				ws = naiveInputElems(wsExt)
 			} else {
-				// Perfect-reuse floor: each resident tile fills at least
-				// once per instance.
-				fills = float64(an.l.TileElems(t, an.extClamp[li])) * float64(an.instances[li])
+				ws = an.l.TileElems(t, wsExt)
 			}
+			fills := float64(ws) * float64(an.cycles) * float64(an.instances[last])
+			if u := lb.fillUnit[t]; u > 0 {
+				pj += fills * u
+			}
+			parent := chain[len(chain)-2]
+			if du := lb.fillDist[t] + eng.lbLevels[parent].readPJ; du > 0 {
+				pj += fills / an.multicastRange(parent, last, t) * du
+			}
+		}
+		if pj*lbSafety > limitPJ {
+			return Bound{EnergyPJ: pj * lbSafety, Cycles: float64(an.cycles)}
+		}
+	}
+
+	// Distinct-tile floors: the temporal loops above level li walk at least
+	// product(relevant trips of levels < li) distinct tiles of tensor t, and
+	// the permutation-aware refetch factor the evaluator charges is at least
+	// that (every distinct tile is fetched at least once, whatever the loop
+	// order does on top). The products depend only on the per-level temporal
+	// factors, so the floors need no nest walk. Accumulated in float64: the
+	// relative rounding error (~2^-53 per multiply) is absorbed by lbSafety.
+	var cum [workload.NumTensors]float64
+	for _, t := range workload.AllTensors() {
+		cum[t] = 1
+	}
+	for j := 0; j < n; j++ {
+		an.distFloor[j] = cum
+		tl := &an.m.Levels[j].Temporal
+		for _, t := range workload.AllTensors() {
+			for _, d := range relevantDims[t] {
+				if tr := tl[d]; tr > 1 {
+					cum[t] *= float64(tr)
+				}
+			}
+		}
+	}
+
+	for _, t := range readTensors {
+		chain := eng.keeps[t]
+		for pos := 1; pos < len(chain); pos++ {
+			if pj*lbSafety > limitPJ {
+				return Bound{EnergyPJ: pj * lbSafety, Cycles: float64(an.cycles)}
+			}
+			li, parent := chain[pos], chain[pos-1]
+			if a.Level(li).Streaming && pos == len(chain)-1 {
+				continue // charged exactly in the first pass
+			}
+			lb := &eng.lbLevels[li]
+			// Distinct-tile floor: each of the distinct tiles the loops
+			// above walk fills at least once per instance.
+			fills := float64(an.l.TileElems(t, an.extClamp[li])) * an.distFloor[li][t] *
+				float64(an.instances[li])
 			if u := lb.fillUnit[t]; u > 0 {
 				pj += fills * u
 			}
@@ -172,13 +240,17 @@ func (c *Compiled) LowerBound(s *Scratch, m *mapping.Mapping, opts Options) Boun
 		t := workload.Outputs
 		arrivals := float64(an.actualMACs) / an.spatialReduceRange(chain[len(chain)-1], n)
 		for pos := len(chain) - 1; ; pos-- {
+			if pj*lbSafety > limitPJ {
+				return Bound{EnergyPJ: pj * lbSafety, Cycles: float64(an.cycles)}
+			}
 			li := chain[pos]
 			lb := &eng.lbLevels[li]
 			pj += arrivals * (lb.updateUnit[t] + lb.arrivalMinPJ)
 			if pos == 0 {
 				break
 			}
-			drains := float64(an.l.TileElems(t, an.extClamp[li])) * float64(an.instances[li])
+			drains := float64(an.l.TileElems(t, an.extClamp[li])) * an.distFloor[li][t] *
+				float64(an.instances[li])
 			if u := lb.drainUnit[t]; u > 0 {
 				pj += drains * u
 			}
@@ -190,8 +262,8 @@ func (c *Compiled) LowerBound(s *Scratch, m *mapping.Mapping, opts Options) Boun
 		}
 	}
 
-	if opts.ChargeStatic {
-		pj += an.staticFloorPJ(s.statics)
+	if opts.ChargeStatic && !(pj*lbSafety > limitPJ) {
+		pj += an.staticFloorPJ(statics)
 	}
 	return Bound{EnergyPJ: pj * lbSafety, Cycles: float64(an.cycles)}
 }

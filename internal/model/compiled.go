@@ -1,6 +1,7 @@
 package model
 
 import (
+	"fmt"
 	"sort"
 
 	"photoloop/internal/arch"
@@ -280,13 +281,14 @@ func (c *Compiled) Layer() *workload.Layer { return c.l }
 // across EvaluateInto calls makes the fast path allocation free.
 //
 // A Scratch also carries state between consecutive evaluations: the
-// analysis of the last successful evaluation (which EvaluatePartial reuses
-// for delta evaluation) and the LowerBound working set.
+// analysis of the last staged or evaluated mapping (which Stage and
+// EvaluatePartial reuse for shared-prefix delta resolution) and the
+// LowerBound working set.
 type Scratch struct {
 	an      analysis
 	lb      analysis // LowerBound's core-only working set (no nest walk)
 	statics []int64
-	anValid bool // s.an holds the state of a completed evaluation
+	anValid bool // s.an holds a fully resolved core+nest state
 }
 
 // NewScratch allocates working memory sized for the engine's architecture.
@@ -312,41 +314,118 @@ func (c *Compiled) EvaluateInto(s *Scratch, m *mapping.Mapping, res *Result, opt
 // EvaluatePartial is EvaluateInto with delta evaluation. shared declares
 // that the outermost shared storage levels of m — temporal factors,
 // permutation, rigid spatial choices and free spatial factors — are
-// configured identically to the mapping most recently evaluated
-// successfully through this scratch on this compiled engine. Those levels'
-// spatial factors, loop-nest segments and stationarity factors are reused
-// instead of recomputed; every reused value was produced by the same code
-// on identical inputs, so the result is bit-identical to EvaluateInto for
-// any truthful shared value. Pass 0 when unsure (or after an evaluation
+// configured identically to the mapping most recently staged or evaluated
+// through this scratch on this compiled engine. Those levels' spatial
+// factors, loop-nest segments and stationarity factors are reused instead
+// of recomputed; every reused value was produced by the same code on
+// identical inputs, so the result is bit-identical to EvaluateInto for any
+// truthful shared value. Pass 0 when unsure (or after an evaluation
 // error): that is exactly EvaluateInto. A stale or mismatched scratch
-// (different engine, failed previous evaluation) silently degrades to a
-// full evaluation rather than misbehaving.
+// (different engine, never staged) silently degrades to a full evaluation
+// rather than misbehaving.
 func (c *Compiled) EvaluatePartial(s *Scratch, m *mapping.Mapping, res *Result, opts Options, shared int) error {
+	if _, err := c.stageCore(s, m, opts, shared, shared); err != nil {
+		return err
+	}
+	return c.finishStaged(s, res, opts)
+}
+
+// Stage is the first half of an evaluation fused with the pruning bound:
+// it resolves mapping m's core state (spatial factors and tile extents —
+// the loop-nest build is deferred to FinishStaged, which pruned candidates
+// never pay for) into the scratch, reusing the outermost shared levels
+// exactly like EvaluatePartial, and returns the admissible lower bound
+// derived from that state, bit-identical to LowerBound's. A staged scratch
+// serves a later FinishStaged; together the pair is EvaluatePartial split
+// in two, so the mapper's bound gate and the surviving candidates' full
+// evaluations share one core resolution instead of paying for two.
+//
+// sfShared extends the reuse to levels whose spatial configuration alone
+// matches the previous mapping (rigid choices and free factors, temporal
+// loops free to differ) — candidates drawn under one spatial assignment
+// share all of it, and their spatial factors and instance counts are
+// bit-identical by construction. Pass shared when unsure.
+//
+// limitPJ lets the bound stop accumulating energy terms once the partial
+// sum alone exceeds it: the returned EnergyPJ is then some admissible
+// value above limitPJ rather than the full bound, so any comparison
+// "bound > limit" is unaffected. Pass math.Inf(1) for the exact bound.
+//
+// The staged state also becomes the delta baseline for the next Stage or
+// EvaluatePartial on this scratch whether or not FinishStaged runs: a
+// pruned candidate still advances the shared-prefix chain.
+func (c *Compiled) Stage(s *Scratch, m *mapping.Mapping, opts Options, shared, sfShared int, limitPJ float64) (Bound, error) {
+	if _, err := c.stageCore(s, m, opts, shared, sfShared); err != nil {
+		return Bound{}, err
+	}
+	return c.boundFromCoreLimited(&s.an, opts, s.statics, limitPJ), nil
+}
+
+// FinishStaged completes the evaluation a Stage call prepared, writing the
+// result into res. It must follow a successful Stage of the same compiled
+// engine on the same scratch, with no other evaluation in between.
+func (c *Compiled) FinishStaged(s *Scratch, res *Result, opts Options) error {
+	if !s.anValid || s.an.c != c {
+		return fmt.Errorf("model: FinishStaged without a staged scratch for %s", c.l.Name)
+	}
+	return c.finishStaged(s, res, opts)
+}
+
+// stageCore validates m and resolves its core analysis state into s.an,
+// honoring (and returning) the shared-prefix reuse count it could actually
+// apply. The flattened loop nest is NOT rebuilt here: the bound never
+// walks it, so its rebuild is deferred to the finishing passes via
+// an.nestOK, which tracks how much of the nest from the last finish is
+// still valid across the staged chain (each stage's shared prefix
+// guarantees the levels below it are unchanged, so the minimum over the
+// chain is a truthful shared value for the eventual resetNest). After
+// stageCore returns, s.an is a valid delta baseline even if the finishing
+// passes never run or fail.
+func (c *Compiled) stageCore(s *Scratch, m *mapping.Mapping, opts Options, shared, sfShared int) (int, error) {
 	a := c.eng.a
 	if !opts.SkipValidate {
 		if err := c.l.Validate(); err != nil {
-			return err
+			return 0, err
 		}
 		if err := m.Validate(a, c.l); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	an := &s.an
 	if shared < 0 || !s.anValid || an.c != c {
 		shared = 0
 	}
+	if sfShared < 0 || !s.anValid || an.c != c {
+		sfShared = 0
+	}
 	if shared > a.NumLevels() {
 		shared = a.NumLevels()
 	}
+	if sfShared > a.NumLevels() {
+		sfShared = a.NumLevels()
+	}
 	s.anValid = false
-	shared = an.resetCore(c, m, shared)
-	an.resetNest(shared)
+	shared = an.resetCore(c, m, shared, sfShared)
+	if shared < an.nestOK {
+		an.nestOK = shared
+	}
 	if len(s.statics) < len(c.eng.statics) {
 		// The analysis buffers resize to any architecture; keep the
 		// static-power counters in step so a zero-value Scratch (or one
 		// built for another engine) works too.
 		s.statics = make([]int64, len(c.eng.statics))
 	}
+	s.anValid = true
+	return shared, nil
+}
+
+// finishStaged runs the finishing passes — usage, energy, throughput — of
+// a staged analysis into res.
+func (c *Compiled) finishStaged(s *Scratch, res *Result, opts Options) error {
+	a := c.eng.a
+	an := &s.an
+	an.resetNest(an.nestOK) // deferred from stageCore; see there
+	an.nestOK = len(an.sf)
 	res.reset()
 	res.Layer = c.l.Name
 	res.MACs = an.actualMACs
@@ -399,7 +478,6 @@ func (c *Compiled) EvaluatePartial(s *Scratch, m *mapping.Mapping, res *Result, 
 		res.MACsPerCycle = float64(res.MACs) / res.Cycles
 	}
 	res.AreaUM2 = c.eng.area
-	s.anValid = true
 	return nil
 }
 

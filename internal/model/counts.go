@@ -41,7 +41,39 @@ type analysis struct {
 	refetchMemo  [][workload.NumTensors]int64
 	distinctMemo [][workload.NumTensors]int64
 	memoSet      []uint8
+
+	// distFloor is the lower bound's working array: per level, the number
+	// of distinct tiles of each tensor the temporal loops of the levels
+	// above walk (see boundFromCore). Unlike the memos it is rebuilt from
+	// the mapping's temporal factors alone, so the bound needs no nest.
+	distFloor [][workload.NumTensors]float64
+
+	// nestOK counts the leading levels whose nestBuf segments (and memos)
+	// still describe the current mapping. Staging defers the nest rebuild
+	// to the finishing passes — the bound never walks the nest, so pruned
+	// candidates skip it entirely — and tracks here how much of the buffer
+	// survives the staged chain since the last finish.
+	nestOK int
+
+	// instTotal is the product of all spatial factors (the divisor turning
+	// padded MACs into temporal iterations), cached alongside instances so
+	// spatially-shared evaluations skip the instance pass too.
+	instTotal int64
 }
+
+// relevantDims lists, per tensor, the dimensions addressing it — the static
+// inner loop of the bound's distinct-tile floors (a dynamic Relevant call
+// per (level, dim, tensor) showed up in search profiles).
+var relevantDims = func() (rel [workload.NumTensors][]workload.Dim) {
+	for _, t := range workload.AllTensors() {
+		for _, d := range workload.AllDims() {
+			if workload.Relevant(t, d) {
+				rel[t] = append(rel[t], d)
+			}
+		}
+	}
+	return rel
+}()
 
 // init sizes every buffer for an architecture with n storage levels.
 func (an *analysis) init(n int) {
@@ -53,6 +85,7 @@ func (an *analysis) init(n int) {
 	an.refetchMemo = make([][workload.NumTensors]int64, n)
 	an.distinctMemo = make([][workload.NumTensors]int64, n)
 	an.memoSet = make([]uint8, n)
+	an.distFloor = make([][workload.NumTensors]float64, n)
 }
 
 // resetCore re-derives the spatial and extent state of a mapping, reusing
@@ -61,22 +94,29 @@ func (an *analysis) init(n int) {
 // to multiplying level by level), instance counts and the padded iteration
 // count. Levels below shared keep their spatial factors from the previous
 // mapping — the caller guarantees those levels are configured identically.
-// Extents are always recomputed: they are suffix products, so any inner
-// change moves every outer extent.
+// sfShared extends that reuse to levels whose spatial configuration alone
+// (rigid choices and free factors) matches the previous mapping even
+// though their temporal loops differ — the case for every candidate drawn
+// under one spatial assignment — skipping the spatial-factor resolution
+// and, when it covers all levels, the instance pass too. Extents are
+// always recomputed: they are suffix products, so any inner change moves
+// every outer extent.
 //
 // It returns the shared count it actually honored: freshly (re)sized
 // buffers hold nothing reusable, and the caller must feed the effective
 // value to resetNest so the nest prefix is not skipped over zeroed state.
-func (an *analysis) resetCore(c *Compiled, m *mapping.Mapping, shared int) int {
+func (an *analysis) resetCore(c *Compiled, m *mapping.Mapping, shared, sfShared int) int {
 	a := c.eng.a
 	n := a.NumLevels()
 	an.c, an.a, an.l, an.m = c, a, c.l, m
 	an.bounds = c.bounds
 	an.actualMACs = c.actualMACs
-	an.cycles = m.TemporalIterations()
 	if cap(an.sf) < n {
 		an.init(n)
-		shared = 0
+		shared, sfShared = 0, 0
+	}
+	if sfShared < shared {
+		sfShared = shared
 	}
 	an.sf = an.sf[:n]
 	an.ext = an.ext[:n]
@@ -84,7 +124,7 @@ func (an *analysis) resetCore(c *Compiled, m *mapping.Mapping, shared int) int {
 	an.instances = an.instances[:n]
 	run := workload.Ones()
 	for i := n - 1; i >= 0; i-- {
-		if i >= shared {
+		if i >= sfShared {
 			an.sf[i] = m.SpatialAt(a, i)
 		}
 		run = run.Mul(m.Levels[i].Temporal.Mul(an.sf[i]))
@@ -93,11 +133,18 @@ func (an *analysis) resetCore(c *Compiled, m *mapping.Mapping, shared int) int {
 	}
 	an.padded = run // the outermost tile extent spans the padded bounds
 	an.paddedMACs = an.padded.Product()
-	inst := int64(1)
-	for i := 0; i < n; i++ {
-		an.instances[i] = inst
-		inst *= an.sf[i].Product()
+	if sfShared < n {
+		inst := int64(1)
+		for i := 0; i < n; i++ {
+			an.instances[i] = inst
+			inst *= an.sf[i].Product()
+		}
+		an.instTotal = inst
 	}
+	// padded MACs factor exactly into temporal iterations times total
+	// spatial instances, so one integer division replaces the per-level
+	// trip-count products of m.TemporalIterations().
+	an.cycles = an.paddedMACs / an.instTotal
 	return shared
 }
 

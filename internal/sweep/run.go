@@ -53,6 +53,24 @@ type Result struct {
 	// searches (see mapper.Cache).
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+	// Pruned, DeltaEvals and FullEvals roll the per-point search funnel up
+	// across the whole sweep: candidates discarded by the admissible lower
+	// bound, evaluations that reused shared-prefix state, and evaluations
+	// computed from scratch.
+	Pruned     int `json:"pruned,omitempty"`
+	DeltaEvals int `json:"delta_evals,omitempty"`
+	FullEvals  int `json:"full_evals,omitempty"`
+}
+
+// PrunedFraction is the sweep-wide fraction of drawn candidates the
+// admissible lower bound discarded before a full evaluation (0 when the
+// sweep scored nothing, e.g. fixed-mapping evaluations).
+func (r *Result) PrunedFraction() float64 {
+	scored := r.Pruned + r.DeltaEvals + r.FullEvals
+	if scored == 0 {
+		return 0
+	}
+	return float64(r.Pruned) / float64(scored)
 }
 
 // Point is one evaluated (variant, workload, objective) combination.
@@ -280,6 +298,11 @@ dispatch:
 
 	hits1, misses1 := cache.Stats()
 	res.CacheHits, res.CacheMisses = hits1-hits0, misses1-misses0
+	for i := range res.Points {
+		res.Pruned += res.Points[i].Pruned
+		res.DeltaEvals += res.Points[i].DeltaEvals
+		res.FullEvals += res.Points[i].FullEvals
+	}
 	if canceled {
 		for i := range jobs {
 			if res.Points[jobs[i].index].Network == "" { // never dispatched

@@ -145,6 +145,24 @@ func TestRunMatchesDirectEvalNetwork(t *testing.T) {
 	if len(res.Points) != 4 {
 		t.Fatalf("got %d points, want 4", len(res.Points))
 	}
+	// The result-level funnel rollup must equal the per-point sums, and a
+	// seeded search of this size always fully evaluates something.
+	var pruned, delta, full int
+	for i := range res.Points {
+		pruned += res.Points[i].Pruned
+		delta += res.Points[i].DeltaEvals
+		full += res.Points[i].FullEvals
+	}
+	if res.Pruned != pruned || res.DeltaEvals != delta || res.FullEvals != full {
+		t.Errorf("rollup %d/%d/%d != per-point sums %d/%d/%d",
+			res.Pruned, res.DeltaEvals, res.FullEvals, pruned, delta, full)
+	}
+	if res.FullEvals == 0 {
+		t.Error("rollup reports no full evaluations")
+	}
+	if got := res.PrunedFraction(); got != float64(pruned)/float64(pruned+delta+full) {
+		t.Errorf("PrunedFraction() = %v", got)
+	}
 	i := 0
 	for _, wr := range []bool{false, true} {
 		for _, lanes := range []int{3, 9} {
