@@ -10,7 +10,9 @@
 //	photoloop sweep (-spec sweep.json | -preset fig4|fig5) [-format json|csv] [-out file] ...
 //	photoloop explore (-spec explore.json | -preset name [-axis p=...]) [-budget N] [-strategy auto|grid|adaptive] ...
 //	photoloop study [-presets all] [-workloads all] [-objectives energy] [-format table|markdown|json|csv] ...
-//	photoloop serve [-addr :8080] [-workers N]
+//	photoloop jobs submit -store DIR (-sweep s.json | -explore e.json) ...
+//	photoloop jobs (resume|status|result) -store DIR [-id ID] ...
+//	photoloop serve [-addr :8080] [-workers N] [-store DIR]
 //	photoloop bench [-json] [-out BENCH.json] [-compare prior.json]
 //	photoloop template          # print an example architecture spec
 //	photoloop networks          # list built-in workloads
@@ -21,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +37,7 @@ import (
 	"photoloop/internal/components"
 	"photoloop/internal/exp"
 	"photoloop/internal/explore"
+	"photoloop/internal/jobs"
 	"photoloop/internal/presets"
 	"photoloop/internal/spec"
 	"photoloop/internal/sweep"
@@ -62,6 +66,8 @@ func run(args []string) int {
 		err = cmdExplore(args[1:])
 	case "study":
 		err = cmdStudy(args[1:])
+	case "jobs":
+		err = cmdJobs(args[1:])
 	case "serve":
 		err = cmdServe(args[1:])
 	case "bench":
@@ -130,10 +136,24 @@ func usage(w io.Writer) {
       per (workload, objective) group. Rows are bit-identical to
       evaluating each (preset, workload) pair with 'photoloop eval
       -preset' at the same budget/seed/search-workers.
-  photoloop serve [-addr :8080] [-workers N] [-debug]
+  photoloop jobs submit -store DIR (-sweep s.json | -explore e.json)
+                 [-workers N] [-quiet]
+  photoloop jobs resume -store DIR -id ID [-workers N] [-quiet]
+  photoloop jobs status -store DIR [-id ID]
+  photoloop jobs result -store DIR -id ID [-out file]
+      Run sweeps and explorations as durable jobs over a persistent
+      result store: every completed layer search is checkpointed to DIR
+      as it finishes, so a killed job resumes from where it stopped and
+      re-running a finished job recomputes nothing. submit is idempotent
+      (equal specs are one job, named by a content address) and runs the
+      job to completion; resume re-runs an interrupted or failed job to a
+      byte-identical result. See docs/SERVICE.md.
+  photoloop serve [-addr :8080] [-workers N] [-store DIR] [-debug]
       Serve the model over HTTP: POST /v1/eval, POST /v1/sweep,
       POST /v1/explore, POST /v1/study, GET /v1/networks,
-      GET /v1/presets. -debug
+      GET /v1/presets. With -store, searches persist to the DIR result
+      store across restarts and the async job API is mounted:
+      POST /v1/jobs, GET /v1/jobs[/{id}[/result|/stream]]. -debug
       additionally mounts net/http/pprof under /debug/pprof/ for live
       profiling.
   photoloop bench [-json] [-out BENCH.json] [-compare prior.json] [-label name]
@@ -411,10 +431,147 @@ func cmdSweep(args []string) error {
 	return closeOut(res.WriteJSON(out))
 }
 
+// cmdJobs drives the durable job engine: submit/resume run synchronously
+// in this process (the HTTP server's POST /v1/jobs runs the same engine
+// asynchronously); status and result only read the store directory.
+func cmdJobs(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("jobs requires a verb: submit, resume, status or result")
+	}
+	verb, args := args[0], args[1:]
+	fs := flag.NewFlagSet("jobs "+verb, flag.ExitOnError)
+	storeDir := fs.String("store", "", "store directory (required)")
+	id := fs.String("id", "", "job ID")
+	workers := fs.Int("workers", 0, "point-level worker pool size (default engine default)")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	var sweepPath, explorePath, outPath *string
+	switch verb {
+	case "submit":
+		sweepPath = fs.String("sweep", "", "sweep spec JSON file")
+		explorePath = fs.String("explore", "", "explore spec JSON file")
+	case "result":
+		outPath = fs.String("out", "", "write the artifact to this file (default stdout)")
+	case "resume", "status":
+	default:
+		return fmt.Errorf("unknown jobs verb %q (want submit, resume, status or result)", verb)
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *storeDir == "" {
+		return fmt.Errorf("jobs %s requires -store", verb)
+	}
+	m, err := jobs.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	m.Workers = *workers
+
+	runJob := func(jobID string) error {
+		if !*quiet {
+			m.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\rjob %s: %d/%d points", jobID, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		st, err := m.Run(context.Background(), jobID)
+		if err != nil {
+			return err
+		}
+		if !*quiet && st.Store != nil {
+			fmt.Fprintf(os.Stderr, "job %s: done — %d searches from store, %d from memory, %d computed\n",
+				jobID, st.Store.DiskHits, st.Store.Hits, st.Store.Misses)
+		}
+		return nil
+	}
+
+	switch verb {
+	case "submit":
+		if (*sweepPath == "") == (*explorePath == "") {
+			return fmt.Errorf("jobs submit requires exactly one of -sweep or -explore")
+		}
+		var sp jobs.Spec
+		if *sweepPath != "" {
+			parsed, err := decodeSweepFile(*sweepPath)
+			if err != nil {
+				return err
+			}
+			sp.Sweep = &parsed
+		} else {
+			f, err := os.Open(*explorePath)
+			if err != nil {
+				return err
+			}
+			parsed, err := explore.DecodeSpec(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			sp.Explore = &parsed
+		}
+		st, err := m.Submit(sp)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("job %s\n", st.ID)
+		return runJob(st.ID)
+	case "resume":
+		if *id == "" {
+			return fmt.Errorf("jobs resume requires -id")
+		}
+		return runJob(*id)
+	case "status":
+		if *id != "" {
+			st, err := m.Status(*id)
+			if err != nil {
+				return err
+			}
+			return sweep.EncodeResponseJSON(os.Stdout, st)
+		}
+		list, err := m.List()
+		if err != nil {
+			return err
+		}
+		return sweep.EncodeResponseJSON(os.Stdout, list)
+	default: // result
+		if *id == "" {
+			return fmt.Errorf("jobs result requires -id")
+		}
+		buf, err := m.Result(*id)
+		if err != nil {
+			return err
+		}
+		out, closeOut, err := openOut(*outPath)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(buf)
+		return closeOut(err)
+	}
+}
+
+// decodeSweepFile strictly parses a sweep spec file (or stdin with "-").
+func decodeSweepFile(path string) (sweep.Spec, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return sweep.Spec{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return sweep.DecodeSpec(r)
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "per-sweep point pool size (default GOMAXPROCS)")
+	storeDir := fs.String("store", "", "persist searches to this result store directory and mount the async job API")
 	debugFlag := fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -422,6 +579,21 @@ func cmdServe(args []string) error {
 	srv := sweep.NewServer()
 	srv.Workers = *workers
 	explore.Attach(srv)
+	endpoints := "POST /v1/eval, POST /v1/sweep, POST /v1/explore, POST /v1/study, GET /v1/networks, GET /v1/presets"
+	if *storeDir != "" {
+		m, err := jobs.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		m.Workers = *workers
+		// Synchronous requests share the persistence: their searches are
+		// written through to the same store the jobs resume from.
+		srv.SearchCache().SetPersister(m.Store())
+		jobs.Attach(srv, m)
+		endpoints += ", POST /v1/jobs, GET /v1/jobs"
+		fmt.Fprintf(os.Stderr, "photoloop: result store at %s (%d searches on disk)\n", *storeDir, m.Store().Len())
+	}
 	handler := http.Handler(srv)
 	if *debugFlag {
 		// pprof endpoints on the same listener: profile the mapper hot
@@ -437,7 +609,7 @@ func cmdServe(args []string) error {
 		handler = mux
 		fmt.Fprintln(os.Stderr, "photoloop: pprof enabled at /debug/pprof/")
 	}
-	fmt.Fprintf(os.Stderr, "photoloop: serving on %s (POST /v1/eval, POST /v1/sweep, POST /v1/explore, POST /v1/study, GET /v1/networks, GET /v1/presets)\n", *addr)
+	fmt.Fprintf(os.Stderr, "photoloop: serving on %s (%s)\n", *addr, endpoints)
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: handler,

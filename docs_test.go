@@ -27,6 +27,8 @@ var docLintPackages = []string{
 	"internal/sweep",
 	"internal/explore",
 	"internal/md",
+	"internal/store",
+	"internal/jobs",
 }
 
 // TestFacadeDocComments enforces the documentation contract: every
@@ -145,6 +147,8 @@ var docRefPackages = map[string]string{
 	"exp":        "internal/exp",
 	"refsim":     "internal/refsim",
 	"report":     "internal/report",
+	"store":      "internal/store",
+	"jobs":       "internal/jobs",
 }
 
 // exportedNames parses every non-test file of a package directory and
@@ -205,6 +209,7 @@ func TestModelingDocReferences(t *testing.T) {
 	for doc, minRefs := range map[string]int{
 		"MODELING.md":    30,
 		"EXPLORATION.md": 8,
+		"SERVICE.md":     8,
 	} {
 		buf, err := os.ReadFile(filepath.Join("docs", doc))
 		if err != nil {
@@ -391,7 +396,7 @@ func TestREADMESubcommandsDocumented(t *testing.T) {
 	}
 	text := string(buf)
 	for _, sub := range []string{
-		"eval", "sweep", "explore", "study", "serve", "bench",
+		"eval", "sweep", "explore", "study", "jobs", "serve", "bench",
 		"template", "networks", "presets", "classes",
 	} {
 		if !strings.Contains(text, "photoloop "+sub) {
@@ -405,9 +410,10 @@ func TestREADMESubcommandsDocumented(t *testing.T) {
 	}
 	for _, sub := range []string{
 		"photoloop eval", "photoloop sweep", "photoloop explore",
-		"photoloop study", "photoloop serve", "photoloop bench",
-		"photoloop template", "photoloop networks", "photoloop presets",
-		"photoloop classes", "photoloop version", "photoloop help",
+		"photoloop study", "photoloop jobs", "photoloop serve",
+		"photoloop bench", "photoloop template", "photoloop networks",
+		"photoloop presets", "photoloop classes", "photoloop version",
+		"photoloop help",
 	} {
 		if !bytes.Contains(main, []byte(sub)) {
 			t.Errorf("cmd/photoloop usage does not mention %q", sub)

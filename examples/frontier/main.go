@@ -17,6 +17,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -24,6 +25,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// The paper's Fig. 5 reuse levers: analog output-lane merging,
 	// WDM input fan-out, shared ring banks.
 	levers := []photoloop.ExploreAxis{
@@ -47,11 +54,11 @@ func main() {
 	// Exhaustive: 18 designs, every one evaluated, exact frontier.
 	exact, err := photoloop.Explore(base, photoloop.ExploreOptions{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("## Lever grid (%s strategy, %d of %d designs)\n\n", exact.Strategy, exact.Evals, exact.SpaceSize)
-	if err := exact.WriteMarkdown(os.Stdout); err != nil {
-		log.Fatal(err)
+	fmt.Fprintf(w, "## Lever grid (%s strategy, %d of %d designs)\n\n", exact.Strategy, exact.Evals, exact.SpaceSize)
+	if err := exact.WriteMarkdown(w); err != nil {
+		return err
 	}
 
 	// Adaptive: widen two levers into ranges and the space explodes —
@@ -66,12 +73,13 @@ func main() {
 	wide.Budget = 60
 	approx, err := photoloop.Explore(wide, photoloop.ExploreOptions{})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\n## Widened space (%s strategy, %d of %d designs)\n\n", approx.Strategy, approx.Evals, approx.SpaceSize)
-	if err := approx.WriteMarkdown(os.Stdout); err != nil {
-		log.Fatal(err)
+	fmt.Fprintf(w, "\n## Widened space (%s strategy, %d of %d designs)\n\n", approx.Strategy, approx.Evals, approx.SpaceSize)
+	if err := approx.WriteMarkdown(w); err != nil {
+		return err
 	}
-	fmt.Printf("\nsearch dedupe: %d layer searches served from cache, %d computed\n",
+	fmt.Fprintf(w, "\nsearch dedupe: %d layer searches served from cache, %d computed\n",
 		approx.CacheHits, approx.CacheMisses)
+	return nil
 }

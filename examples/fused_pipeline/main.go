@@ -8,13 +8,21 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"photoloop"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	net := photoloop.ResNet18(1)
 	type cfg struct {
 		name  string
@@ -37,17 +45,18 @@ func main() {
 				Mapper: photoloop.SearchOptions{Budget: 600, Seed: 1},
 			})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		pj := res.PJPerMAC()
 		if base == 0 {
 			base = pj
 		}
 		bars := int(pj / base * 40)
-		fmt.Printf("%-45s %.4f pJ/MAC  %s\n", c.name, pj, strings.Repeat("#", bars))
-		fmt.Printf("%-45s DRAM share %.1f%%, throughput %.0f MACs/cycle\n",
+		fmt.Fprintf(w, "%-45s %.4f pJ/MAC  %s\n", c.name, pj, strings.Repeat("#", bars))
+		fmt.Fprintf(w, "%-45s DRAM share %.1f%%, throughput %.0f MACs/cycle\n",
 			"", 100*res.DRAMShare(), res.ThroughputMACsPerCycle())
 	}
-	fmt.Println("\nthe paper's finding: batching + fusion recover ~3x on the aggressive system,")
-	fmt.Println("because DRAM — not the photonics — dominates once devices are cheap enough.")
+	fmt.Fprintln(w, "\nthe paper's finding: batching + fusion recover ~3x on the aggressive system,")
+	fmt.Fprintln(w, "because DRAM — not the photonics — dominates once devices are cheap enough.")
+	return nil
 }

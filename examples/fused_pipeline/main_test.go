@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFusedPipelineRuns smoke-runs the Fig. 4 scenario twice and asserts
+// the fixed mapper seed keeps the printed study reproducible.
+func TestFusedPipelineRuns(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	if out == "" {
+		t.Fatal("example produced no output")
+	}
+	for _, want := range []string{"baseline", "batched + fused", "DRAM share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if out != b.String() {
+		t.Error("two runs differ; the example lost determinism")
+	}
+}

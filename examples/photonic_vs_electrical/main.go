@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
@@ -15,6 +16,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
 	layer := photoloop.NewConv("conv3x3", 1, 96, 64, 32, 32, 3, 3, 1, 1)
 
 	type row struct {
@@ -27,11 +34,11 @@ func main() {
 	// Electrical baseline.
 	elec, err := photoloop.ElectricalBaseline().Build()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	eb, err := photoloop.Search(elec, &layer, photoloop.SearchOptions{Budget: 2000, Seed: 1})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	er := eb.Result
 	macs := float64(er.MACs)
@@ -47,14 +54,14 @@ func main() {
 	for _, s := range []photoloop.AlbireoScaling{photoloop.Conservative, photoloop.Moderate, photoloop.Aggressive} {
 		a, err := photoloop.Albireo(s).Build()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		pb, err := photoloop.Search(a, &layer, photoloop.SearchOptions{
 			Budget: 2000, Seed: 1,
 			Seeds: photoloop.AlbireoCanonicalMappings(a, &layer),
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		pr := pb.Result
 		pm := float64(pr.MACs)
@@ -68,18 +75,21 @@ func main() {
 		})
 	}
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "design\tMAC pJ\taccel pJ/MAC\tsystem pJ/MAC\tconverters\tDRAM")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.1f%%\t%.1f%%\n",
 			r.name, r.macPJ, r.accelPJ, r.systemPJ, r.convSharePct, r.dramSharePct)
 	}
-	w.Flush()
-	fmt.Println(`
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, `
 reading the table:
  - the optical MAC itself gets very cheap under scaling (MAC pJ column),
  - but conservative photonics lose to electronics at the accelerator level
    because every operand crosses DE/AE/AO domains (converters column),
  - and at the full-system level both technologies converge on the same
    DRAM bill — the paper's case for modeling accelerator + DRAM together.`)
+	return nil
 }

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPhotonicVsElectricalRuns smoke-runs the comparison table twice and
+// asserts every design row appears and the output is reproducible.
+func TestPhotonicVsElectricalRuns(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	if out == "" {
+		t.Fatal("example produced no output")
+	}
+	for _, want := range []string{
+		"electrical 8-bit systolic",
+		"photonic Albireo (conservative)",
+		"photonic Albireo (moderate)",
+		"photonic Albireo (aggressive)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if out != b.String() {
+		t.Error("two runs differ; the example lost determinism")
+	}
+}

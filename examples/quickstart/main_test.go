@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRuns smoke-runs the example and pins its determinism:
+// the mapper seed is fixed, so two runs must print identical output.
+func TestQuickstartRuns(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	if out == "" {
+		t.Fatal("example produced no output")
+	}
+	for _, want := range []string{"architecture:", "best mapping", "energy by component:", "cross-domain conversions:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if out != b.String() {
+		t.Error("two runs differ; the example lost determinism")
+	}
+}

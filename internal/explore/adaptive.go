@@ -109,13 +109,18 @@ func runAdaptive(sp *Spec, s *space, opts Options) (*Frontier, error) {
 
 	var mu sync.Mutex
 	done := 0
-	progress := func() {
-		if opts.Progress == nil {
+	report := func(p *sweep.Point) {
+		if opts.Progress == nil && opts.OnPoint == nil {
 			return
 		}
 		mu.Lock()
 		done++
-		opts.Progress(done, total)
+		if opts.OnPoint != nil {
+			opts.OnPoint(p)
+		}
+		if opts.Progress != nil {
+			opts.Progress(done, total)
+		}
 		mu.Unlock()
 	}
 
@@ -172,7 +177,7 @@ func runAdaptive(sp *Spec, s *space, opts Options) (*Frontier, error) {
 		if len(batch) == 0 {
 			break // space exhausted below budget
 		}
-		points, err := evaluateBatch(ctx, ev, batch, evals, workers, progress)
+		points, err := evaluateBatch(ctx, ev, batch, evals, workers, report)
 		if err != nil {
 			return finish(err)
 		}
@@ -195,8 +200,9 @@ func runAdaptive(sp *Spec, s *space, opts Options) (*Frontier, error) {
 // evaluateBatch evaluates one generation on a bounded worker pool.
 // Results are slot-ordered, so downstream archive updates are
 // deterministic regardless of pool size. Point indices continue the
-// run's evaluation sequence.
-func evaluateBatch(ctx context.Context, ev *sweep.Evaluator, batch []candidate, base, workers int, progress func()) ([]*sweep.Point, error) {
+// run's evaluation sequence. report (never nil) receives each completed
+// point; the caller serializes it.
+func evaluateBatch(ctx context.Context, ev *sweep.Evaluator, batch []candidate, base, workers int, report func(*sweep.Point)) ([]*sweep.Point, error) {
 	points := make([]*sweep.Point, len(batch))
 	errs := make([]error, len(batch))
 	if workers > len(batch) {
@@ -210,7 +216,9 @@ func evaluateBatch(ctx context.Context, ev *sweep.Evaluator, batch []candidate, 
 			defer wg.Done()
 			for k := range slots {
 				points[k], errs[k] = ev.Eval(base+k, batch[k].values, 0, 0)
-				progress()
+				if errs[k] == nil {
+					report(points[k])
+				}
 			}
 		}()
 	}

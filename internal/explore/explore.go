@@ -287,6 +287,10 @@ type Options struct {
 	// Progress, when set, is called after each candidate evaluation with
 	// the number done and the planned total. Calls are serialized.
 	Progress func(done, total int)
+	// OnPoint, when set, streams each evaluated candidate as it completes
+	// (completion order). Calls are serialized with Progress. The frontier
+	// returned at the end is unaffected.
+	OnPoint func(*sweep.Point)
 }
 
 // defaultBudget caps adaptive evaluations when the spec names none.
@@ -420,6 +424,7 @@ func runGrid(sp *Spec, s *space, opts Options) (*Frontier, error) {
 		Context:  opts.Context,
 		Cache:    opts.Cache,
 		Progress: opts.Progress,
+		OnPoint:  opts.OnPoint,
 	})
 	if res == nil {
 		return nil, err // spec-level error, nothing evaluated

@@ -1,0 +1,165 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"photoloop/internal/sweep"
+)
+
+func newJobServer(t *testing.T) (*sweep.Server, *Manager) {
+	t.Helper()
+	srv := sweep.NewServer()
+	m := openManager(t, t.TempDir())
+	Attach(srv, m)
+	return srv, m
+}
+
+func postJob(t *testing.T, srv *sweep.Server, sp Spec) *Status {
+	t.Helper()
+	body, err := json.Marshal(&sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/v1/jobs", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs status %d: %s", rec.Code, rec.Body.String())
+	}
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return &st
+}
+
+// waitDone polls the status endpoint until the async run finishes.
+func waitDone(t *testing.T, srv *sweep.Server, id string) *Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		req := httptest.NewRequest("GET", "/v1/jobs/"+id, nil)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s status %d: %s", id, rec.Code, rec.Body.String())
+		}
+		var st Status
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case StateDone:
+			return &st
+		case StateFailed:
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in time")
+	return nil
+}
+
+func TestJobHTTPLifecycle(t *testing.T) {
+	srv, _ := newJobServer(t)
+	st := postJob(t, srv, sweepJob())
+	if st.ID == "" {
+		t.Fatalf("submit returned %+v", st)
+	}
+	done := waitDone(t, srv, st.ID)
+	if done.Store == nil || done.Store.Misses == 0 {
+		t.Errorf("first async run stats = %+v", done.Store)
+	}
+
+	// Result artifact.
+	req := httptest.NewRequest("GET", "/v1/jobs/"+st.ID+"/result", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("result status %d", rec.Code)
+	}
+	var res sweep.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatalf("result does not parse: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Errorf("result has %d points", len(res.Points))
+	}
+
+	// Stream: the finished job replays its whole point log as NDJSON.
+	req = httptest.NewRequest("GET", "/v1/jobs/"+st.ID+"/stream", nil)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	lines := 0
+	sc := bufio.NewScanner(rec.Body)
+	for sc.Scan() {
+		var p sweep.Point
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("stream line does not parse: %v", err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("stream produced %d lines, want 2", lines)
+	}
+
+	// Listing includes the job.
+	req = httptest.NewRequest("GET", "/v1/jobs", nil)
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	var list []Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Errorf("list = %+v", list)
+	}
+
+	// Resubmitting the same spec reports the existing (done) job and
+	// does not re-run it.
+	again := postJob(t, srv, sweepJob())
+	if again.ID != st.ID || again.State != StateDone {
+		t.Errorf("resubmit = %+v", again)
+	}
+}
+
+func TestJobHTTPErrors(t *testing.T) {
+	srv, _ := newJobServer(t)
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/v1/jobs", "{nope", http.StatusBadRequest},
+		{"POST", "/v1/jobs", `{"bogus": 1}`, http.StatusBadRequest},
+		{"POST", "/v1/jobs", `{}`, http.StatusUnprocessableEntity},
+		{"GET", "/v1/jobs/jdeadbeef", "", http.StatusNotFound},
+		{"GET", "/v1/jobs/jdeadbeef/result", "", http.StatusNotFound},
+		{"GET", "/v1/jobs/jdeadbeef/stream", "", http.StatusNotFound},
+	} {
+		var body *strings.Reader
+		if tc.body != "" {
+			body = strings.NewReader(tc.body)
+		} else {
+			body = strings.NewReader("")
+		}
+		req := httptest.NewRequest(tc.method, tc.path, body)
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Errorf("%s %s -> %d, want %d: %s", tc.method, tc.path, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+}

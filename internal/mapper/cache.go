@@ -6,15 +6,37 @@ import (
 	"photoloop/internal/workload"
 )
 
-// cacheKey identifies one deduplicatable search: the architecture's
+// Key identifies one deduplicatable search: the architecture's
 // fingerprint, the layer's shape fingerprint (name excluded — equal shapes
 // search identically), and the fingerprint of every option that can change
 // the outcome (objective, budget, seed, workers, eval flags, seed
-// mappings).
-type cacheKey struct {
-	arch  uint64
-	layer uint64
-	opts  uint64
+// mappings). Keys are content addresses: equal keys mean bit-identical
+// search outcomes, which is what lets a Persister serve results across
+// processes and restarts.
+type Key struct {
+	// Arch is arch.Fingerprint of the searched architecture.
+	Arch uint64
+	// Layer is the layer's ShapeFingerprint (name excluded).
+	Layer uint64
+	// Opts fingerprints every outcome-changing search option.
+	Opts uint64
+}
+
+// Persister is a durable second tier behind a Cache: Load serves a
+// previously persisted search result and Store writes a freshly computed
+// one through. Implementations must return results bit-identical to the
+// original computation (the store package's codec round-trips every field
+// exactly) and must be safe for concurrent use. A Load that cannot prove
+// integrity of a record must miss, never guess — the cache recomputes on
+// a miss, so corruption costs time, not correctness.
+type Persister interface {
+	// Load returns the persisted Best for the key, or false. The returned
+	// value is owned by the cache (callers receive clones).
+	Load(k Key) (*Best, bool)
+	// Store persists a computed Best. Errors are reported through the
+	// cache's tier stats; persistence is best-effort and never fails the
+	// search itself.
+	Store(k Key, b *Best) error
 }
 
 // Cache deduplicates identical (architecture, layer shape, options)
@@ -28,24 +50,33 @@ type cacheKey struct {
 // block on a single computation rather than duplicating it. An unbounded
 // Cache (NewCache) suits sweep-scoped use, where the grid bounds the key
 // space; long-lived services should bound it with NewCacheLimit.
+//
+// SetPersister adds a durable second tier: lookups missing in memory
+// consult the persister before computing, and computed results are written
+// through — so a restarted process (or a different one sharing the store)
+// warm-starts from every search any prior run completed.
 type Cache struct {
 	mu    sync.Mutex
-	m     map[cacheKey]*cacheEntry
+	m     map[Key]*cacheEntry
 	limit int
+	disk  Persister
 
-	hits   int64
-	misses int64
+	hits      int64
+	diskHits  int64
+	misses    int64
+	diskFails int64
 }
 
 type cacheEntry struct {
-	once sync.Once
-	best *Best
-	err  error
+	once     sync.Once
+	best     *Best
+	err      error
+	fromDisk bool
 }
 
 // NewCache returns an empty, unbounded search-result cache.
 func NewCache() *Cache {
-	return &Cache{m: make(map[cacheKey]*cacheEntry)}
+	return &Cache{m: make(map[Key]*cacheEntry)}
 }
 
 // NewCacheLimit returns a cache holding at most limit entries: inserting
@@ -58,19 +89,46 @@ func NewCacheLimit(limit int) *Cache {
 	return c
 }
 
-// Stats returns how many searches were served from the cache versus
-// computed. A request that joins an in-flight computation counts as a hit.
+// SetPersister installs (or, with nil, removes) the cache's durable
+// second tier. Install it before sharing the cache — the setter is not
+// synchronized with in-flight searches.
+func (c *Cache) SetPersister(p Persister) { c.disk = p }
+
+// Stats returns how many searches were served from the cache (memory and
+// disk tiers together) versus computed. A request that joins an in-flight
+// computation counts as a hit.
 func (c *Cache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits + c.diskHits, c.misses
+}
+
+// TierStats breaks the cache's traffic down by tier.
+type TierStats struct {
+	// Hits counts lookups served from memory (including joins of
+	// in-flight computations).
+	Hits int64 `json:"hits"`
+	// DiskHits counts lookups served by the persister.
+	DiskHits int64 `json:"disk_hits"`
+	// Misses counts searches actually computed.
+	Misses int64 `json:"misses"`
+	// DiskFails counts write-through attempts the persister rejected
+	// (persistence is best-effort; the computed result was still served).
+	DiskFails int64 `json:"disk_fails,omitempty"`
+}
+
+// TierStats returns the per-tier counters.
+func (c *Cache) TierStats() TierStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return TierStats{Hits: c.hits, DiskHits: c.diskHits, Misses: c.misses, DiskFails: c.diskFails}
 }
 
 // search runs (or joins, or reuses) the deduplicated search for the layer.
 // The options must already have defaults applied, since the defaults feed
 // the key.
 func (c *Cache) search(s *Session, l *workload.Layer, o Options) (*Best, error) {
-	key := cacheKey{arch: s.fp, layer: l.ShapeFingerprint(), opts: o.fingerprint()}
+	key := Key{Arch: s.fp, Layer: l.ShapeFingerprint(), Opts: o.fingerprint()}
 	c.mu.Lock()
 	e, ok := c.m[key]
 	if ok {
@@ -78,13 +136,34 @@ func (c *Cache) search(s *Session, l *workload.Layer, o Options) (*Best, error) 
 	} else {
 		c.misses++
 		if c.limit > 0 && len(c.m) >= c.limit {
-			c.m = make(map[cacheKey]*cacheEntry)
+			c.m = make(map[Key]*cacheEntry)
 		}
 		e = &cacheEntry{}
 		c.m[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.best, e.err = s.search(l, o) })
+	e.once.Do(func() {
+		if c.disk != nil {
+			if b, ok := c.disk.Load(key); ok {
+				e.best, e.fromDisk = b, true
+				// The creator was provisionally counted as a miss; the
+				// disk tier absorbed the computation, so move the count.
+				c.mu.Lock()
+				c.misses--
+				c.diskHits++
+				c.mu.Unlock()
+				return
+			}
+		}
+		e.best, e.err = s.search(l, o)
+		if e.err == nil && c.disk != nil {
+			if err := c.disk.Store(key, e.best); err != nil {
+				c.mu.Lock()
+				c.diskFails++
+				c.mu.Unlock()
+			}
+		}
+	})
 	if e.err != nil {
 		return nil, e.err
 	}

@@ -1,0 +1,325 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"photoloop/internal/mapper"
+	"photoloop/internal/mapping"
+	"photoloop/internal/model"
+	"photoloop/internal/workload"
+)
+
+// codecVersion is the payload format version. Decoders reject unknown
+// versions instead of guessing: a store written by a future format is a
+// miss (recompute), never a wrong answer.
+const codecVersion = 1
+
+// Decoder sanity caps. A valid record is a single layer's best mapping
+// and result — a few kilobytes; anything claiming more is corruption and
+// must fail fast instead of allocating attacker-chosen amounts.
+const (
+	maxStringLen = 1 << 16
+	maxSliceLen  = 1 << 20
+)
+
+// EncodeBest serializes a search result into the store's versioned binary
+// payload. Every float is written as its IEEE-754 bit pattern, so a
+// decoded result is bit-identical to the encoded one — the property that
+// makes disk hits indistinguishable from fresh computation.
+func EncodeBest(b *mapper.Best) []byte {
+	e := &encoder{buf: make([]byte, 0, 1024)}
+	e.byte(codecVersion)
+	e.mapping(b.Mapping)
+	e.result(b.Result)
+	e.i64(int64(b.Evaluations))
+	e.i64(int64(b.Stats.Pruned))
+	e.i64(int64(b.Stats.DeltaEvals))
+	e.i64(int64(b.Stats.FullEvals))
+	e.i64(int64(b.Stats.Duplicates))
+	e.i64(int64(b.Stats.Invalid))
+	e.i64(int64(b.Stats.WarmStartEvals))
+	return e.buf
+}
+
+// DecodeBest parses a payload written by EncodeBest. It never panics on
+// malformed input (fuzz-tested): any framing violation, length overflow or
+// trailing garbage returns an error, which the cache treats as a miss.
+func DecodeBest(buf []byte) (*mapper.Best, error) {
+	d := &decoder{buf: buf}
+	if v := d.byte(); d.err == nil && v != codecVersion {
+		return nil, fmt.Errorf("store: unknown codec version %d (want %d)", v, codecVersion)
+	}
+	b := &mapper.Best{}
+	b.Mapping = d.mapping()
+	b.Result = d.result()
+	b.Evaluations = int(d.i64())
+	b.Stats.Pruned = int(d.i64())
+	b.Stats.DeltaEvals = int(d.i64())
+	b.Stats.FullEvals = int(d.i64())
+	b.Stats.Duplicates = int(d.i64())
+	b.Stats.Invalid = int(d.i64())
+	b.Stats.WarmStartEvals = int(d.i64())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("store: %d trailing bytes after record", len(d.buf)-d.off)
+	}
+	return b, nil
+}
+
+// encoder appends little-endian primitives to a growing buffer.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) byte(v byte) { e.buf = append(e.buf, v) }
+
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+func (e *encoder) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) point(p workload.Point) {
+	for _, v := range p {
+		e.i64(int64(v))
+	}
+}
+
+// dims encodes a Dim slice with nil-ness preserved (0 = nil, n+1 = length
+// n), so decode(encode(m)) is deep-equal to m, not just equivalent.
+func (e *encoder) dims(ds []workload.Dim) {
+	if ds == nil {
+		e.u32(0)
+		return
+	}
+	e.u32(uint32(len(ds)) + 1)
+	for _, d := range ds {
+		e.byte(byte(d))
+	}
+}
+
+func (e *encoder) mapping(m *mapping.Mapping) {
+	e.u32(uint32(len(m.Levels)))
+	for i := range m.Levels {
+		lm := &m.Levels[i]
+		e.point(lm.Temporal)
+		e.dims(lm.Perm)
+		e.dims(lm.SpatialChoice)
+		e.point(lm.FreeSpatial)
+	}
+}
+
+func (e *encoder) result(r *model.Result) {
+	e.str(r.Layer)
+	e.i64(r.MACs)
+	e.i64(r.PaddedMACs)
+	e.i64(r.ComputeCycles)
+	e.f64(r.Cycles)
+	e.str(r.BottleneckLevel)
+	e.f64(r.Utilization)
+	e.f64(r.MACsPerCycle)
+	e.u32(uint32(len(r.Usage)))
+	for i := range r.Usage {
+		u := &r.Usage[i]
+		e.str(u.Level)
+		e.i64(int64(u.LevelIndex))
+		e.byte(byte(u.Tensor))
+		e.i64(u.TileElems)
+		e.i64(u.Instances)
+		e.f64(u.Fills)
+		e.f64(u.FillsDistinct)
+		e.f64(u.Reads)
+		e.f64(u.Writes)
+		e.f64(u.Updates)
+		e.f64(u.Arrivals)
+		e.f64(u.Drains)
+		e.f64(u.DrainsMerged)
+	}
+	e.u32(uint32(len(r.Energy)))
+	for i := range r.Energy {
+		en := &r.Energy[i]
+		e.str(en.Level)
+		e.str(en.Component)
+		e.str(en.Class)
+		e.str(en.Action)
+		e.str(en.Tensor)
+		e.f64(en.Count)
+		e.f64(en.TotalPJ)
+	}
+	e.f64(r.TotalPJ)
+	e.f64(r.AreaUM2)
+}
+
+// decoder reads little-endian primitives with sticky error handling:
+// after the first framing violation every further read returns zero
+// values and the error survives to the caller.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("store: "+format, args...)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.buf)-d.off < n {
+		d.fail("record truncated at offset %d (need %d bytes)", d.off, n)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if n > maxStringLen {
+		d.fail("string length %d exceeds cap %d", n, maxStringLen)
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// sliceLen validates an element count against both the cap and the bytes
+// actually remaining (elemSize is a lower bound per element), so a
+// corrupted length can never drive a huge allocation.
+func (d *decoder) sliceLen(n uint32, elemSize int) int {
+	if d.err != nil {
+		return 0
+	}
+	if n > maxSliceLen || int(n)*elemSize > len(d.buf)-d.off {
+		d.fail("slice length %d impossible with %d bytes left", n, len(d.buf)-d.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) point() workload.Point {
+	var p workload.Point
+	for i := range p {
+		p[i] = int(d.i64())
+	}
+	return p
+}
+
+func (d *decoder) dims() []workload.Dim {
+	n := d.u32()
+	if n == 0 {
+		return nil
+	}
+	count := d.sliceLen(n-1, 1)
+	out := make([]workload.Dim, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, workload.Dim(d.byte()))
+	}
+	return out
+}
+
+func (d *decoder) mapping() *mapping.Mapping {
+	count := d.sliceLen(d.u32(), 2*8*int(workload.NumDims))
+	m := &mapping.Mapping{Levels: make([]mapping.LevelMapping, 0, count)}
+	for i := 0; i < count; i++ {
+		lm := mapping.LevelMapping{}
+		lm.Temporal = d.point()
+		lm.Perm = d.dims()
+		lm.SpatialChoice = d.dims()
+		lm.FreeSpatial = d.point()
+		m.Levels = append(m.Levels, lm)
+	}
+	return m
+}
+
+func (d *decoder) result() *model.Result {
+	r := &model.Result{}
+	r.Layer = d.str()
+	r.MACs = d.i64()
+	r.PaddedMACs = d.i64()
+	r.ComputeCycles = d.i64()
+	r.Cycles = d.f64()
+	r.BottleneckLevel = d.str()
+	r.Utilization = d.f64()
+	r.MACsPerCycle = d.f64()
+	if n := d.sliceLen(d.u32(), 4+1+2*8+8*8); n > 0 {
+		r.Usage = make([]model.Usage, 0, n)
+		for i := 0; i < n; i++ {
+			u := model.Usage{}
+			u.Level = d.str()
+			u.LevelIndex = int(d.i64())
+			u.Tensor = workload.Tensor(d.byte())
+			u.TileElems = d.i64()
+			u.Instances = d.i64()
+			u.Fills = d.f64()
+			u.FillsDistinct = d.f64()
+			u.Reads = d.f64()
+			u.Writes = d.f64()
+			u.Updates = d.f64()
+			u.Arrivals = d.f64()
+			u.Drains = d.f64()
+			u.DrainsMerged = d.f64()
+			r.Usage = append(r.Usage, u)
+		}
+	}
+	if n := d.sliceLen(d.u32(), 5*4+2*8); n > 0 {
+		r.Energy = make([]model.EnergyItem, 0, n)
+		for i := 0; i < n; i++ {
+			en := model.EnergyItem{}
+			en.Level = d.str()
+			en.Component = d.str()
+			en.Class = d.str()
+			en.Action = d.str()
+			en.Tensor = d.str()
+			en.Count = d.f64()
+			en.TotalPJ = d.f64()
+			r.Energy = append(r.Energy, en)
+		}
+	}
+	r.TotalPJ = d.f64()
+	r.AreaUM2 = d.f64()
+	return r
+}

@@ -1,0 +1,239 @@
+// Package store is the durable tier of the search cache: a
+// content-addressed, append-only on-disk result store keyed by the
+// mapper's (architecture, layer shape, options) fingerprints. It
+// implements mapper.Persister, so a mapper.Cache backed by a Store serves
+// every search any prior process completed — restarts, resumed jobs and
+// repeated queries warm-start instead of recomputing.
+//
+// Layout: one log file (photoloop-store.log) of checksummed records. Each
+// record frames a key (three fingerprints) and a versioned binary payload
+// (EncodeBest) behind a CRC32; writes append under a lock and records are
+// never rewritten. On Open the log is scanned into an in-memory offset
+// index; the first framing or checksum violation truncates the log at the
+// last intact record (a torn tail from a crash costs the torn records
+// only — they are recomputed on demand). A log whose header is not ours
+// is an error, never overwritten: pointing the store at the wrong
+// directory must not destroy foreign data.
+//
+// Integrity over availability: a record that cannot prove itself (bad
+// CRC, bad frame, bad codec version) is a miss and the search recomputes
+// — corruption can cost time, never correctness.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"photoloop/internal/mapper"
+)
+
+// logName is the store's log file inside the store directory.
+const logName = "photoloop-store.log"
+
+// logMagic opens the log file; a file that exists but does not start with
+// it is not ours and Open refuses to touch it.
+var logMagic = []byte("PHOTOLOOPSTORE1\n")
+
+// recordHeaderLen frames each record: 3 key fingerprints, payload length,
+// CRC32 over key+payload.
+const recordHeaderLen = 3*8 + 4 + 4
+
+// maxPayloadLen bounds one record's payload — far above any real best
+// (a few KB), low enough that a corrupted length cannot drive a huge
+// read.
+const maxPayloadLen = 64 << 20
+
+// Store is the on-disk result store. It is safe for concurrent use and
+// implements mapper.Persister.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	index map[mapper.Key]recordRef
+	size  int64 // current log length (next append offset)
+
+	recovered int64 // bytes truncated on Open (0 for a clean log)
+	loadFails int64 // records that failed to decode on Load
+}
+
+// recordRef locates one record's payload in the log.
+type recordRef struct {
+	off int64
+	len int32
+}
+
+// Open opens (creating if needed) the store under dir. The directory is
+// created if missing. A pre-existing log is scanned and verified; a
+// corrupted tail is truncated away (see Recovered), while a file that is
+// not a photoloop store at all is an error.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, logName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{f: f, index: make(map[mapper.Key]recordRef)}
+	if err := s.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// scan builds the index from the log, verifying every frame and checksum,
+// and truncates the log at the first violation.
+func (s *Store) scan() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if info.Size() == 0 {
+		if _, err := s.f.Write(logMagic); err != nil {
+			return fmt.Errorf("store: writing log header: %w", err)
+		}
+		s.size = int64(len(logMagic))
+		return nil
+	}
+	header := make([]byte, len(logMagic))
+	if _, err := io.ReadFull(s.f, header); err != nil || string(header) != string(logMagic) {
+		return fmt.Errorf("store: %s is not a photoloop result store (refusing to overwrite)", s.f.Name())
+	}
+	off := int64(len(logMagic))
+	hdr := make([]byte, recordHeaderLen)
+	var payload []byte
+	good := off
+	for {
+		if _, err := io.ReadFull(s.f, hdr); err != nil {
+			break // clean EOF or torn header: truncate here
+		}
+		key := mapper.Key{
+			Arch:  binary.LittleEndian.Uint64(hdr[0:]),
+			Layer: binary.LittleEndian.Uint64(hdr[8:]),
+			Opts:  binary.LittleEndian.Uint64(hdr[16:]),
+		}
+		plen := binary.LittleEndian.Uint32(hdr[24:])
+		want := binary.LittleEndian.Uint32(hdr[28:])
+		if plen > maxPayloadLen {
+			break
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(s.f, payload); err != nil {
+			break
+		}
+		if recordCRC(hdr[:28], payload) != want {
+			break
+		}
+		off += recordHeaderLen + int64(plen)
+		// Later records win: an append-only log may carry several writes
+		// of one key (two processes racing); all are intact, any serves.
+		s.index[key] = recordRef{off: off - int64(plen), len: int32(plen)}
+		good = off
+	}
+	if good < info.Size() {
+		s.recovered = info.Size() - good
+		if err := s.f.Truncate(good); err != nil {
+			return fmt.Errorf("store: truncating corrupted tail: %w", err)
+		}
+	}
+	s.size = good
+	return nil
+}
+
+// recordCRC checksums a record: the header's key+length bytes plus the
+// payload, so a frame whose length or key was torn fails like a torn
+// payload.
+func recordCRC(keyAndLen, payload []byte) uint32 {
+	crc := crc32.ChecksumIEEE(keyAndLen)
+	return crc32.Update(crc, crc32.IEEETable, payload)
+}
+
+// Close closes the log file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// Len returns the number of distinct keys in the store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Recovered returns how many corrupted bytes Open truncated from the log
+// tail (0 for a clean log).
+func (s *Store) Recovered() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// Load implements mapper.Persister: it returns the stored best for the
+// key, or false. A record that fails to decode (impossible after a clean
+// scan unless the file was modified underneath us) is a miss.
+func (s *Store) Load(k mapper.Key) (*mapper.Best, bool) {
+	s.mu.Lock()
+	ref, ok := s.index[k]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	payload := make([]byte, ref.len)
+	if _, err := s.f.ReadAt(payload, ref.off); err != nil {
+		s.noteLoadFail()
+		return nil, false
+	}
+	b, err := DecodeBest(payload)
+	if err != nil {
+		s.noteLoadFail()
+		return nil, false
+	}
+	return b, true
+}
+
+func (s *Store) noteLoadFail() {
+	s.mu.Lock()
+	s.loadFails++
+	s.mu.Unlock()
+}
+
+// Store implements mapper.Persister: it appends the best under the key.
+// A key already present is left alone (the store is content addressed —
+// equal keys mean bit-identical results, so the first write is as good as
+// any).
+func (s *Store) Store(k mapper.Key, b *mapper.Best) error {
+	payload := EncodeBest(b)
+	if len(payload) > maxPayloadLen {
+		return fmt.Errorf("store: record payload %d bytes exceeds cap", len(payload))
+	}
+	rec := make([]byte, recordHeaderLen, recordHeaderLen+len(payload))
+	binary.LittleEndian.PutUint64(rec[0:], k.Arch)
+	binary.LittleEndian.PutUint64(rec[8:], k.Layer)
+	binary.LittleEndian.PutUint64(rec[16:], k.Opts)
+	binary.LittleEndian.PutUint32(rec[24:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[28:], recordCRC(rec[:28], payload))
+	rec = append(rec, payload...)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[k]; ok {
+		return nil
+	}
+	if _, err := s.f.WriteAt(rec, s.size); err != nil {
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	s.index[k] = recordRef{off: s.size + recordHeaderLen, len: int32(len(payload))}
+	s.size += int64(len(rec))
+	return nil
+}

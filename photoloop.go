@@ -36,11 +36,13 @@ import (
 	"photoloop/internal/components"
 	"photoloop/internal/exp"
 	"photoloop/internal/explore"
+	"photoloop/internal/jobs"
 	"photoloop/internal/mapper"
 	"photoloop/internal/mapping"
 	"photoloop/internal/model"
 	"photoloop/internal/presets"
 	"photoloop/internal/spec"
+	"photoloop/internal/store"
 	"photoloop/internal/sweep"
 	"photoloop/internal/workload"
 )
@@ -437,6 +439,41 @@ func NewSweepServer() *SweepServer {
 	explore.Attach(s)
 	return s
 }
+
+// Durable job types: sweeps and explorations run as resumable jobs over
+// a persistent, content-addressed result store. Every completed layer
+// search is checkpointed to disk as it finishes, so an interrupted job
+// resumes to a byte-identical result and re-running a finished job
+// recomputes nothing. `photoloop jobs` and POST /v1/jobs run the same
+// engine (see docs/SERVICE.md).
+type (
+	// JobSpec is a job document: exactly one of Sweep or Explore.
+	JobSpec = jobs.Spec
+	// JobStatus is a job's current state, progress and per-tier search
+	// traffic.
+	JobStatus = jobs.Status
+	// JobManager owns a store directory: the shared result store plus
+	// the job records under it.
+	JobManager = jobs.Manager
+	// ResultStore is the content-addressed, append-only on-disk search
+	// result store (the durable tier behind a SearchCache).
+	ResultStore = store.Store
+	// SearchTierStats breaks a SearchCache's traffic down by tier
+	// (memory hits, disk hits, computed misses).
+	SearchTierStats = mapper.TierStats
+)
+
+// OpenJobManager opens (creating if needed) a store directory for
+// submitting and running durable jobs.
+func OpenJobManager(dir string) (*JobManager, error) { return jobs.Open(dir) }
+
+// OpenResultStore opens (creating if needed) a result store, for wiring
+// persistence directly into a SearchCache via SetPersister.
+func OpenResultStore(dir string) (*ResultStore, error) { return store.Open(dir) }
+
+// AttachJobs mounts the async job API (POST /v1/jobs and friends) on a
+// sweep server, backed by the manager's store directory.
+func AttachJobs(s *SweepServer, m *JobManager) { jobs.Attach(s, m) }
 
 // Design-space explorer types: a multi-objective Pareto-frontier search
 // over the sweep axes plus ranges, behind two strategies (exhaustive grid
