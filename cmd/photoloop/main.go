@@ -12,7 +12,8 @@
 //	photoloop study [-presets all] [-workloads all] [-objectives energy] [-format table|markdown|json|csv] ...
 //	photoloop jobs submit -store DIR (-sweep s.json | -explore e.json) ...
 //	photoloop jobs (resume|status|result) -store DIR [-id ID] ...
-//	photoloop serve [-addr :8080] [-workers N] [-store DIR]
+//	photoloop serve [-addr :8080] [-workers N] [-store DIR] [-shard]
+//	photoloop worker -coordinator URL -store DIR [-job ID]
 //	photoloop bench [-json] [-out BENCH.json] [-compare prior.json]
 //	photoloop template          # print an example architecture spec
 //	photoloop networks          # list built-in workloads
@@ -39,6 +40,7 @@ import (
 	"photoloop/internal/explore"
 	"photoloop/internal/jobs"
 	"photoloop/internal/presets"
+	"photoloop/internal/shard"
 	"photoloop/internal/spec"
 	"photoloop/internal/sweep"
 	"photoloop/internal/workload"
@@ -70,6 +72,8 @@ func run(args []string) int {
 		err = cmdJobs(args[1:])
 	case "serve":
 		err = cmdServe(args[1:])
+	case "worker":
+		err = cmdWorker(args[1:])
 	case "bench":
 		err = cmdBench(args[1:])
 	case "template":
@@ -149,19 +153,34 @@ func usage(w io.Writer) {
       job to completion; resume re-runs an interrupted or failed job to a
       byte-identical result. See docs/SERVICE.md.
   photoloop serve [-addr :8080] [-workers N] [-store DIR] [-debug]
+                  [-shard] [-shard-local=true] [-shard-ttl 10s]
       Serve the model over HTTP: POST /v1/eval, POST /v1/sweep,
       POST /v1/explore, POST /v1/study, GET /v1/networks,
       GET /v1/presets. With -store, searches persist to the DIR result
       store across restarts and the async job API is mounted:
       POST /v1/jobs, GET /v1/jobs[/{id}[/result|/stream]]. -debug
       additionally mounts net/http/pprof under /debug/pprof/ for live
-      profiling.
+      profiling. With -shard (requires -store), submitted jobs are fanned
+      out across attached 'photoloop worker' processes through range
+      leases; -shard-local=false leaves all evaluation to workers, and
+      GET /v1/jobs/{id}/shards reports lease progress.
+  photoloop worker -coordinator URL -store DIR [-job ID] [-poll D]
+                   [-search-workers N] [-max-leases N] [-quiet]
+      Join a serve -shard process as one worker: lease task ranges, warm
+      the shared store DIR (which must be the same directory the serve
+      process opened — each worker appends its own segment), and report
+      completion. Killing a worker is always safe: finished searches are
+      already in the store and its range is reassigned after the lease
+      TTL. See docs/SERVICE.md.
   photoloop bench [-json] [-out BENCH.json] [-compare prior.json] [-label name]
+                  [-scaling]
       Run the performance microbenchmarks (Evaluate, LowerBound,
       MapperSearch, Fig4, Fig5) plus mapper pruning statistics, and emit
       them as a table or a bench JSON document. -compare embeds a prior
       document as the baseline and reports speedups — the repo's committed
-      BENCH_*.json trajectory artifacts are produced this way.
+      BENCH_*.json trajectory artifacts are produced this way. -scaling
+      additionally runs the same sweep job with 1, 2 and 4 sharded workers
+      on a cold store and records wall time plus work conservation.
   photoloop template    print an example architecture spec
   photoloop networks    list built-in workloads
   photoloop presets     list the architecture preset library
@@ -228,7 +247,7 @@ func cmdEval(args []string) error {
 	layerName := fs.String("layer", "", "evaluate only this layer")
 	mappingPath := fs.String("mapping", "", "mapping spec JSON (default: search)")
 	batch := fs.Int("batch", 1, "batch size")
-	budget := fs.Int("budget", 2000, "mapper budget per layer")
+	budget := fs.Int("budget", 1000, "mapper budget per layer")
 	objective := fs.String("objective", "energy", "energy, delay or edp")
 	seed := fs.Int64("seed", 1, "mapper seed")
 	searchWorkers := fs.Int("search-workers", 0, "per-layer search parallelism; match a study's -search-workers for bit-identical rows (0 = mapper default)")
@@ -573,8 +592,14 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", 0, "per-sweep point pool size (default GOMAXPROCS)")
 	storeDir := fs.String("store", "", "persist searches to this result store directory and mount the async job API")
 	debugFlag := fs.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+	shardFlag := fs.Bool("shard", false, "with -store: fan jobs out across attached 'photoloop worker' processes")
+	shardLocal := fs.Bool("shard-local", true, "with -shard: this process also works leases (false leaves all evaluation to workers)")
+	shardTTL := fs.Duration("shard-ttl", shard.DefaultLeaseTTL, "with -shard: lease heartbeat deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shardFlag && *storeDir == "" {
+		return fmt.Errorf("serve: -shard requires -store (workers share the store directory)")
 	}
 	srv := sweep.NewServer()
 	srv.Workers = *workers
@@ -587,6 +612,14 @@ func cmdServe(args []string) error {
 		}
 		defer m.Close()
 		m.Workers = *workers
+		if *shardFlag {
+			c := shard.NewCoordinator()
+			c.LeaseTTL = *shardTTL
+			m.Shard = c
+			m.ShardLocal = *shardLocal
+			fmt.Fprintf(os.Stderr, "photoloop: shard coordinator on (lease ttl %s, local worker %v)\n",
+				c.LeaseTTL, *shardLocal)
+		}
 		// Synchronous requests share the persistence: their searches are
 		// written through to the same store the jobs resume from.
 		srv.SearchCache().SetPersister(m.Store())

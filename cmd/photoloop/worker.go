@@ -1,0 +1,60 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"photoloop/internal/shard"
+	"photoloop/internal/store"
+)
+
+// cmdWorker joins a serve process's shard coordinator as one worker: it
+// leases task ranges over HTTP, evaluates them into its own segment of
+// the shared store directory, and reports completion. Interrupting the
+// worker (SIGINT/SIGTERM) is always safe — its finished searches are in
+// the store and its leased range is reassigned after the lease TTL.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	coord := fs.String("coordinator", "", "coordinator base URL — the serve -shard process (required)")
+	storeDir := fs.String("store", "", "shared result store directory; the same DIR the serve process opened (required)")
+	jobID := fs.String("job", "", "work only this job ID (default: any published job)")
+	searchWorkers := fs.Int("search-workers", 0, "per-search parallelism for specs that leave it unset")
+	poll := fs.Duration("poll", 200*time.Millisecond, "idle wait between lease attempts")
+	maxLeases := fs.Int("max-leases", 0, "exit after this many completed leases (0 = run until interrupted)")
+	quiet := fs.Bool("quiet", false, "suppress per-lease output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coord == "" || *storeDir == "" {
+		return fmt.Errorf("worker requires -coordinator and -store")
+	}
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := shard.WorkerOptions{
+		Job:           *jobID,
+		SearchWorkers: *searchWorkers,
+		Poll:          *poll,
+		MaxLeases:     *maxLeases,
+	}
+	if !*quiet {
+		opts.OnLease = func(l *shard.Lease) {
+			fmt.Fprintf(os.Stderr, "worker: leased %s: job %s gen %d (%d tasks)\n",
+				l.ID, l.Job, l.Gen, len(l.Tasks))
+		}
+		fmt.Fprintf(os.Stderr, "worker: store %s (%s), coordinator %s\n",
+			*storeDir, st.SegmentName(), *coord)
+	}
+	return shard.Work(ctx, &shard.Client{Base: *coord}, st, opts)
+}

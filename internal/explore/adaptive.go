@@ -177,6 +177,15 @@ func runAdaptive(sp *Spec, s *space, opts Options) (*Frontier, error) {
 		if len(batch) == 0 {
 			break // space exhausted below budget
 		}
+		if opts.PreEvaluate != nil {
+			lattice := make([]int64, len(batch))
+			for k := range batch {
+				lattice[k] = batch[k].lattice
+			}
+			if err := opts.PreEvaluate(lattice); err != nil {
+				return finish(err)
+			}
+		}
 		points, err := evaluateBatch(ctx, ev, batch, evals, workers, report)
 		if err != nil {
 			return finish(err)

@@ -291,6 +291,16 @@ type Options struct {
 	// (completion order). Calls are serialized with Progress. The frontier
 	// returned at the end is unaffected.
 	OnPoint func(*sweep.Point)
+	// PreEvaluate, when set, is called with each candidate batch's lattice
+	// indices before the batch is evaluated — the whole lattice once for
+	// the grid strategy, one generation at a time for the adaptive one.
+	// Sharded jobs hook it to farm the batch's searches out to worker
+	// processes and refresh the shared cache, after which the local
+	// evaluation finds everything warm; because the hook runs between
+	// generations it cannot change which candidates are proposed, so the
+	// frontier stays a function of (Spec, Seed) alone. An error aborts
+	// the run with the partial-frontier contract.
+	PreEvaluate func(lattice []int64) error
 }
 
 // defaultBudget caps adaptive evaluations when the spec names none.
@@ -419,6 +429,15 @@ func objsOf(objectives []string, p *sweep.Point) []float64 {
 // the failed points counted as Infeasible — the same partial-result
 // contract the adaptive strategy keeps.
 func runGrid(sp *Spec, s *space, opts Options) (*Frontier, error) {
+	if opts.PreEvaluate != nil {
+		lattice := make([]int64, s.size)
+		for i := range lattice {
+			lattice[i] = int64(i)
+		}
+		if err := opts.PreEvaluate(lattice); err != nil {
+			return nil, err
+		}
+	}
 	res, err := sweep.Run(sp.sweepSpec(s, true), sweep.Options{
 		Workers:  opts.Workers,
 		Context:  opts.Context,

@@ -1,0 +1,54 @@
+package explore
+
+import (
+	"fmt"
+
+	"photoloop/internal/sweep"
+)
+
+// LatticeEvaluator evaluates individual lattice points of an exploration
+// Spec on demand: the task-execution hook sharded workers run explore
+// generations through. A lattice index is the mixed-radix encoding of a
+// choice vector, first axis most significant — exactly the indices the
+// adaptive strategy proposes and Options.PreEvaluate exposes — and each
+// Eval reproduces the same point a local run would evaluate, through the
+// same sweep evaluator and shared mapper.Cache (so every search it
+// computes lands in the cache's persister, which is the whole reason a
+// worker calls it). Safe for concurrent use.
+type LatticeEvaluator struct {
+	ev *sweep.Evaluator
+	s  *space
+}
+
+// NewLatticeEvaluator canonicalizes the spec (the same withDefaults a Run
+// applies) and prepares its space and evaluator. Options contributes only
+// the Cache; concurrency is the caller's.
+func NewLatticeEvaluator(sp Spec, opts Options) (*LatticeEvaluator, error) {
+	sp, err := sp.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s, err := resolveSpace(sp.Axes)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := sweep.NewEvaluator(sp.sweepSpec(s, false), sweep.Options{Cache: opts.Cache})
+	if err != nil {
+		return nil, err
+	}
+	return &LatticeEvaluator{ev: ev, s: s}, nil
+}
+
+// Size is the lattice's point count.
+func (e *LatticeEvaluator) Size() int64 { return e.s.size }
+
+// Eval evaluates one lattice point. Infeasible points come back with
+// Point.Err set, as in a Run; an error return is spec-level (the lattice
+// index out of range, a bad axis application) and poisons the whole
+// task range.
+func (e *LatticeEvaluator) Eval(lattice int64) (*sweep.Point, error) {
+	if lattice < 0 || lattice >= e.s.size {
+		return nil, fmt.Errorf("explore: lattice index %d out of range [0, %d)", lattice, e.s.size)
+	}
+	return e.ev.Eval(int(lattice), e.s.valuesAt(lattice), 0, 0)
+}

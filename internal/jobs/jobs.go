@@ -14,11 +14,16 @@
 //
 // Layout under the store directory:
 //
-//	photoloop-store.log          the shared result store (package store)
+//	photoloop-store.log          the shared result store (package store;
+//	photoloop-store.NNN.log      one segment per concurrent writer)
 //	jobs/<id>/spec.json          the submitted spec
 //	jobs/<id>/state.json         live status (atomically replaced)
 //	jobs/<id>/points.ndjson      one JSON point per line, completion order
 //	jobs/<id>/result.json        final artifact (atomically written)
+//
+// A Manager with a Shard coordinator additionally fans each run's task
+// grid out to worker processes (package shard) that warm the same store;
+// see run.go and shard.go in this package.
 //
 // `photoloop jobs` drives a Manager from the command line and Attach
 // serves the same engine over HTTP (POST /v1/jobs and friends).
@@ -35,6 +40,7 @@ import (
 
 	"photoloop/internal/explore"
 	"photoloop/internal/mapper"
+	"photoloop/internal/shard"
 	"photoloop/internal/store"
 	"photoloop/internal/sweep"
 )
@@ -86,6 +92,10 @@ type Status struct {
 	// cache tier. A re-run of a finished job against a warm store shows
 	// Misses == 0: every search was served, none recomputed.
 	Store *mapper.TierStats `json:"store,omitempty"`
+	// Shards reports a sharded run's lease progress (only for jobs run
+	// with a coordinator); the last generation's counts persist after
+	// the run.
+	Shards *shard.Progress `json:"shards,omitempty"`
 }
 
 // Manager owns one store directory: the shared result store plus the job
@@ -96,6 +106,16 @@ type Manager struct {
 	store *store.Store
 	// Workers caps each job's point-level pool (0 = engine default).
 	Workers int
+	// Shard, when set, fans shardable jobs out across worker processes
+	// through a range-lease coordinator: workers warm the shared store,
+	// and the artifact is then assembled by the unchanged local path
+	// (see run.go). Warm-start sweeps cannot shard and run locally.
+	Shard *shard.Coordinator
+	// ShardLocal makes the coordinating process work its own leases (an
+	// in-process worker loop), so a sharded job completes even when no
+	// worker process ever attaches. Open sets it; tests and benchmarks
+	// clear it to measure pure remote execution.
+	ShardLocal bool
 	// Progress, when set, mirrors each running job's progress reports
 	// (done, total) — the CLI renders them; calls are serialized per job.
 	Progress func(done, total int)
@@ -114,7 +134,7 @@ func Open(dir string) (*Manager, error) {
 		st.Close()
 		return nil, fmt.Errorf("jobs: %w", err)
 	}
-	return &Manager{dir: dir, store: st, running: make(map[string]chan struct{})}, nil
+	return &Manager{dir: dir, store: st, ShardLocal: true, running: make(map[string]chan struct{})}, nil
 }
 
 // Close closes the underlying store. Jobs still running keep evaluating

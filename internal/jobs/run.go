@@ -10,6 +10,7 @@ import (
 
 	"photoloop/internal/explore"
 	"photoloop/internal/mapper"
+	"photoloop/internal/shard"
 	"photoloop/internal/sweep"
 )
 
@@ -72,7 +73,7 @@ func (m *Manager) Run(ctx context.Context, id string) (*Status, error) {
 		st.Resumes++
 	}
 	st.State = StateRunning
-	st.Done, st.Total, st.Error, st.Store = 0, 0, "", nil
+	st.Done, st.Total, st.Error, st.Store, st.Shards = 0, 0, "", nil, nil
 	if err := m.writeState(st); err != nil {
 		return nil, err
 	}
@@ -122,6 +123,25 @@ func (m *Manager) Run(ctx context.Context, id string) (*Status, error) {
 	var artifact bytes.Buffer
 	switch {
 	case sp.Sweep != nil:
+		// Sharded sweeps farm the whole grid out as generation 0, then
+		// fall through to the unchanged local run, which finds every
+		// search warm in the refreshed store and assembles the artifact
+		// with zero recomputation — byte-identical by construction. A
+		// sweep that cannot be planned (warm start chains searches across
+		// points) skips sharding and just runs locally.
+		if m.Shard != nil {
+			if plan, perr := shard.PlanSweep(sp.Sweep); perr == nil {
+				sr, serr := m.startShard(ctx, st, shard.KindSweep, sp.Sweep)
+				if serr != nil {
+					return fail(serr)
+				}
+				serr = sr.offer(taskIndices(plan.NumPoints()))
+				sr.close()
+				if serr != nil {
+					return fail(serr)
+				}
+			}
+		}
 		res, runErr := sweep.Run(*sp.Sweep, sweep.Options{
 			Workers: m.Workers, Context: ctx, Cache: cache,
 			OnPoint: onPoint, Progress: progress,
@@ -134,10 +154,23 @@ func (m *Manager) Run(ctx context.Context, id string) (*Status, error) {
 			return fail(fmt.Errorf("jobs: encoding result: %w", err))
 		}
 	case sp.Explore != nil:
-		f, runErr := explore.Run(*sp.Explore, explore.Options{
+		eopts := explore.Options{
 			Workers: m.Workers, Context: ctx, Cache: cache,
 			OnPoint: onPoint, Progress: progress,
-		})
+		}
+		// Sharded explorations hook PreEvaluate: each candidate batch is
+		// offered as a generation and evaluated by workers before the
+		// local run scores it from the warm store. The hook runs between
+		// generations, so the frontier stays a function of (Spec, Seed).
+		if m.Shard != nil {
+			sr, serr := m.startShard(ctx, st, shard.KindExplore, sp.Explore)
+			if serr != nil {
+				return fail(serr)
+			}
+			defer sr.close()
+			eopts.PreEvaluate = sr.offer
+		}
+		f, runErr := explore.Run(*sp.Explore, eopts)
 		if runErr != nil {
 			return fail(runErr)
 		}

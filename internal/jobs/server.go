@@ -11,6 +11,7 @@ import (
 	"os"
 	"time"
 
+	"photoloop/internal/shard"
 	"photoloop/internal/sweep"
 )
 
@@ -36,6 +37,12 @@ const streamPollInterval = 100 * time.Millisecond
 // oversubscribe the machine together. Submission is idempotent: posting a
 // spec already known (same content address) reports the existing job.
 func Attach(s *sweep.Server, m *Manager) {
+	// A sharding manager also speaks the worker protocol: lease,
+	// heartbeat, complete, fail, and per-job shard progress (package
+	// shard documents the endpoints). Jobs clients are unaffected.
+	if m.Shard != nil {
+		shard.AttachHTTP(s.Mount, m.Shard)
+	}
 	s.Mount("POST /v1/jobs", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		handleSubmit(s, m, w, r)
 	}))

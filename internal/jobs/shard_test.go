@@ -1,0 +1,170 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"photoloop/internal/explore"
+	"photoloop/internal/shard"
+	"photoloop/internal/store"
+)
+
+// runJob submits and runs a spec to completion, returning the status and
+// the result artifact bytes.
+func runJob(t *testing.T, m *Manager, sp Spec) (*Status, []byte) {
+	t.Helper()
+	st, err := m.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = m.Run(context.Background(), st.ID)
+	if err != nil {
+		t.Fatalf("run: %v (state %+v)", err, st)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	buf, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, buf
+}
+
+// adaptiveExploreJob exercises the multi-generation PreEvaluate path: the
+// adaptive strategy offers one shard generation per candidate batch.
+func adaptiveExploreJob() Spec {
+	sp := exploreJob()
+	sp.Explore.Name = "job-explore-adaptive"
+	sp.Explore.Strategy = explore.StrategyAdaptive
+	sp.Explore.Budget = 6
+	return sp
+}
+
+// TestShardedRunsByteIdentical pins the tentpole invariant: a job run
+// through the coordinator (local worker loop warming the store, artifact
+// assembled from it) produces the same bytes as the plain single-process
+// path, for sweeps and for both explore strategies.
+func TestShardedRunsByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"sweep", sweepJob()},
+		{"explore-grid", exploreJob()},
+		{"explore-adaptive", adaptiveExploreJob()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plain := openManager(t, t.TempDir())
+			_, want := runJob(t, plain, tc.spec)
+
+			m := openManager(t, t.TempDir())
+			m.Shard = shard.NewCoordinator()
+			st, got := runJob(t, m, tc.spec)
+			if !bytes.Equal(got, want) {
+				t.Errorf("sharded artifact differs from single-process artifact:\n%s\n----\n%s", got, want)
+			}
+			if st.Shards == nil || st.Shards.Done != st.Shards.Ranges || st.Shards.Ranges == 0 {
+				t.Errorf("sharded run's shard progress = %+v", st.Shards)
+			}
+			// The assembly pass computes nothing even on a cold store:
+			// the worker loop's own cache did the computing, and the
+			// coordinator reads it all back as disk hits.
+			if st.Store == nil || st.Store.Misses != 0 || st.Store.DiskHits == 0 {
+				t.Errorf("sharded assembly should be pure store hits: %+v", st.Store)
+			}
+
+			// A warm re-run assembles everything from the store: zero
+			// searches, identical bytes.
+			st, err := m.Run(context.Background(), st.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Store == nil || st.Store.Misses != 0 {
+				t.Errorf("warm sharded re-run recomputed searches: %+v", st.Store)
+			}
+			rerun, err := m.Result(st.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rerun, want) {
+				t.Error("warm sharded re-run artifact differs")
+			}
+		})
+	}
+}
+
+// TestShardedRemoteWorkers runs a sharded sweep with the coordinating
+// process doing none of the evaluation, at 1, 2 and 4 workers: each
+// worker loop holds its own store handle on the same directory (its own
+// segment — the real multi-writer layout), and every worker count must
+// assemble the identical artifact from the merged segments.
+func TestShardedRemoteWorkers(t *testing.T) {
+	plain := openManager(t, t.TempDir())
+	_, want := runJob(t, plain, sweepJob())
+
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dir := t.TempDir()
+			m := openManager(t, dir)
+			m.Shard = shard.NewCoordinator()
+			m.ShardLocal = false
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			done := make(chan error, workers)
+			for i := 0; i < workers; i++ {
+				wst, err := store.Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer wst.Close()
+				go func() {
+					done <- shard.Work(ctx, m.Shard, wst, shard.WorkerOptions{})
+				}()
+			}
+
+			st, got := runJob(t, m, sweepJob())
+			cancel()
+			for i := 0; i < workers; i++ {
+				if err := <-done; err != nil {
+					t.Errorf("worker: %v", err)
+				}
+			}
+			if !bytes.Equal(got, want) {
+				t.Error("remote-worker artifact differs from single-process artifact")
+			}
+			// The coordinator itself computed nothing: its attempt was
+			// pure store hits on whatever the workers wrote.
+			if st.Store == nil || st.Store.Misses != 0 {
+				t.Errorf("coordinator recomputed searches: %+v", st.Store)
+			}
+			if seg := m.Store().Segments(); seg < 2 {
+				t.Errorf("store merged %d segments, want the workers' segments too", seg)
+			}
+		})
+	}
+}
+
+// TestShardedWarmStartSweepFallsBack pins the documented fallback: a
+// warm-start sweep cannot be partitioned, so a sharding manager runs it
+// on the local path — same bytes, no shard progress.
+func TestShardedWarmStartSweepFallsBack(t *testing.T) {
+	sp := sweepJob()
+	sp.Sweep.WarmStart = true
+
+	plain := openManager(t, t.TempDir())
+	_, want := runJob(t, plain, sp)
+
+	m := openManager(t, t.TempDir())
+	m.Shard = shard.NewCoordinator()
+	st, got := runJob(t, m, sp)
+	if !bytes.Equal(got, want) {
+		t.Error("warm-start fallback artifact differs")
+	}
+	if st.Shards != nil {
+		t.Errorf("warm-start sweep reported shard progress: %+v", st.Shards)
+	}
+}

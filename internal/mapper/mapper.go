@@ -75,7 +75,10 @@ func (o Objective) String() string {
 type Options struct {
 	// Objective is what to minimize (default MinEnergy).
 	Objective Objective
-	// Budget caps the number of candidate attempts (default 2000). It is
+	// Budget caps the number of candidate attempts (default 1000; see
+	// docs/PERFORMANCE.md for the calibration — cap-aware drawing made a
+	// budget unit buy ~2.4x more scored candidates, so 1000 today scores
+	// more real candidates than 2000 did when 2000 was chosen). It is
 	// split across Workers with the remainder distributed one-per-worker,
 	// so the configured budget is spendable exactly; a converging hill
 	// climb may stop early, so Evaluations <= Budget (+ warm starts).
@@ -135,7 +138,7 @@ type Options struct {
 func (o *Options) withDefaults() Options {
 	out := *o
 	if out.Budget <= 0 {
-		out.Budget = 2000
+		out.Budget = 1000
 	}
 	if out.Seed == 0 {
 		out.Seed = 1
@@ -847,25 +850,40 @@ func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, 
 		return res
 	}
 
+	// retainValidate marks the last scored candidate as still owing its
+	// full validation: the batched path defers m.Valid to retention time
+	// (the accept sites below), because Valid rejects almost nothing
+	// (~2 of 360 candidates on the seeded bench) yet walking every
+	// candidate through it cost ~11% of search. A candidate that is never
+	// retained never pays for validation; retainDelta remembers which
+	// stats bucket its evaluation was charged to so a retention-time
+	// rejection can recategorize it as Invalid, keeping the accounting
+	// identity (Pruned + DeltaEvals + FullEvals + Duplicates + Invalid ==
+	// charged attempts) intact.
+	var retainValidate, retainDelta bool
+
 	// try scores a mapping on the compiled fast path. Budget is consumed
 	// per charged attempt; schedules already fingerprinted return nil
 	// without re-evaluating (an already-seen schedule was scored, pruned,
 	// or failed deterministically, and can never beat the incumbent, so
-	// skipping it is behavior preserving). Mappings that fail full
-	// validation are not recorded: a malformed seed must not shadow a
-	// later well-formed schedule that happens to hash equal.
+	// skipping it is behavior preserving).
 	//
 	// The default path stages each candidate once (model.Compiled.Stage):
 	// one shared-prefix core resolution serves the admissible bound, and —
 	// only for candidates the bound cannot discard — the finishing passes
 	// (FinishStaged). Pruned candidates therefore cost a core resolution
 	// instead of a bound plus a full evaluation's worth of resolution, and
-	// they still advance the delta-evaluation chain. Pruning happens
-	// before full validation (the bound needs no validity), so a pruned
-	// invalid candidate lands in Pruned rather than Invalid; neither kind
-	// can become the incumbent, so Best is unaffected — only the stats
-	// split differs from the reference path.
+	// they still advance the delta-evaluation chain. Pruning needs no
+	// validity and full validation is deferred to retention (see
+	// retainValidate), so an invalid candidate lands in Pruned or the
+	// eval buckets unless it is retained; neither kind can become the
+	// incumbent — Best is unaffected, only the stats split differs from
+	// the reference path. Deferral also means an invalid schedule's
+	// fingerprint now enters seen (the reference path leaves it out); a
+	// later distinct schedule is shadowed only by a 64-bit fingerprint
+	// collision, which the dedup already accepts for valid schedules.
 	try := func(m *mapping.Mapping, charge, mustValidate bool, spatialKey int64) *model.Result {
+		retainValidate = false
 		if charge {
 			if evals >= budget {
 				return nil
@@ -933,10 +951,6 @@ func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, 
 			seen[fp] = struct{}{}
 			return nil
 		}
-		if doValidate && !m.Valid(a, l) {
-			st.Invalid++
-			return nil
-		}
 		seen[fp] = struct{}{}
 		if err := c.FinishStaged(scratch, res, evalOpts); err != nil {
 			prevEval = nil
@@ -944,16 +958,37 @@ func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, 
 		}
 		if shared > 0 {
 			st.DeltaEvals++
+			retainDelta = true
 		} else {
 			st.FullEvals++
+			retainDelta = false
 		}
+		retainValidate = doValidate
 		return res
+	}
+	// retain runs the deferred full validation on a candidate about to be
+	// accepted. A rejection recategorizes the candidate's charged
+	// evaluation as Invalid — it was scored, but it may not win.
+	retain := func(m *mapping.Mapping) bool {
+		if retainValidate {
+			retainValidate = false
+			if !m.Valid(a, l) {
+				if retainDelta {
+					st.DeltaEvals--
+				} else {
+					st.FullEvals--
+				}
+				st.Invalid++
+				return false
+			}
+		}
+		return true
 	}
 	consider := func(m *mapping.Mapping, r *model.Result) {
 		if r == nil {
 			return
 		}
-		if best == nil || betterEval(o.Objective, r, m, best) {
+		if (best == nil || betterEval(o.Objective, r, m, best)) && retain(m) {
 			best = &Best{Mapping: m.Clone(), Result: r.Clone()}
 			cutoff = best.Result
 		}
@@ -1087,7 +1122,7 @@ func (s *Session) searchWorker(c *model.Compiled, l *workload.Layer, o Options, 
 			if r == nil {
 				continue
 			}
-			if betterEval(o.Objective, r, nb, cur) {
+			if betterEval(o.Objective, r, nb, cur) && retain(nb) {
 				cur = &Best{Mapping: nb.Clone(), Result: r.Clone()}
 				cutoff = cur.Result
 				improved = true

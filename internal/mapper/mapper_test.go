@@ -217,7 +217,7 @@ func TestOptionsEvalForwarded(t *testing.T) {
 	if !d.Eval.ChargeStatic {
 		t.Error("withDefaults clobbered Eval.ChargeStatic")
 	}
-	if d.Budget != 2000 || d.Seed != 1 || d.Workers < 1 {
+	if d.Budget != 1000 || d.Seed != 1 || d.Workers < 1 {
 		t.Errorf("defaults wrong: %+v", d)
 	}
 }

@@ -1,0 +1,177 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// AttachHTTP mounts the coordinator's worker-facing endpoints through the
+// given mount function (a sweep.Server's Mount, in the serve command):
+//
+//	POST /v1/jobs/lease                               lease a range of any job (204: none)
+//	POST /v1/jobs/{id}/lease                          lease a range of one job
+//	POST /v1/jobs/{id}/lease/{lease}/heartbeat        keep a lease alive (409: lease lost)
+//	POST /v1/jobs/{id}/lease/{lease}/complete         mark a range done
+//	POST /v1/jobs/{id}/lease/{lease}/fail             hand a range back (body: {"error": ...})
+//	GET  /v1/jobs/{id}/shards                         sharding progress
+//
+// Clients keep using POST /v1/jobs unchanged; these endpoints are the
+// worker side of the protocol, and Client implements Coord over them.
+func AttachHTTP(mount func(pattern string, h http.Handler), c *Coordinator) {
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(v)
+	}
+	fail := func(w http.ResponseWriter, code int, err error) {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+	lease := func(w http.ResponseWriter, job string) {
+		l, err := c.Lease(job)
+		if err != nil {
+			fail(w, http.StatusNotFound, err)
+			return
+		}
+		if l == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, l)
+	}
+	mount("POST /v1/jobs/lease", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lease(w, "")
+	}))
+	mount("POST /v1/jobs/{id}/lease", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lease(w, r.PathValue("id"))
+	}))
+	mount("POST /v1/jobs/{id}/lease/{lease}/heartbeat", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := c.Heartbeat(r.PathValue("id"), r.PathValue("lease")); err != nil {
+			fail(w, http.StatusConflict, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	mount("POST /v1/jobs/{id}/lease/{lease}/complete", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := c.Complete(r.PathValue("id"), r.PathValue("lease")); err != nil {
+			fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	mount("POST /v1/jobs/{id}/lease/{lease}/fail", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body)
+		if err := c.Fail(r.PathValue("id"), r.PathValue("lease"), body.Error); err != nil {
+			fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	mount("GET /v1/jobs/{id}/shards", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p, ok := c.Progress(r.PathValue("id"))
+		if !ok {
+			fail(w, http.StatusNotFound, fmt.Errorf("shard: job %s not published", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, p)
+	}))
+}
+
+// Client is the HTTP side of Coord: what `photoloop worker -coordinator
+// URL` talks through. The zero HTTP client is usable; Base is the serve
+// address ("http://host:port").
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+func (cl *Client) client() *http.Client {
+	if cl.HTTP != nil {
+		return cl.HTTP
+	}
+	return http.DefaultClient
+}
+
+// post issues one coordinator call, decoding a JSON body into out when
+// the response carries one.
+func (cl *Client) post(path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(http.MethodPost, strings.TrimSuffix(cl.Base, "/")+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := cl.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e)
+		if e.Error == "" {
+			e.Error = resp.Status
+		}
+		return resp.StatusCode, fmt.Errorf("shard: %s: %s", path, e.Error)
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("shard: decoding %s response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Lease implements Coord: a 204 (no work available) returns (nil, nil),
+// and the worker polls.
+func (cl *Client) Lease(job string) (*Lease, error) {
+	path := "/v1/jobs/lease"
+	if job != "" {
+		path = "/v1/jobs/" + job + "/lease"
+	}
+	var l Lease
+	code, err := cl.post(path, nil, &l)
+	if err != nil {
+		return nil, err
+	}
+	if code == http.StatusNoContent {
+		return nil, nil
+	}
+	return &l, nil
+}
+
+// Heartbeat implements Coord. A 409 means the lease was reassigned — the
+// error makes the worker abandon the range.
+func (cl *Client) Heartbeat(job, lease string) error {
+	_, err := cl.post("/v1/jobs/"+job+"/lease/"+lease+"/heartbeat", nil, nil)
+	return err
+}
+
+// Complete implements Coord.
+func (cl *Client) Complete(job, lease string) error {
+	_, err := cl.post("/v1/jobs/"+job+"/lease/"+lease+"/complete", nil, nil)
+	return err
+}
+
+// Fail implements Coord.
+func (cl *Client) Fail(job, lease, msg string) error {
+	_, err := cl.post("/v1/jobs/"+job+"/lease/"+lease+"/fail", map[string]string{"error": msg}, nil)
+	return err
+}

@@ -1,0 +1,277 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"photoloop/internal/explore"
+	"photoloop/internal/mapper"
+	"photoloop/internal/store"
+	"photoloop/internal/sweep"
+)
+
+// Coord is what a worker needs from a coordinator. The Coordinator
+// implements it directly (in-process workers: the coordinating process
+// participating in its own job, tests), and Client implements it over
+// the serve API (remote worker processes).
+type Coord interface {
+	Lease(job string) (*Lease, error)
+	Heartbeat(job, lease string) error
+	Complete(job, lease string) error
+	Fail(job, lease, msg string) error
+}
+
+// WorkerOptions tunes a Work loop.
+type WorkerOptions struct {
+	// Job restricts the worker to one job id ("" = any published job).
+	Job string
+	// SearchWorkers caps per-search parallelism (0 = mapper default).
+	// Leases carry the spec, whose own SearchWorkers — part of the cache
+	// key — always wins; this only covers specs that left it unset.
+	SearchWorkers int
+	// Poll is the idle wait between lease attempts when the coordinator
+	// has nothing (default 200ms).
+	Poll time.Duration
+	// MaxLeases stops the loop after that many completed leases (0 =
+	// run until the context ends). Tests use it; production workers run
+	// unbounded.
+	MaxLeases int
+	// OnLease, when set, observes each acquired lease (diagnostics).
+	OnLease func(*Lease)
+}
+
+// pointDelayEnv mirrors the jobs runner's test hook: a per-task sleep
+// that widens crash windows so tests can SIGKILL a worker mid-lease
+// deterministically.
+const pointDelayEnv = "PHOTOLOOP_JOB_POINT_DELAY"
+
+// Work runs a worker loop: lease a task range, refresh the store, warm it
+// with the range's searches, report completion; repeat until the context
+// ends (which is the normal way to stop a worker — a clean return, not an
+// error). The store handle is the worker's own segment of the shared
+// store directory; everything the worker computes write-through lands
+// there, which is the entire output channel — evaluated points are
+// discarded, only their searches matter.
+func Work(ctx context.Context, c Coord, st *store.Store, opts WorkerOptions) error {
+	poll := opts.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	completed := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		lease, err := c.Lease(opts.Job)
+		if err != nil {
+			return err
+		}
+		if lease == nil {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+			continue
+		}
+		if opts.OnLease != nil {
+			opts.OnLease(lease)
+		}
+		if err := workLease(ctx, c, st, lease, opts); err != nil {
+			// A spec-level failure: hand the range back with the reason.
+			// The lease may already be stale (heartbeat lost) — Fail is a
+			// no-op then.
+			c.Fail(lease.Job, lease.ID, err.Error())
+			if ctx.Err() != nil {
+				return nil
+			}
+			continue
+		}
+		if err := c.Complete(lease.Job, lease.ID); err != nil {
+			return err
+		}
+		completed++
+		if opts.MaxLeases > 0 && completed >= opts.MaxLeases {
+			return nil
+		}
+	}
+}
+
+// workLease executes one lease: refresh the store view (another worker
+// may have computed half the range already — those become disk hits),
+// then evaluate every task with a fresh two-tier cache over the shared
+// store. A heartbeat goroutine keeps the lease alive; losing it (the
+// coordinator reassigned the range) cancels the work mid-flight, since
+// finishing a stolen range only duplicates another worker's effort.
+func workLease(ctx context.Context, c Coord, st *store.Store, lease *Lease, opts WorkerOptions) error {
+	if err := st.Refresh(); err != nil {
+		return err
+	}
+	cache := mapper.NewCache()
+	cache.SetPersister(st)
+
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hbDone := make(chan struct{})
+	ttl := time.Duration(lease.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-lctx.Done():
+				return
+			case <-t.C:
+				if err := c.Heartbeat(lease.Job, lease.ID); err != nil {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+	err := evalTasks(lctx, cache, lease, opts)
+	cancel()
+	<-hbDone
+	return err
+}
+
+// evalTasks evaluates a lease's task indices. Point-level failures
+// (Point.Err) are not errors here: the final assembly run reproduces
+// them locally from the same deterministic evaluation, and a point that
+// fails has no searches to warm anyway.
+func evalTasks(ctx context.Context, cache *mapper.Cache, lease *Lease, opts WorkerOptions) error {
+	delay, _ := time.ParseDuration(os.Getenv(pointDelayEnv))
+	pause := func() error {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return ctx.Err()
+	}
+	switch lease.Kind {
+	case KindSweep:
+		var sp sweep.Spec
+		if err := json.Unmarshal(lease.Spec, &sp); err != nil {
+			return fmt.Errorf("shard: decoding sweep spec: %w", err)
+		}
+		if sp.SearchWorkers == 0 {
+			sp.SearchWorkers = opts.SearchWorkers
+		}
+		plan, err := PlanSweep(&sp)
+		if err != nil {
+			return err
+		}
+		ev, err := sweep.NewEvaluator(sp, sweep.Options{Cache: cache})
+		if err != nil {
+			return err
+		}
+		for _, task := range lease.Tasks {
+			values, wi, oi, err := plan.Decode(task)
+			if err != nil {
+				return err
+			}
+			if _, err := ev.Eval(int(task), values, wi, oi); err != nil {
+				return err
+			}
+			if err := pause(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case KindExplore:
+		var sp explore.Spec
+		if err := json.Unmarshal(lease.Spec, &sp); err != nil {
+			return fmt.Errorf("shard: decoding explore spec: %w", err)
+		}
+		if sp.SearchWorkers == 0 {
+			sp.SearchWorkers = opts.SearchWorkers
+		}
+		ev, err := explore.NewLatticeEvaluator(sp, explore.Options{Cache: cache})
+		if err != nil {
+			return err
+		}
+		for _, task := range lease.Tasks {
+			if _, err := ev.Eval(task); err != nil {
+				return err
+			}
+			if err := pause(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("shard: unknown lease kind %q", lease.Kind)
+}
+
+// SweepPlan is the index arithmetic of a sweep's point grid: point index
+// = (variant*W + workload)*O + objective, variants in cross-product
+// order with the first axis most significant — exactly sweep.Run's
+// enumeration, so a plan's Decode feeds sweep.Evaluator.Eval the same
+// (values, wi, oi) the full Run computes for that index.
+type SweepPlan struct {
+	axes [][]any
+	w, o int
+}
+
+// PlanSweep indexes a sweep spec's point grid. WarmStart sweeps refuse to
+// plan: their points chain searches across the variant axis (each warm
+// start is part of the next search's cache key), so they cannot be
+// partitioned without changing results — callers run those locally.
+func PlanSweep(sp *sweep.Spec) (*SweepPlan, error) {
+	if sp.WarmStart {
+		return nil, fmt.Errorf("shard: warm-start sweeps chain searches across points and cannot shard")
+	}
+	p := &SweepPlan{w: len(sp.Workloads), o: len(sp.Objectives)}
+	if p.o == 0 {
+		p.o = 1 // the implicit default "energy" objective
+	}
+	if p.w == 0 {
+		return nil, fmt.Errorf("shard: sweep spec has no workloads")
+	}
+	total := int64(p.w * p.o)
+	for _, ax := range sp.Axes {
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("shard: axis %q has no values", ax.Param)
+		}
+		p.axes = append(p.axes, ax.Values)
+		total *= int64(len(ax.Values))
+		if total > 1<<40 {
+			return nil, fmt.Errorf("shard: sweep grid implausibly large")
+		}
+	}
+	return p, nil
+}
+
+// NumPoints is the grid's total point count.
+func (p *SweepPlan) NumPoints() int64 {
+	total := int64(p.w * p.o)
+	for _, values := range p.axes {
+		total *= int64(len(values))
+	}
+	return total
+}
+
+// Decode resolves a point index into its axis values and workload and
+// objective indices.
+func (p *SweepPlan) Decode(idx int64) (values []any, wi, oi int, err error) {
+	if idx < 0 || idx >= p.NumPoints() {
+		return nil, 0, 0, fmt.Errorf("shard: point index %d out of range [0, %d)", idx, p.NumPoints())
+	}
+	oi = int(idx % int64(p.o))
+	idx /= int64(p.o)
+	wi = int(idx % int64(p.w))
+	idx /= int64(p.w)
+	values = make([]any, len(p.axes))
+	for i := len(p.axes) - 1; i >= 0; i-- {
+		n := int64(len(p.axes[i]))
+		values[i] = p.axes[i][idx%n]
+		idx /= n
+	}
+	return values, wi, oi, nil
+}

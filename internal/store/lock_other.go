@@ -1,0 +1,10 @@
+//go:build !unix
+
+package store
+
+// pidAlive conservatively reports every pid as possibly alive on
+// platforms without a cheap liveness probe: a stale lock then needs
+// manual removal, which beats breaking a live writer's lock.
+func pidAlive(pid int) bool {
+	return true
+}

@@ -5,15 +5,27 @@
 // every search any prior process completed — restarts, resumed jobs and
 // repeated queries warm-start instead of recomputing.
 //
-// Layout: one log file (photoloop-store.log) of checksummed records. Each
-// record frames a key (three fingerprints) and a versioned binary payload
-// (EncodeBest) behind a CRC32; writes append under a lock and records are
-// never rewritten. On Open the log is scanned into an in-memory offset
-// index; the first framing or checksum violation truncates the log at the
-// last intact record (a torn tail from a crash costs the torn records
-// only — they are recomputed on demand). A log whose header is not ours
-// is an error, never overwritten: pointing the store at the wrong
-// directory must not destroy foreign data.
+// Layout: one store directory holds one or more segment files
+// (photoloop-store.log, photoloop-store.001.log, ...), each an append-only
+// log of checksummed records. Every writer process owns exactly one
+// segment, claimed through a pid-stamped advisory lock file
+// (<segment>.lock): Open claims the first segment whose lock is free or
+// stale (its owner died), creating a fresh segment when every existing one
+// is held by a live process — so N processes sharing one store directory
+// append concurrently without ever interleaving writes in one file.
+//
+// Each record frames a key (three fingerprints) and a versioned binary
+// payload (EncodeBest) behind a CRC32; records are never rewritten. On
+// Open every segment is scanned into one merged in-memory index; key
+// collisions resolve first-write-wins in deterministic segment order
+// (the keys are content addresses — equal keys carry bit-identical
+// payloads, so any copy serves). A framing or checksum violation in the
+// writer's own segment truncates it at the last intact record (a torn
+// tail from a crash costs the torn records only); violations in another
+// writer's segment stop the scan there without truncating — the bytes may
+// be a record mid-append, and Refresh picks the tail up once it is whole.
+// A file whose header is not ours is an error, never overwritten: pointing
+// the store at the wrong directory must not destroy foreign data.
 //
 // Integrity over availability: a record that cannot prove itself (bad
 // CRC, bad frame, bad codec version) is a miss and the search recomputes
@@ -21,22 +33,39 @@
 package store
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"photoloop/internal/mapper"
 )
 
-// logName is the store's log file inside the store directory.
-const logName = "photoloop-store.log"
+// primaryName is the first segment's file name (also the whole store in
+// the single-writer layouts of prior versions — those open unchanged).
+const primaryName = "photoloop-store.log"
 
-// logMagic opens the log file; a file that exists but does not start with
-// it is not ours and Open refuses to touch it.
+// segmentPrefix/segmentSuffix frame the numbered segments:
+// photoloop-store.NNN.log.
+const (
+	segmentPrefix = "photoloop-store."
+	segmentSuffix = ".log"
+)
+
+// lockSuffix names a segment's advisory lock file. The file holds the
+// owning pid in text; a lock whose pid no longer runs is stale and is
+// reclaimed.
+const lockSuffix = ".lock"
+
+// logMagic opens every segment file; a file that exists but does not
+// start with it is not ours and Open refuses to touch it.
 var logMagic = []byte("PHOTOLOOPSTORE1\n")
 
 // recordHeaderLen frames each record: 3 key fingerprints, payload length,
@@ -48,70 +77,232 @@ const recordHeaderLen = 3*8 + 4 + 4
 // read.
 const maxPayloadLen = 64 << 20
 
+// maxSegments bounds the claim loop: a directory that somehow accumulates
+// this many live writers (or leaked locks owned by live pids) is an
+// error, not an invitation to spin.
+const maxSegments = 4096
+
 // Store is the on-disk result store. It is safe for concurrent use and
 // implements mapper.Persister.
 type Store struct {
 	mu    sync.Mutex
-	f     *os.File
+	dir   string
+	own   *segment   // the segment this process appends to
+	segs  []*segment // every scanned segment, own included, in merge order
 	index map[mapper.Key]recordRef
-	size  int64 // current log length (next append offset)
 
-	recovered int64 // bytes truncated on Open (0 for a clean log)
+	recovered int64 // bytes truncated from the own segment on Open
 	loadFails int64 // records that failed to decode on Load
 }
 
-// recordRef locates one record's payload in the log.
-type recordRef struct {
-	off int64
-	len int32
+// segment is one scanned segment file.
+type segment struct {
+	name string
+	f    *os.File
+	good int64 // scan frontier: offset after the last verified record
 }
 
-// Open opens (creating if needed) the store under dir. The directory is
-// created if missing. A pre-existing log is scanned and verified; a
-// corrupted tail is truncated away (see Recovered), while a file that is
-// not a photoloop store at all is an error.
+// recordRef locates one record's payload: which segment, where.
+type recordRef struct {
+	seg int32
+	len int32
+	off int64
+}
+
+// Open opens (creating if needed) the store under dir and claims a
+// writable segment for this process. Any number of processes may hold the
+// same directory open concurrently — each appends to its own segment and
+// reads every segment. A pre-existing segment claimed after a crash is
+// verified and its corrupted tail truncated away (see Recovered); a file
+// that is not a photoloop store segment at all is an error.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	path := filepath.Join(dir, logName)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o666)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+	s := &Store{dir: dir, index: make(map[mapper.Key]recordRef)}
+	if err := s.claim(); err != nil {
+		return nil, err
 	}
-	s := &Store{f: f, index: make(map[mapper.Key]recordRef)}
-	if err := s.scan(); err != nil {
-		f.Close()
+	if err := s.scanAll(); err != nil {
+		s.closeFiles()
 		return nil, err
 	}
 	return s, nil
 }
 
-// scan builds the index from the log, verifying every frame and checksum,
-// and truncates the log at the first violation.
-func (s *Store) scan() error {
-	info, err := s.f.Stat()
+// segmentName returns the i-th segment's file name (0 is the primary).
+func segmentName(i int) string {
+	if i == 0 {
+		return primaryName
+	}
+	return fmt.Sprintf("%s%03d%s", segmentPrefix, i, segmentSuffix)
+}
+
+// segmentIndex parses a segment file name, reporting ok=false for
+// non-segment files (locks, job records, strangers).
+func segmentIndex(name string) (int, bool) {
+	if name == primaryName {
+		return 0, true
+	}
+	if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+	n, err := strconv.Atoi(mid)
+	if err != nil || n < 1 || mid != fmt.Sprintf("%03d", n) {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the indices of every segment file present, sorted
+// (the deterministic merge order).
+func (s *Store) listSegments() ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var idx []int
+	for _, e := range entries {
+		if n, ok := segmentIndex(e.Name()); ok {
+			idx = append(idx, n)
+		}
+	}
+	sort.Ints(idx)
+	return idx, nil
+}
+
+// claim acquires a writable segment: the lowest-numbered segment whose
+// advisory lock is free or stale, or a fresh segment past every live one.
+// The claimed segment file is created (with header) if missing.
+func (s *Store) claim() error {
+	present, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	have := map[int]bool{}
+	for _, p := range present {
+		have[p] = true
+	}
+	// Candidates: every existing segment in order (reclaiming crashed
+	// writers' segments keeps the directory compact), then fresh numbers.
+	candidates := append([]int(nil), present...)
+	for n := 0; n < maxSegments; n++ {
+		if !have[n] {
+			candidates = append(candidates, n)
+		}
+	}
+	var lastErr error
+	for _, n := range candidates {
+		name := segmentName(n)
+		if err := acquireLock(filepath.Join(s.dir, name+lockSuffix)); err != nil {
+			lastErr = err
+			continue
+		}
+		f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_RDWR|os.O_CREATE, 0o666)
+		if err != nil {
+			releaseLock(filepath.Join(s.dir, name+lockSuffix))
+			return fmt.Errorf("store: %w", err)
+		}
+		s.own = &segment{name: name, f: f}
+		return nil
+	}
+	return fmt.Errorf("store: no claimable segment in %s (%w)", s.dir, lastErr)
+}
+
+// scanAll builds the merged index from every segment present, in
+// deterministic segment order. First write wins on key collisions: the
+// keys are content addresses, so every copy of a key carries the same
+// payload and the choice only fixes which file serves reads.
+func (s *Store) scanAll() error {
+	present, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	for _, n := range present {
+		name := segmentName(n)
+		if name == s.own.name {
+			if err := s.scanSegment(s.own, true); err != nil {
+				return err
+			}
+			s.segs = append(s.segs, s.own)
+			continue
+		}
+		f, err := os.Open(filepath.Join(s.dir, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // raced with nothing: listed but gone is impossible for append-only files, but harmless
+			}
+			return fmt.Errorf("store: %w", err)
+		}
+		seg := &segment{name: name, f: f}
+		if err := s.scanSegment(seg, false); err != nil {
+			f.Close()
+			return err
+		}
+		s.segs = append(s.segs, seg)
+	}
+	// The own segment may be brand new (not yet listed at listSegments
+	// time is impossible since claim created it, but guard anyway).
+	for _, seg := range s.segs {
+		if seg == s.own {
+			return nil
+		}
+	}
+	if err := s.scanSegment(s.own, true); err != nil {
+		return err
+	}
+	s.segs = append(s.segs, s.own)
+	return nil
+}
+
+// scanSegment verifies records from the segment's current scan frontier,
+// adding previously unseen keys to the merged index. For the writer's own
+// segment a framing or checksum violation truncates the file at the last
+// intact record; foreign segments are never truncated — the violation
+// just ends this scan, and a later Refresh resumes at the frontier (a
+// torn-looking tail in a live segment is usually a record mid-append).
+func (s *Store) scanSegment(seg *segment, own bool) error {
+	info, err := seg.f.Stat()
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	if info.Size() == 0 {
-		if _, err := s.f.Write(logMagic); err != nil {
-			return fmt.Errorf("store: writing log header: %w", err)
+		if !own {
+			return nil // a freshly created segment whose header is not yet written
 		}
-		s.size = int64(len(logMagic))
+		if _, err := seg.f.WriteAt(logMagic, 0); err != nil {
+			return fmt.Errorf("store: writing segment header: %w", err)
+		}
+		seg.good = int64(len(logMagic))
 		return nil
 	}
-	header := make([]byte, len(logMagic))
-	if _, err := io.ReadFull(s.f, header); err != nil || string(header) != string(logMagic) {
-		return fmt.Errorf("store: %s is not a photoloop result store (refusing to overwrite)", s.f.Name())
+	if seg.good == 0 {
+		header := make([]byte, len(logMagic))
+		if _, err := seg.f.ReadAt(header, 0); err != nil || string(header) != string(logMagic) {
+			if !own && info.Size() < int64(len(logMagic)) {
+				return nil // header mid-write by another process; retry on Refresh
+			}
+			return fmt.Errorf("store: %s is not a photoloop result store segment (refusing to overwrite)", seg.f.Name())
+		}
+		seg.good = int64(len(logMagic))
 	}
-	off := int64(len(logMagic))
+	segIdx := int32(-1)
+	for i, have := range s.segs {
+		if have == seg {
+			segIdx = int32(i)
+		}
+	}
+	if segIdx < 0 {
+		segIdx = int32(len(s.segs)) // about to be appended by the caller
+	}
+	off := seg.good
 	hdr := make([]byte, recordHeaderLen)
 	var payload []byte
-	good := off
+	br := bufio.NewReader(io.NewSectionReader(seg.f, off, info.Size()-off))
 	for {
-		if _, err := io.ReadFull(s.f, hdr); err != nil {
-			break // clean EOF or torn header: truncate here
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			break // clean EOF or torn header
 		}
 		key := mapper.Key{
 			Arch:  binary.LittleEndian.Uint64(hdr[0:]),
@@ -127,25 +318,26 @@ func (s *Store) scan() error {
 			payload = make([]byte, plen)
 		}
 		payload = payload[:plen]
-		if _, err := io.ReadFull(s.f, payload); err != nil {
+		if _, err := io.ReadFull(br, payload); err != nil {
 			break
 		}
 		if recordCRC(hdr[:28], payload) != want {
 			break
 		}
 		off += recordHeaderLen + int64(plen)
-		// Later records win: an append-only log may carry several writes
-		// of one key (two processes racing); all are intact, any serves.
-		s.index[key] = recordRef{off: off - int64(plen), len: int32(plen)}
-		good = off
+		// First write wins across the whole store: a key seen in an
+		// earlier segment (or earlier in this one) keeps its record.
+		if _, dup := s.index[key]; !dup {
+			s.index[key] = recordRef{seg: segIdx, off: off - int64(plen), len: int32(plen)}
+		}
+		seg.good = off
 	}
-	if good < info.Size() {
-		s.recovered = info.Size() - good
-		if err := s.f.Truncate(good); err != nil {
+	if own && seg.good < info.Size() {
+		s.recovered += info.Size() - seg.good
+		if err := seg.f.Truncate(seg.good); err != nil {
 			return fmt.Errorf("store: truncating corrupted tail: %w", err)
 		}
 	}
-	s.size = good
 	return nil
 }
 
@@ -157,22 +349,109 @@ func recordCRC(keyAndLen, payload []byte) uint32 {
 	return crc32.Update(crc, crc32.IEEETable, payload)
 }
 
-// Close closes the log file.
+// Refresh rescans the store: new records appended to known segments by
+// other writers and entirely new segments become visible. The writer's
+// own segment never needs refreshing (only this process appends to it).
+// Refresh is how a coordinator observes worker progress — workers append
+// search results to their segments, the coordinator refreshes and serves
+// them. First-write-wins merge semantics are unchanged.
+func (s *Store) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	present, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	known := map[string]*segment{}
+	for _, seg := range s.segs {
+		known[seg.name] = seg
+	}
+	for _, n := range present {
+		name := segmentName(n)
+		if seg, ok := known[name]; ok {
+			if seg == s.own {
+				continue
+			}
+			if err := s.scanSegment(seg, false); err != nil {
+				return err
+			}
+			continue
+		}
+		f, err := os.Open(filepath.Join(s.dir, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return fmt.Errorf("store: %w", err)
+		}
+		seg := &segment{name: name, f: f}
+		if err := s.scanSegment(seg, false); err != nil {
+			f.Close()
+			return err
+		}
+		s.segs = append(s.segs, seg)
+	}
+	return nil
+}
+
+// Close closes every segment file and releases the advisory lock on the
+// writer's own segment.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.f.Close()
+	err := s.closeFiles()
+	return err
 }
 
-// Len returns the number of distinct keys in the store.
+func (s *Store) closeFiles() error {
+	var first error
+	for _, seg := range s.segs {
+		if cerr := seg.f.Close(); cerr != nil && first == nil {
+			first = cerr
+		}
+	}
+	if s.own != nil {
+		found := false
+		for _, seg := range s.segs {
+			if seg == s.own {
+				found = true
+			}
+		}
+		if !found {
+			if cerr := s.own.f.Close(); cerr != nil && first == nil {
+				first = cerr
+			}
+		}
+		releaseLock(filepath.Join(s.dir, s.own.name+lockSuffix))
+	}
+	return first
+}
+
+// Len returns the number of distinct keys in the store's current view
+// (Refresh widens the view while other writers append).
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.index)
 }
 
-// Recovered returns how many corrupted bytes Open truncated from the log
-// tail (0 for a clean log).
+// Segments returns how many segment files the store's current view spans.
+func (s *Store) Segments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segs)
+}
+
+// SegmentName returns the file name of the segment this process appends
+// to — diagnostics and tests; readers span every segment.
+func (s *Store) SegmentName() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.own.name
+}
+
+// Recovered returns how many corrupted bytes Open truncated from the
+// writer's own segment tail (0 for a clean log).
 func (s *Store) Recovered() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -181,16 +460,20 @@ func (s *Store) Recovered() int64 {
 
 // Load implements mapper.Persister: it returns the stored best for the
 // key, or false. A record that fails to decode (impossible after a clean
-// scan unless the file was modified underneath us) is a miss.
+// scan unless a file was modified underneath us) is a miss.
 func (s *Store) Load(k mapper.Key) (*mapper.Best, bool) {
 	s.mu.Lock()
 	ref, ok := s.index[k]
+	var f *os.File
+	if ok {
+		f = s.segs[ref.seg].f
+	}
 	s.mu.Unlock()
 	if !ok {
 		return nil, false
 	}
 	payload := make([]byte, ref.len)
-	if _, err := s.f.ReadAt(payload, ref.off); err != nil {
+	if _, err := f.ReadAt(payload, ref.off); err != nil {
 		s.noteLoadFail()
 		return nil, false
 	}
@@ -208,10 +491,12 @@ func (s *Store) noteLoadFail() {
 	s.mu.Unlock()
 }
 
-// Store implements mapper.Persister: it appends the best under the key.
-// A key already present is left alone (the store is content addressed —
-// equal keys mean bit-identical results, so the first write is as good as
-// any).
+// Store implements mapper.Persister: it appends the best under the key to
+// this process's own segment. A key already present in the merged view is
+// left alone (the store is content addressed — equal keys mean
+// bit-identical results, so the first write is as good as any). Two
+// processes racing on a key each append to their own segment; the
+// duplicate wastes a few KB and deduplicates on the next scan.
 func (s *Store) Store(k mapper.Key, b *mapper.Best) error {
 	payload := EncodeBest(b)
 	if len(payload) > maxPayloadLen {
@@ -230,10 +515,16 @@ func (s *Store) Store(k mapper.Key, b *mapper.Best) error {
 	if _, ok := s.index[k]; ok {
 		return nil
 	}
-	if _, err := s.f.WriteAt(rec, s.size); err != nil {
+	if _, err := s.own.f.WriteAt(rec, s.own.good); err != nil {
 		return fmt.Errorf("store: appending record: %w", err)
 	}
-	s.index[k] = recordRef{off: s.size + recordHeaderLen, len: int32(len(payload))}
-	s.size += int64(len(rec))
+	var segIdx int32 = -1
+	for i, seg := range s.segs {
+		if seg == s.own {
+			segIdx = int32(i)
+		}
+	}
+	s.index[k] = recordRef{seg: segIdx, off: s.own.good + recordHeaderLen, len: int32(len(payload))}
+	s.own.good += int64(len(rec))
 	return nil
 }
