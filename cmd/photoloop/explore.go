@@ -92,7 +92,7 @@ func cmdExplore(args []string) error {
 	batch := fs.Int("batch", 1, "batch size")
 	var axes axisFlags
 	fs.Var(&axes, "axis", "search axis, repeatable: param=v1,v2,... or param=min..max[:step] (default: the Albireo lever space)")
-	objectives := fs.String("objectives", "energy,area", "comma-separated frontier objectives (energy, pj_per_mac, delay, area, edp), all minimized")
+	objectives := fs.String("objectives", "energy,area", "comma-separated frontier objectives (energy, pj_per_mac, delay, area, edp, accuracy), all minimized")
 	strategy := fs.String("strategy", "auto", "search strategy: auto, grid or adaptive")
 	budget := fs.Int("budget", 0, "max design points the adaptive strategy evaluates (default 128)")
 	mapperObjective := fs.String("mapper-objective", "energy", "what the mapper minimizes per candidate schedule")

@@ -38,6 +38,7 @@ import (
 	"photoloop/internal/components"
 	"photoloop/internal/exp"
 	"photoloop/internal/explore"
+	"photoloop/internal/fidelity"
 	"photoloop/internal/jobs"
 	"photoloop/internal/presets"
 	"photoloop/internal/shard"
@@ -106,11 +107,14 @@ func usage(w io.Writer) {
   photoloop eval (-arch a.json | -preset name) (-network name|file.json)
                  [-layer name] [-mapping m.json] [-batch N] [-budget N]
                  [-objective energy|delay|edp] [-seed N] [-search-workers N]
-                 [-json]
+                 [-fidelity] [-json]
       Evaluate (or mapper-search) an architecture against a workload: a
       JSON architecture spec, or a named preset from the library
       ('photoloop presets' lists them). With -mapping, the fixed schedule
-      in m.json is evaluated instead of searching. With -json, the result
+      in m.json is evaluated instead of searching. -fidelity additionally
+      runs the analog fidelity rollup (SNR, effective bits, estimated
+      accuracy loss — see docs/MODELING.md) over each schedule; energy,
+      delay and area are bit-identical either way. With -json, the result
       is the same document POST /v1/eval answers.
   photoloop sweep (-spec sweep.json | -preset fig4|fig5) [-format json|csv]
                   [-out file] [-workers N] [-budget N] [-seed N]
@@ -125,7 +129,9 @@ func usage(w io.Writer) {
                     [-strategy auto|grid|adaptive] [-mapper-budget N] [-seed N]
                     [-search-workers N] [-format markdown|json|csv] [-out file]
       Search a declared parameter space for its Pareto frontier over the
-      given objectives (all minimized). -axis is repeatable and accepts
+      given objectives (all minimized; "accuracy" trades pJ/MAC against
+      analog effective bits via the fidelity rollup). -axis is repeatable
+      and accepts
       explicit grids (param=1,3,5) or ranges (param=2..16:2); with no
       axes, the stock Albireo lever space is searched. The grid strategy
       exhausts small spaces bit-identically to 'photoloop sweep'; the
@@ -251,6 +257,7 @@ func cmdEval(args []string) error {
 	objective := fs.String("objective", "energy", "energy, delay or edp")
 	seed := fs.Int64("seed", 1, "mapper seed")
 	searchWorkers := fs.Int("search-workers", 0, "per-layer search parallelism; match a study's -search-workers for bit-identical rows (0 = mapper default)")
+	withFidelity := fs.Bool("fidelity", false, "run the analog fidelity rollup (SNR, effective bits, accuracy loss) over each schedule")
 	asJSON := fs.Bool("json", false, "emit the /v1/eval JSON document instead of a table")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -266,6 +273,9 @@ func cmdEval(args []string) error {
 		Preset: *presetName,
 		Layer:  *layerName, Batch: *batch, Objective: *objective,
 		Budget: *budget, Seed: *seed, Workers: *searchWorkers,
+	}
+	if *withFidelity {
+		req.Fidelity = &fidelity.Spec{}
 	}
 	if *archPath != "" {
 		af, err := os.Open(*archPath)
@@ -335,6 +345,10 @@ func renderEval(out io.Writer, resp *sweep.EvalResponse) error {
 	if resp.Evaluations > 0 {
 		fmt.Fprintf(out, "search: %d evaluations — %d pruned by lower bound, %d delta, %d full\n",
 			resp.Evaluations, resp.Pruned, resp.DeltaEvals, resp.FullEvals)
+	}
+	if resp.EffectiveBits != 0 || resp.SNRDB != 0 || resp.AccuracyLossPct != 0 {
+		fmt.Fprintf(out, "fidelity: %.2f effective bits (%.1f dB SNR), est. accuracy loss %.2f%%\n",
+			resp.EffectiveBits, resp.SNRDB, resp.AccuracyLossPct)
 	}
 	fmt.Fprintf(out, "area: %.3f mm^2, peak %d MACs/cycle\n", resp.AreaUM2/1e6, resp.PeakMACsPerCycle)
 	return nil

@@ -29,6 +29,7 @@ var docLintPackages = []string{
 	"internal/md",
 	"internal/store",
 	"internal/jobs",
+	"internal/fidelity",
 }
 
 // TestFacadeDocComments enforces the documentation contract: every
@@ -149,6 +150,7 @@ var docRefPackages = map[string]string{
 	"report":     "internal/report",
 	"store":      "internal/store",
 	"jobs":       "internal/jobs",
+	"fidelity":   "internal/fidelity",
 }
 
 // exportedNames parses every non-test file of a package directory and

@@ -131,7 +131,7 @@ func (c Config) Build() (*arch.Arch, error) {
 		add(components.NewADC(components.ADCSpec{Name: "ReadoutADC", Bits: c.WordBits, WaldenFJPerStep: p.ADCWaldenFJPerStep})),
 		add(components.NewMZM(components.MZMSpec{Name: "InputMZM", ModulatePJ: p.MZMModulatePJ})),
 		add(components.NewMRR(components.MRRSpec{Name: "WeightMRR", ProgramPJ: p.MRRProgramPJ, TransitPJ: p.MRRTransitPJ})),
-		add(components.NewPhotodiode(components.PhotodiodeSpec{Name: "OutputPD", DetectPJ: p.PDDetectPJ})),
+		add(components.NewPhotodiode(components.PhotodiodeSpec{Name: "OutputPD", DetectPJ: p.PDDetectPJ, SensitivityMW: detectorSensitivityMW})),
 		lib.Add(laser),
 	); err != nil {
 		return nil, err
@@ -265,6 +265,12 @@ func (c Config) Build() (*arch.Arch, error) {
 	return a, nil
 }
 
+// detectorSensitivityMW is the received power the link budget designs to:
+// the photodiode's sensitivity floor, shared by the budget-mode laser and
+// the OutputPD spec so the analog fidelity model sees the same number in
+// both laser modes.
+const detectorSensitivityMW = 0.05
+
 // buildLaser constructs the comb laser, either from the calibrated per-MAC
 // constant or from the physical link budget.
 func (c Config) buildLaser(p Params) (components.Component, error) {
@@ -287,7 +293,7 @@ func (c Config) buildLaser(p Params) (components.Component, error) {
 		Name:                    "CombLaser",
 		WallPlugEfficiency:      0.20,
 		PathLossDB:              budget.TotalDB(),
-		DetectorSensitivityMW:   0.05,
+		DetectorSensitivityMW:   detectorSensitivityMW,
 		SymbolNS:                1 / p.ClockGHz,
 		MACsPerWavelengthSymbol: float64(c.IR()) / wrFactor,
 	})

@@ -21,6 +21,17 @@ type ADCSpec struct {
 	UM2 float64
 }
 
+// ADC is the built analog-to-digital converter. Beyond the Component
+// interface it exposes its resolution, which the analog fidelity model
+// reads to derive readout quantization noise.
+type ADC struct {
+	*Base
+	bits int
+}
+
+// Bits returns the conversion resolution.
+func (a *ADC) Bits() int { return a.bits }
+
 // NewADC builds an ADC component. Its single action is ActionConvert.
 func NewADC(s ADCSpec) (Component, error) {
 	if s.Bits <= 0 || s.Bits > 16 {
@@ -34,7 +45,7 @@ func NewADC(s ADCSpec) (Component, error) {
 		// Area grows roughly linearly with 2^bits for SAR-class ADCs.
 		s.UM2 = 20 * math.Exp2(float64(s.Bits)) / 16
 	}
-	return NewBase(s.Name, "adc", map[string]float64{ActionConvert: pj}, s.UM2, 0), nil
+	return &ADC{Base: NewBase(s.Name, "adc", map[string]float64{ActionConvert: pj}, s.UM2, 0), bits: s.Bits}, nil
 }
 
 // DACSpec parameterizes a digital-to-analog converter (the DE/AE converter).
@@ -50,6 +61,16 @@ type DACSpec struct {
 	UM2 float64
 }
 
+// DAC is the built digital-to-analog converter. Beyond the Component
+// interface it exposes its resolution for the analog fidelity model.
+type DAC struct {
+	*Base
+	bits int
+}
+
+// Bits returns the DAC resolution.
+func (d *DAC) Bits() int { return d.bits }
+
 // NewDAC builds a DAC component. Its single action is ActionConvert.
 func NewDAC(s DACSpec) (Component, error) {
 	if s.Bits <= 0 || s.Bits > 16 {
@@ -62,7 +83,7 @@ func NewDAC(s DACSpec) (Component, error) {
 	if s.UM2 <= 0 {
 		s.UM2 = 6 * float64(s.Bits)
 	}
-	return NewBase(s.Name, "dac", map[string]float64{ActionConvert: pj}, s.UM2, 0), nil
+	return &DAC{Base: NewBase(s.Name, "dac", map[string]float64{ActionConvert: pj}, s.UM2, 0), bits: s.Bits}, nil
 }
 
 func init() {

@@ -85,17 +85,32 @@ type PhotodiodeSpec struct {
 	UM2 float64
 }
 
+// Photodiode is the built photodiode+TIA. Beyond the Component interface
+// it exposes its sensitivity floor, which the analog fidelity model uses
+// as the received-power fallback when no physical laser is present.
+type Photodiode struct {
+	*Base
+	sensitivityMW float64
+}
+
+// SensitivityMW returns the minimum received optical power for the target
+// SNR (0 when the spec left it unset).
+func (p *Photodiode) SensitivityMW() float64 { return p.sensitivityMW }
+
 // NewPhotodiode builds a photodiode+TIA component.
 func NewPhotodiode(s PhotodiodeSpec) (Component, error) {
 	if s.DetectPJ <= 0 {
 		return nil, fmt.Errorf("components: photodiode %s: DetectPJ must be positive", s.Name)
 	}
+	if s.SensitivityMW < 0 {
+		return nil, fmt.Errorf("components: photodiode %s: negative sensitivity", s.Name)
+	}
 	if s.UM2 <= 0 {
 		s.UM2 = 500
 	}
-	return NewBase(s.Name, "photodiode", map[string]float64{
+	return &Photodiode{Base: NewBase(s.Name, "photodiode", map[string]float64{
 		ActionDetect: s.DetectPJ,
-	}, s.UM2, 0), nil
+	}, s.UM2, 0), sensitivityMW: s.SensitivityMW}, nil
 }
 
 // LaserSpec parameterizes the (off-chip) laser supply from a physical link
@@ -119,6 +134,21 @@ type LaserSpec struct {
 	MACsPerWavelengthSymbol float64
 }
 
+// Laser is the built laser supply. Beyond the Component interface it
+// exposes the received power its link budget delivers at the detector,
+// which the analog fidelity model turns into shot noise (0 for lasers
+// built from a calibrated per-MAC constant, which carry no link
+// information).
+type Laser struct {
+	*Base
+	receivedMW float64
+}
+
+// ReceivedPowerMW returns the optical power delivered at the detector per
+// wavelength (the link budget's sensitivity target), or 0 when the laser
+// was built without a link budget.
+func (l *Laser) ReceivedPowerMW() float64 { return l.receivedMW }
+
 // NewLaser builds a laser component. Its "supply" action is the per-MAC
 // electrical energy drawn from the wall.
 func NewLaser(s LaserSpec) (Component, error) {
@@ -138,9 +168,9 @@ func NewLaser(s LaserSpec) (Component, error) {
 	// The laser is continuously on while the accelerator runs; expose the
 	// electrical power as static power too so utilization studies can
 	// charge idle symbols.
-	return NewBase(s.Name, "laser", map[string]float64{
+	return &Laser{Base: NewBase(s.Name, "laser", map[string]float64{
 		ActionSupply: perMAC,
-	}, 0, electricalMW), nil
+	}, 0, electricalMW), receivedMW: s.DetectorSensitivityMW}, nil
 }
 
 // NewLaserPerMAC builds a laser component directly from a per-MAC supply
@@ -150,7 +180,7 @@ func NewLaserPerMAC(name string, perMACPJ, staticMW float64) (Component, error) 
 	if perMACPJ <= 0 {
 		return nil, fmt.Errorf("components: laser %s: per-MAC energy must be positive", name)
 	}
-	return NewBase(name, "laser", map[string]float64{ActionSupply: perMACPJ}, 0, staticMW), nil
+	return &Laser{Base: NewBase(name, "laser", map[string]float64{ActionSupply: perMACPJ}, 0, staticMW)}, nil
 }
 
 // StarCouplerSpec parameterizes an NxN star coupler, the passive broadcast
@@ -278,7 +308,7 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return NewPhotodiode(PhotodiodeSpec{Name: name, DetectPJ: e, UM2: p.Get("um2", 0)})
+		return NewPhotodiode(PhotodiodeSpec{Name: name, DetectPJ: e, SensitivityMW: p.Get("sensitivity_mw", 0), UM2: p.Get("um2", 0)})
 	})
 	RegisterClass("laser", func(name string, p Params) (Component, error) {
 		if pj, ok := p["per_mac_pj"]; ok {

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"strings"
 
+	"photoloop/internal/fidelity"
 	"photoloop/internal/mapper"
 	"photoloop/internal/sweep"
 )
@@ -48,8 +49,15 @@ type Spec struct {
 	Workload sweep.Workload `json:"workload"`
 	// Objectives are the frontier dimensions, all minimized: "energy"
 	// (total pJ), "pj_per_mac", "delay" (cycles), "area" (µm²), "edp"
-	// (pJ·cycles). Default: energy and area.
+	// (pJ·cycles), "accuracy" (estimated accuracy loss % from the analog
+	// fidelity rollup). Default: energy and area.
 	Objectives []string `json:"objectives,omitempty"`
+	// Fidelity configures the analog fidelity rollup attached to every
+	// candidate (package fidelity); selecting the "accuracy" objective
+	// defaults it to `{}` (the physics defaults) when unset. The rollup is
+	// a closed-form post-pass: energy/delay/area are bit-identical with or
+	// without it.
+	Fidelity *fidelity.Spec `json:"fidelity,omitempty"`
 	// Strategy selects the search: "grid" (exhaustive, bit-identical to
 	// sweep.Run + dominance filter), "adaptive" (budgeted evolutionary
 	// search), or "auto"/"" (grid when the space fits the budget,
@@ -220,7 +228,15 @@ const (
 	objDelay    = "delay"
 	objArea     = "area"
 	objEDP      = "edp"
+	objAccuracy = "accuracy"
 )
+
+// Objectives returns the canonical frontier objective names, in
+// documentation order — the vocabulary canonicalObjective accepts (plus
+// aliases).
+func Objectives() []string {
+	return []string{objEnergy, objPJPerMAC, objDelay, objArea, objEDP, objAccuracy}
+}
 
 // canonicalObjective maps accepted spellings to the canonical objective
 // name.
@@ -236,8 +252,10 @@ func canonicalObjective(name string) (string, error) {
 		return objArea, nil
 	case "edp":
 		return objEDP, nil
+	case "accuracy", "accuracy_loss", "fidelity":
+		return objAccuracy, nil
 	}
-	return "", fmt.Errorf("explore: unknown objective %q (want energy, pj_per_mac, delay, area or edp)", name)
+	return "", fmt.Errorf("explore: unknown objective %q (want energy, pj_per_mac, delay, area, edp or accuracy)", name)
 }
 
 // metric reads one canonical objective off an evaluated point. All
@@ -252,6 +270,8 @@ func metric(name string, p *sweep.Point) float64 {
 		return p.AreaUM2
 	case objEDP:
 		return p.TotalPJ * p.Cycles
+	case objAccuracy:
+		return p.AccuracyLossPct
 	default: // objEnergy
 		return p.TotalPJ
 	}
@@ -326,6 +346,11 @@ func (sp Spec) withDefaults() (Spec, error) {
 		canon[i] = c
 	}
 	sp.Objectives = canon
+	if sp.Fidelity == nil && seen[objAccuracy] {
+		// The accuracy objective needs the rollup; default to the physics
+		// defaults rather than failing.
+		sp.Fidelity = &fidelity.Spec{}
+	}
 	if sp.MapperObjective == "" {
 		sp.MapperObjective = "energy"
 	}
@@ -378,6 +403,7 @@ func (sp *Spec) sweepSpec(s *space, withValues bool) sweep.Spec {
 		Budget:        sp.MapperBudget,
 		Seed:          sp.Seed,
 		SearchWorkers: sp.SearchWorkers,
+		Fidelity:      sp.Fidelity,
 	}
 }
 

@@ -176,6 +176,8 @@ func objectiveColumn(name string) (header string, format func(float64) string) {
 		return "area mm²", func(v float64) string { return fmt.Sprintf("%.2f", v/1e6) }
 	case objEDP:
 		return "pJ·cycles", func(v float64) string { return fmt.Sprintf("%.4g", v) }
+	case objAccuracy:
+		return "acc loss %", func(v float64) string { return fmt.Sprintf("%.4f", v) }
 	default: // objEnergy
 		return "total pJ", func(v float64) string { return fmt.Sprintf("%.4g", v) }
 	}
@@ -195,7 +197,7 @@ func (f *Frontier) WriteCSV(w io.Writer) error {
 	}
 	header = append(header, "dominates",
 		"total_pj", "pj_per_mac", "cycles", "macs_per_cycle", "utilization",
-		"area_mm2", "evaluations")
+		"area_mm2", "effective_bits", "evaluations")
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -212,11 +214,15 @@ func (f *Frontier) WriteCSV(w io.Writer) error {
 		for _, v := range p.Objectives {
 			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
 		}
+		effBits := ""
+		if p.EffectiveBits != 0 || p.SNRDB != 0 || p.AccuracyLossPct != 0 {
+			effBits = fmt.Sprintf("%.4f", p.EffectiveBits)
+		}
 		row = append(row, strconv.Itoa(p.Dominates),
 			fmt.Sprintf("%.4f", p.TotalPJ), fmt.Sprintf("%.6f", p.PJPerMAC),
 			fmt.Sprintf("%.1f", p.Cycles), fmt.Sprintf("%.3f", p.MACsPerCycle),
 			fmt.Sprintf("%.4f", p.Utilization), fmt.Sprintf("%.4f", p.AreaUM2/1e6),
-			strconv.Itoa(p.Evaluations))
+			effBits, strconv.Itoa(p.Evaluations))
 		if err := cw.Write(row); err != nil {
 			return err
 		}

@@ -43,6 +43,16 @@ func adaptiveExploreJob() Spec {
 	return sp
 }
 
+// fidelityExploreJob trades pJ/MAC against the analog accuracy loss, so
+// the sharded path also has to reproduce the fidelity post-pass (which
+// runs only in the assembling process, never on the workers).
+func fidelityExploreJob() Spec {
+	sp := exploreJob()
+	sp.Explore.Name = "job-explore-fidelity"
+	sp.Explore.Objectives = []string{"pj_per_mac", "accuracy"}
+	return sp
+}
+
 // TestShardedRunsByteIdentical pins the tentpole invariant: a job run
 // through the coordinator (local worker loop warming the store, artifact
 // assembled from it) produces the same bytes as the plain single-process
@@ -55,6 +65,7 @@ func TestShardedRunsByteIdentical(t *testing.T) {
 		{"sweep", sweepJob()},
 		{"explore-grid", exploreJob()},
 		{"explore-adaptive", adaptiveExploreJob()},
+		{"explore-fidelity", fidelityExploreJob()},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			plain := openManager(t, t.TempDir())
@@ -143,6 +154,56 @@ func TestShardedRemoteWorkers(t *testing.T) {
 			}
 			if seg := m.Store().Segments(); seg < 2 {
 				t.Errorf("store merged %d segments, want the workers' segments too", seg)
+			}
+		})
+	}
+}
+
+// TestShardedFidelityExploreRemoteWorkers is the remote-worker leg for
+// the accuracy objective: workers only warm the store with mapper
+// searches, the coordinator alone runs the fidelity rollup during
+// assembly — so the frontier (including its effective-bits annotations)
+// must be byte-identical to the single-process run at every worker count.
+func TestShardedFidelityExploreRemoteWorkers(t *testing.T) {
+	plain := openManager(t, t.TempDir())
+	_, want := runJob(t, plain, fidelityExploreJob())
+	if !bytes.Contains(want, []byte(`"effective_bits"`)) {
+		t.Fatalf("fidelity frontier carries no effective_bits annotation:\n%s", want)
+	}
+
+	for _, workers := range []int{1, 2} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			dir := t.TempDir()
+			m := openManager(t, dir)
+			m.Shard = shard.NewCoordinator()
+			m.ShardLocal = false
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			done := make(chan error, workers)
+			for i := 0; i < workers; i++ {
+				wst, err := store.Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer wst.Close()
+				go func() {
+					done <- shard.Work(ctx, m.Shard, wst, shard.WorkerOptions{})
+				}()
+			}
+
+			st, got := runJob(t, m, fidelityExploreJob())
+			cancel()
+			for i := 0; i < workers; i++ {
+				if err := <-done; err != nil {
+					t.Errorf("worker: %v", err)
+				}
+			}
+			if !bytes.Equal(got, want) {
+				t.Error("remote-worker fidelity frontier differs from single-process artifact")
+			}
+			if st.Store == nil || st.Store.Misses != 0 {
+				t.Errorf("coordinator recomputed searches: %+v", st.Store)
 			}
 		})
 	}

@@ -104,6 +104,13 @@ type Result struct {
 	TotalPJ float64
 	// AreaUM2 is the architecture area (mapping independent).
 	AreaUM2 float64
+	// EffectiveBits, SNRDB and AccuracyLossPct carry the analog fidelity
+	// rollup (package fidelity) when the caller requested it — a
+	// closed-form post-pass over the finished mapping, never computed by
+	// the evaluator itself. All zero when fidelity modeling is off.
+	EffectiveBits   float64
+	SNRDB           float64
+	AccuracyLossPct float64
 }
 
 // reset zeroes the result for reuse, keeping the Usage and Energy backing
@@ -185,8 +192,19 @@ func SortedKeys(m map[string]float64) []string {
 
 // Accumulate merges another result's ledger and counters into r (used for
 // whole-network rollups). Cycles add; utilization becomes the MAC-weighted
-// aggregate.
+// aggregate, as do the fidelity metrics when either side carries them.
 func (r *Result) Accumulate(o *Result) {
+	if r.EffectiveBits != 0 || o.EffectiveBits != 0 {
+		// MAC-weighted merge, using the pre-merge counts. A side without
+		// fidelity annotation contributes zeros at its weight — annotate
+		// every accumulated layer or none.
+		rw, ow := float64(r.MACs), float64(o.MACs)
+		if rw+ow > 0 {
+			r.EffectiveBits = (r.EffectiveBits*rw + o.EffectiveBits*ow) / (rw + ow)
+			r.SNRDB = (r.SNRDB*rw + o.SNRDB*ow) / (rw + ow)
+			r.AccuracyLossPct = (r.AccuracyLossPct*rw + o.AccuracyLossPct*ow) / (rw + ow)
+		}
+	}
 	r.MACs += o.MACs
 	r.PaddedMACs += o.PaddedMACs
 	r.ComputeCycles += o.ComputeCycles

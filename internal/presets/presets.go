@@ -20,6 +20,7 @@ import (
 	"photoloop/internal/albireo"
 	"photoloop/internal/arch"
 	"photoloop/internal/baseline"
+	"photoloop/internal/fidelity"
 )
 
 // Preset is one named architecture in the library. Exactly one of the
@@ -55,6 +56,19 @@ func (p *Preset) Albireo() (albireo.Config, bool) {
 		return albireo.Config{}, false
 	}
 	return *p.albireoCfg, true
+}
+
+// DefaultFidelity returns the analog fidelity spec a fidelity-enabled
+// study applies to this preset: the physics defaults (every parameter
+// derived from the built architecture's own components) for presets with
+// an analog datapath, nil for the all-digital electrical baseline — its
+// rows keep empty fidelity columns rather than reporting a vacuous
+// full-precision rollup.
+func (p *Preset) DefaultFidelity() *fidelity.Spec {
+	if p.albireoCfg == nil {
+		return nil
+	}
+	return &fidelity.Spec{}
 }
 
 // Build constructs the preset's architecture, validated.

@@ -5,7 +5,9 @@ import (
 
 	"photoloop/internal/albireo"
 	"photoloop/internal/arch"
+	"photoloop/internal/fidelity"
 	"photoloop/internal/mapper"
+	"photoloop/internal/mapping"
 	"photoloop/internal/model"
 	"photoloop/internal/presets"
 	"photoloop/internal/spec"
@@ -48,6 +50,10 @@ type EvalRequest struct {
 	// Mapping evaluates this fixed schedule on every selected layer
 	// instead of searching.
 	Mapping *spec.MappingSpec `json:"mapping,omitempty"`
+	// Fidelity, when set, additionally runs the analog fidelity rollup
+	// (package fidelity) over each evaluated mapping. `{}` uses the
+	// physics defaults; energy/delay/area are bit-identical either way.
+	Fidelity *fidelity.Spec `json:"fidelity,omitempty"`
 }
 
 // EvalResponse is the evaluation result: per-layer outcomes plus the
@@ -66,6 +72,11 @@ type EvalResponse struct {
 	MACsPerCycle float64 `json:"macs_per_cycle"`
 	Utilization  float64 `json:"utilization"`
 	Evaluations  int     `json:"evaluations"`
+	// EffectiveBits, SNRDB and AccuracyLossPct carry the MAC-weighted
+	// analog fidelity rollup when the request set Fidelity.
+	EffectiveBits   float64 `json:"effective_bits,omitempty"`
+	SNRDB           float64 `json:"snr_db,omitempty"`
+	AccuracyLossPct float64 `json:"accuracy_loss_pct,omitempty"`
 	// Pruned, DeltaEvals and FullEvals sum the mapper's search statistics
 	// across the evaluated layers (zero for fixed-mapping requests).
 	Pruned     int `json:"pruned,omitempty"`
@@ -153,6 +164,38 @@ func Eval(req *EvalRequest, cache *mapper.Cache) (*EvalResponse, error) {
 		resp.AreaUM2 = area
 	}
 
+	// The fidelity rollup is a closed-form post-pass over each finished
+	// mapping: it annotates the response's layer outcomes and MAC-weighted
+	// totals without touching (possibly cached) evaluator results.
+	var chain *fidelity.Chain
+	if req.Fidelity != nil {
+		if chain, err = fidelity.Compile(a, req.Fidelity); err != nil {
+			return nil, err
+		}
+	}
+	var fidMACs, fidBits, fidSNR, fidLoss float64
+	annotate := func(lo *LayerOutcome, m *mapping.Mapping) {
+		if chain == nil {
+			return
+		}
+		rep := chain.Evaluate(m)
+		lo.EffectiveBits = rep.EffectiveBits
+		lo.SNRDB = rep.SNRDB
+		lo.AccuracyLossPct = rep.AccuracyLossPct
+		w := float64(lo.MACs)
+		fidMACs += w
+		fidBits += rep.EffectiveBits * w
+		fidSNR += rep.SNRDB * w
+		fidLoss += rep.AccuracyLossPct * w
+	}
+	finishFidelity := func() {
+		if chain != nil && fidMACs > 0 {
+			resp.EffectiveBits = fidBits / fidMACs
+			resp.SNRDB = fidSNR / fidMACs
+			resp.AccuracyLossPct = fidLoss / fidMACs
+		}
+	}
+
 	if cfg != nil && req.Mapping == nil {
 		// Albireo-backed search: run the exact network-evaluator path the
 		// sweep engine uses (canonical seeds, shape-deduplicated
@@ -173,6 +216,7 @@ func Eval(req *EvalRequest, cache *mapper.Cache) (*EvalResponse, error) {
 		for i := range nres.Layers {
 			best := nres.Layers[i].Best
 			resp.Layers = append(resp.Layers, layerOutcome(best))
+			annotate(&resp.Layers[len(resp.Layers)-1], best.Mapping)
 			resp.Evaluations += best.Evaluations
 			resp.Pruned += best.Stats.Pruned
 			resp.DeltaEvals += best.Stats.DeltaEvals
@@ -180,18 +224,15 @@ func Eval(req *EvalRequest, cache *mapper.Cache) (*EvalResponse, error) {
 			total.Accumulate(best.Result)
 		}
 		resp.fillTotals(&total)
+		finishFidelity()
 		return resp, nil
 	}
 
-	var fixed func(l *workload.Layer) (*model.Result, error)
+	var fixedMapping *mapping.Mapping
 	var sess *mapper.Session
 	if req.Mapping != nil {
-		m, err := req.Mapping.Build(a)
-		if err != nil {
+		if fixedMapping, err = req.Mapping.Build(a); err != nil {
 			return nil, err
-		}
-		fixed = func(l *workload.Layer) (*model.Result, error) {
-			return model.Evaluate(a, l, m, model.Options{})
 		}
 	} else {
 		if sess, err = mapper.NewSession(a); err != nil {
@@ -203,12 +244,14 @@ func Eval(req *EvalRequest, cache *mapper.Cache) (*EvalResponse, error) {
 	for i := range layers {
 		l := &layers[i]
 		var res *model.Result
+		var m *mapping.Mapping
 		evals := 0
 		var stats mapper.SearchStats
-		if fixed != nil {
-			if res, err = fixed(l); err != nil {
+		if fixedMapping != nil {
+			if res, err = model.Evaluate(a, l, fixedMapping, model.Options{}); err != nil {
 				return nil, fmt.Errorf("sweep: layer %s: %w", l.Name, err)
 			}
+			m = fixedMapping
 		} else {
 			best, err := sess.Search(l, mapper.Options{
 				Objective: obj, Budget: req.Budget, Seed: req.Seed,
@@ -218,8 +261,10 @@ func Eval(req *EvalRequest, cache *mapper.Cache) (*EvalResponse, error) {
 				return nil, fmt.Errorf("sweep: layer %s: %w", l.Name, err)
 			}
 			res, evals, stats = best.Result, best.Evaluations, best.Stats
+			m = best.Mapping
 		}
 		resp.Layers = append(resp.Layers, layerOutcomeFrom(res, evals, stats))
+		annotate(&resp.Layers[len(resp.Layers)-1], m)
 		resp.Evaluations += evals
 		resp.Pruned += stats.Pruned
 		resp.DeltaEvals += stats.DeltaEvals
@@ -227,6 +272,7 @@ func Eval(req *EvalRequest, cache *mapper.Cache) (*EvalResponse, error) {
 		total.Accumulate(res)
 	}
 	resp.fillTotals(&total)
+	finishFidelity()
 	return resp, nil
 }
 

@@ -133,7 +133,7 @@ func (e *Evaluator) Eval(index int, values []any, wi, oi int) (*Point, error) {
 	// than memoized in the runner's map (which would grow by one dead
 	// entry per evaluation for the Evaluator's lifetime).
 	st := &variantState{}
-	st.init(v)
+	st.init(v, e.spec.Fidelity)
 	job := pointJob{
 		index:    index,
 		variant:  v,

@@ -1,0 +1,237 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"photoloop/internal/fidelity"
+)
+
+// fidelitySweepSpec is the shared fixture: a two-variant albireo sweep,
+// pinned seed/workers, per-layer outcomes on.
+func fidelitySweepSpec(fid *fidelity.Spec) Spec {
+	return Spec{
+		Name: "fidelity-test",
+		Base: Base{Albireo: &AlbireoBase{}},
+		Axes: []Axis{
+			{Param: "output_lanes", Values: []any{3, 9}},
+		},
+		Workloads:     []Workload{{Inline: tinyNet()}},
+		Budget:        40,
+		Seed:          1,
+		SearchWorkers: 1,
+		IncludeLayers: true,
+		Fidelity:      fid,
+	}
+}
+
+// stripFidelity zeroes every fidelity field of a result, so a
+// fidelity-enabled run can be compared bit-for-bit against a disabled one.
+func stripFidelity(res *Result) {
+	for i := range res.Points {
+		p := &res.Points[i]
+		p.EffectiveBits, p.SNRDB, p.AccuracyLossPct = 0, 0, 0
+		if p.Total != nil {
+			p.Total.EffectiveBits, p.Total.SNRDB, p.Total.AccuracyLossPct = 0, 0, 0
+		}
+		for j := range p.Layers {
+			l := &p.Layers[j]
+			l.EffectiveBits, l.SNRDB, l.AccuracyLossPct = 0, 0, 0
+		}
+	}
+}
+
+// TestFidelityOffBitIdentical is the tentpole's safety contract: the
+// fidelity rollup is a pure post-pass, so enabling it must not move a
+// single bit of the energy/delay/area results — and disabling it must
+// leave no fidelity keys in the JSON at all.
+func TestFidelityOffBitIdentical(t *testing.T) {
+	off, err := Run(fidelitySweepSpec(nil), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(fidelitySweepSpec(&fidelity.Spec{}), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range on.Points {
+		p := &on.Points[i]
+		if p.EffectiveBits <= 0 || p.SNRDB <= 0 || p.AccuracyLossPct < 0 {
+			t.Fatalf("point %d: fidelity rollup missing or nonsensical: bits=%v snr=%v loss=%v",
+				i, p.EffectiveBits, p.SNRDB, p.AccuracyLossPct)
+		}
+		for j := range p.Layers {
+			if p.Layers[j].EffectiveBits <= 0 {
+				t.Fatalf("point %d layer %d: no per-layer fidelity annotation", i, j)
+			}
+		}
+	}
+
+	var offJSON bytes.Buffer
+	if err := off.WriteJSON(&offJSON); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"effective_bits", "snr_db", "accuracy_loss_pct"} {
+		if strings.Contains(offJSON.String(), key) {
+			t.Errorf("fidelity-off JSON leaks %q", key)
+		}
+	}
+
+	// Totals are compared before stripping (Total is omitted from JSON).
+	for i := range on.Points {
+		a, b := off.Points[i].Total, on.Points[i].Total
+		if a.TotalPJ != b.TotalPJ || a.Cycles != b.Cycles || a.MACs != b.MACs ||
+			a.Utilization != b.Utilization || a.MACsPerCycle != b.MACsPerCycle {
+			t.Fatalf("point %d: accumulated totals differ with fidelity on: %+v vs %+v", i, a, b)
+		}
+	}
+	stripFidelity(on)
+	var onJSON bytes.Buffer
+	if err := on.WriteJSON(&onJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(offJSON.Bytes(), onJSON.Bytes()) {
+		t.Fatalf("results differ beyond the fidelity fields:\noff: %s\non:  %s", offJSON.Bytes(), onJSON.Bytes())
+	}
+}
+
+// TestFidelityCSVColumns: the sweep CSV always carries the three fidelity
+// columns; they are empty with the rollup off and populated with it on.
+func TestFidelityCSVColumns(t *testing.T) {
+	on, err := Run(fidelitySweepSpec(&fidelity.Spec{}), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.Join(on.CSVHeader(), ",")
+	if !strings.Contains(header, "effective_bits,snr_db,accuracy_loss_pct") {
+		t.Fatalf("CSV header missing fidelity columns: %s", header)
+	}
+	var buf bytes.Buffer
+	if err := on.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(on.Points) {
+		t.Fatalf("got %d CSV lines, want %d", len(lines), 1+len(on.Points))
+	}
+	if !strings.Contains(lines[1], on.Points[0].Objective) || strings.Contains(lines[1], ",,,") {
+		t.Fatalf("fidelity-on CSV row has empty fidelity cells: %s", lines[1])
+	}
+
+	off, err := Run(fidelitySweepSpec(nil), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := off.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	offLines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(offLines[1], ",,,") {
+		t.Fatalf("fidelity-off CSV row should leave the three fidelity cells empty: %s", offLines[1])
+	}
+}
+
+// TestEvalFidelity covers the /v1/eval surface: the rollup annotates
+// layers and MAC-weighted totals when requested, is absent otherwise, and
+// never perturbs the energy metrics.
+func TestEvalFidelity(t *testing.T) {
+	base := EvalRequest{
+		Preset: "albireo", Inline: tinyNet(),
+		Budget: 40, Seed: 1, Workers: 1,
+	}
+	off := base
+	offResp, err := Eval(&off, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := base
+	on.Fidelity = &fidelity.Spec{}
+	onResp, err := Eval(&on, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if offResp.EffectiveBits != 0 || offResp.SNRDB != 0 || offResp.AccuracyLossPct != 0 {
+		t.Fatalf("fidelity fields set without a fidelity request: %+v", offResp)
+	}
+	if onResp.EffectiveBits <= 0 || onResp.SNRDB <= 0 {
+		t.Fatalf("fidelity request produced no rollup: bits=%v snr=%v", onResp.EffectiveBits, onResp.SNRDB)
+	}
+	if onResp.EffectiveBits >= 8 {
+		t.Fatalf("analog chain reports %v effective bits, expected below the 8-bit reference", onResp.EffectiveBits)
+	}
+	for i := range onResp.Layers {
+		if onResp.Layers[i].EffectiveBits <= 0 {
+			t.Fatalf("layer %d missing fidelity annotation", i)
+		}
+	}
+	if offResp.TotalPJ != onResp.TotalPJ || offResp.Cycles != onResp.Cycles ||
+		offResp.MACs != onResp.MACs || offResp.Utilization != onResp.Utilization ||
+		offResp.Evaluations != onResp.Evaluations {
+		t.Fatalf("fidelity request changed the evaluation itself:\noff %+v\non  %+v", offResp, onResp)
+	}
+
+	// The electrical baseline has no analog chain: a fidelity request
+	// reports the full reference precision with zero loss.
+	digital := EvalRequest{
+		Preset: "electrical-baseline", Inline: tinyNet(),
+		Budget: 40, Seed: 1, Workers: 1,
+		Fidelity: &fidelity.Spec{},
+	}
+	digResp, err := Eval(&digital, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digResp.EffectiveBits != 8 || digResp.AccuracyLossPct != 0 {
+		t.Fatalf("digital chain: bits=%v loss=%v, want exactly 8 and 0", digResp.EffectiveBits, digResp.AccuracyLossPct)
+	}
+}
+
+// TestStudyFidelity: a fidelity-enabled study annotates albireo-backed
+// rows, leaves the electrical baseline's columns empty (nil default spec),
+// and keeps every ranked metric bit-identical to a plain study.
+func TestStudyFidelity(t *testing.T) {
+	plain := studySpecSmall()
+	fid := studySpecSmall()
+	fid.Fidelity = true
+
+	plainRes, err := RunStudy(plain, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fidRes, err := RunStudy(fid, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plainRes.Rows) != len(fidRes.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(plainRes.Rows), len(fidRes.Rows))
+	}
+	for i := range fidRes.Rows {
+		p, f := &plainRes.Rows[i], &fidRes.Rows[i]
+		if p.Preset != f.Preset || p.Objective != f.Objective || p.Rank != f.Rank ||
+			p.TotalPJ != f.TotalPJ || p.Cycles != f.Cycles || p.Score != f.Score {
+			t.Fatalf("row %d changed under fidelity: %+v vs %+v", i, p, f)
+		}
+		switch f.Preset {
+		case "electrical-baseline":
+			if f.EffectiveBits != 0 {
+				t.Errorf("row %d: electrical baseline should keep empty fidelity columns, got %v bits", i, f.EffectiveBits)
+			}
+		default:
+			if f.EffectiveBits <= 0 || f.EffectiveBits >= 8 {
+				t.Errorf("row %d (%s): effective bits %v, want in (0, 8)", i, f.Preset, f.EffectiveBits)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := fidRes.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], "effective_bits") {
+		t.Fatalf("study CSV header missing effective_bits: %s", buf.String())
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"photoloop/internal/albireo"
 	"photoloop/internal/arch"
+	"photoloop/internal/fidelity"
 	"photoloop/internal/mapper"
 	"photoloop/internal/mapping"
 	"photoloop/internal/model"
@@ -99,6 +100,12 @@ type Point struct {
 	PJPerMAC     float64 `json:"pj_per_mac,omitempty"`
 	MACsPerCycle float64 `json:"macs_per_cycle,omitempty"`
 	Utilization  float64 `json:"utilization,omitempty"`
+	// EffectiveBits, SNRDB and AccuracyLossPct carry the MAC-weighted
+	// analog fidelity rollup of the point's best mappings (Spec.Fidelity);
+	// all zero when fidelity modeling is off.
+	EffectiveBits   float64 `json:"effective_bits,omitempty"`
+	SNRDB           float64 `json:"snr_db,omitempty"`
+	AccuracyLossPct float64 `json:"accuracy_loss_pct,omitempty"`
 	// Evaluations sums the mapper's model evaluations across layers.
 	Evaluations int `json:"evaluations,omitempty"`
 	// Pruned, DeltaEvals and FullEvals sum the mapper's search statistics
@@ -129,6 +136,11 @@ type LayerOutcome struct {
 	MACsPerCycle float64 `json:"macs_per_cycle"`
 	Utilization  float64 `json:"utilization"`
 	Evaluations  int     `json:"evaluations"`
+	// EffectiveBits, SNRDB and AccuracyLossPct carry the layer's analog
+	// fidelity rollup when the spec enables it.
+	EffectiveBits   float64 `json:"effective_bits,omitempty"`
+	SNRDB           float64 `json:"snr_db,omitempty"`
+	AccuracyLossPct float64 `json:"accuracy_loss_pct,omitempty"`
 	// Pruned, DeltaEvals and FullEvals break down how the search spent
 	// its candidates (see mapper.SearchStats); all zero for fixed-mapping
 	// evaluations.
@@ -354,16 +366,21 @@ type variantState struct {
 	once sync.Once
 	a    *arch.Arch
 	sess *mapper.Session // raw-spec bases only
+	fid  *fidelity.Chain // nil unless Spec.Fidelity is set
 	err  error
 }
 
 // init builds (once) the variant's architecture and, for raw-spec bases,
-// its mapper session.
-func (st *variantState) init(v *variant) {
+// its mapper session. A non-nil fspec additionally compiles the variant's
+// analog fidelity chain.
+func (st *variantState) init(v *variant, fspec *fidelity.Spec) {
 	st.once.Do(func() {
 		st.a, st.err = v.build()
 		if st.err == nil && v.albireo == nil {
 			st.sess, st.err = mapper.NewSession(st.a)
+		}
+		if st.err == nil && fspec != nil {
+			st.fid, st.err = fidelity.Compile(st.a, fspec)
 		}
 	})
 }
@@ -377,7 +394,7 @@ func (r *runner) state(v *variant) *variantState {
 		r.states[v] = st
 	}
 	r.stateMu.Unlock()
-	st.init(v)
+	st.init(v, r.spec.Fidelity)
 	return st
 }
 
@@ -446,6 +463,25 @@ func (r *runner) evaluate(job *pointJob, warm warmTable, collect bool) (Point, w
 		p.DeltaEvals += st.DeltaEvals
 		p.FullEvals += st.FullEvals
 	}
+	// annotate attaches the analog fidelity rollup to a layer outcome and
+	// feeds the MAC-weighted point aggregate. Cached mapper results are
+	// shared across points, so fidelity lands on the point-owned outcome
+	// and total — never on best.Result.
+	var fidMACs, fidBits, fidSNR, fidLoss float64
+	annotate := func(lo *LayerOutcome, m *mapping.Mapping) {
+		if st.fid == nil {
+			return
+		}
+		rep := st.fid.Evaluate(m)
+		lo.EffectiveBits = rep.EffectiveBits
+		lo.SNRDB = rep.SNRDB
+		lo.AccuracyLossPct = rep.AccuracyLossPct
+		w := float64(lo.MACs)
+		fidMACs += w
+		fidBits += rep.EffectiveBits * w
+		fidSNR += rep.SNRDB * w
+		fidLoss += rep.AccuracyLossPct * w
+	}
 	var total *model.Result
 	var layers []LayerOutcome
 	if job.variant.albireo != nil {
@@ -463,6 +499,7 @@ func (r *runner) evaluate(job *pointJob, warm warmTable, collect bool) (Point, w
 		for i := range nres.Layers {
 			le := &nres.Layers[i]
 			layers = append(layers, layerOutcome(le.Best))
+			annotate(&layers[len(layers)-1], le.Best.Mapping)
 			p.Evaluations += le.Best.Evaluations
 			addStats(le.Best.Stats)
 			if collect {
@@ -486,6 +523,7 @@ func (r *runner) evaluate(job *pointJob, warm warmTable, collect bool) (Point, w
 			}
 			total.Accumulate(best.Result)
 			layers = append(layers, layerOutcome(best))
+			annotate(&layers[len(layers)-1], best.Mapping)
 			p.Evaluations += best.Evaluations
 			addStats(best.Stats)
 			if collect {
@@ -497,6 +535,11 @@ func (r *runner) evaluate(job *pointJob, warm warmTable, collect bool) (Point, w
 		}
 	}
 
+	if st.fid != nil && fidMACs > 0 {
+		total.EffectiveBits = fidBits / fidMACs
+		total.SNRDB = fidSNR / fidMACs
+		total.AccuracyLossPct = fidLoss / fidMACs
+	}
 	p.Total = total
 	p.MACs = total.MACs
 	p.Cycles = total.Cycles
@@ -504,6 +547,9 @@ func (r *runner) evaluate(job *pointJob, warm warmTable, collect bool) (Point, w
 	p.PJPerMAC = total.PJPerMAC()
 	p.MACsPerCycle = total.MACsPerCycle
 	p.Utilization = total.Utilization
+	p.EffectiveBits = total.EffectiveBits
+	p.SNRDB = total.SNRDB
+	p.AccuracyLossPct = total.AccuracyLossPct
 	if r.spec.IncludeLayers {
 		p.Layers = layers
 	}
@@ -546,6 +592,7 @@ func (r *Result) CSVHeader() []string {
 		"network", "batch", "fused", "objective", "arch",
 		"area_mm2", "peak_macs_per_cycle", "macs", "cycles",
 		"total_pj", "pj_per_mac", "macs_per_cycle", "utilization",
+		"effective_bits", "snr_db", "accuracy_loss_pct",
 		"evaluations", "error")
 }
 
@@ -562,6 +609,20 @@ func (r *Result) paramColumns() []string {
 	}
 	sort.Strings(cols)
 	return cols
+}
+
+// fidelityCells formats the three fidelity columns, empty when fidelity
+// modeling was off (all-zero metrics never occur on a real rollup — a
+// perfect chain still reports its reference SNR).
+func fidelityCells(bits, snr, loss float64) []string {
+	if bits == 0 && snr == 0 && loss == 0 {
+		return []string{"", "", ""}
+	}
+	return []string{
+		fmt.Sprintf("%.4f", bits),
+		fmt.Sprintf("%.4f", snr),
+		fmt.Sprintf("%.4f", loss),
+	}
 }
 
 // WriteCSV writes the result as CSV, one row per point.
@@ -587,8 +648,9 @@ func (r *Result) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.4f", p.AreaUM2/1e6), strconv.FormatInt(p.PeakMACsPerCycle, 10),
 			strconv.FormatInt(p.MACs, 10), fmt.Sprintf("%.1f", p.Cycles),
 			fmt.Sprintf("%.4f", p.TotalPJ), fmt.Sprintf("%.6f", p.PJPerMAC),
-			fmt.Sprintf("%.3f", p.MACsPerCycle), fmt.Sprintf("%.4f", p.Utilization),
-			strconv.Itoa(p.Evaluations), p.Err)
+			fmt.Sprintf("%.3f", p.MACsPerCycle), fmt.Sprintf("%.4f", p.Utilization))
+		row = append(row, fidelityCells(p.EffectiveBits, p.SNRDB, p.AccuracyLossPct)...)
+		row = append(row, strconv.Itoa(p.Evaluations), p.Err)
 		if err := cw.Write(row); err != nil {
 			return err
 		}

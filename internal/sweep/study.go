@@ -43,6 +43,11 @@ type StudySpec struct {
 	// default). Results are deterministic for a fixed (Seed,
 	// SearchWorkers) pair.
 	SearchWorkers int `json:"search_workers,omitempty"`
+	// Fidelity additionally runs each preset's default analog fidelity
+	// rollup (presets.Preset.DefaultFidelity) over every row's best
+	// mappings. Energy/delay/area columns are bit-identical either way;
+	// presets without an analog datapath keep empty fidelity columns.
+	Fidelity bool `json:"fidelity,omitempty"`
 }
 
 // resolvePresets expands the preset selection, treating empty and "all"
@@ -117,6 +122,11 @@ type StudyRow struct {
 	PJPerMAC     float64 `json:"pj_per_mac"`
 	MACsPerCycle float64 `json:"macs_per_cycle"`
 	Utilization  float64 `json:"utilization"`
+	// EffectiveBits, SNRDB and AccuracyLossPct carry the MAC-weighted
+	// analog fidelity rollup when the study set Fidelity.
+	EffectiveBits   float64 `json:"effective_bits,omitempty"`
+	SNRDB           float64 `json:"snr_db,omitempty"`
+	AccuracyLossPct float64 `json:"accuracy_loss_pct,omitempty"`
 	// Score is the ranked metric: total pJ for "energy", cycles for
 	// "delay", their product for "edp".
 	Score float64 `json:"score"`
@@ -133,6 +143,10 @@ type StudyResult struct {
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 }
+
+// StudyObjectives returns the objective names a study accepts
+// (mapper.ParseObjective's vocabulary), in canonical order.
+func StudyObjectives() []string { return []string{"energy", "delay", "edp"} }
 
 // score derives the ranked metric from a point.
 func score(objective string, p *Point) float64 {
@@ -191,6 +205,10 @@ func RunStudy(sp StudySpec, opts Options) (*StudyResult, error) {
 			Seed:          sp.Seed,
 			SearchWorkers: sp.SearchWorkers,
 		}
+		if sp.Fidelity {
+			p, _ := presets.ByName(preset) // validated by resolvePresets
+			sub.Fidelity = p.DefaultFidelity()
+		}
 		presetOpts := runOpts
 		if opts.Progress != nil {
 			base := done
@@ -219,6 +237,9 @@ func RunStudy(sp StudySpec, opts Options) (*StudyResult, error) {
 				PJPerMAC:         p.PJPerMAC,
 				MACsPerCycle:     p.MACsPerCycle,
 				Utilization:      p.Utilization,
+				EffectiveBits:    p.EffectiveBits,
+				SNRDB:            p.SNRDB,
+				AccuracyLossPct:  p.AccuracyLossPct,
 				Score:            score(p.Objective, p),
 			})
 		}
@@ -275,17 +296,19 @@ var studyColumns = []string{
 	"network", "objective", "rank", "preset", "arch",
 	"area_mm2", "peak_macs_per_cycle",
 	"total_pj", "pj_per_mac", "cycles", "macs_per_cycle", "utilization",
+	"effective_bits", "snr_db", "accuracy_loss_pct",
 }
 
 // fields renders the row's column values.
 func (row *StudyRow) fields() []string {
-	return []string{
+	cells := []string{
 		row.Network, row.Objective, strconv.Itoa(row.Rank), row.Preset, row.Arch,
 		fmt.Sprintf("%.4f", row.AreaUM2/1e6), strconv.FormatInt(row.PeakMACsPerCycle, 10),
 		fmt.Sprintf("%.4f", row.TotalPJ), fmt.Sprintf("%.6f", row.PJPerMAC),
 		fmt.Sprintf("%.1f", row.Cycles), fmt.Sprintf("%.3f", row.MACsPerCycle),
 		fmt.Sprintf("%.4f", row.Utilization),
 	}
+	return append(cells, fidelityCells(row.EffectiveBits, row.SNRDB, row.AccuracyLossPct)...)
 }
 
 // WriteCSV writes the study as CSV, one row per (preset, workload,

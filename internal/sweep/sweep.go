@@ -20,6 +20,7 @@ import (
 
 	"photoloop/internal/albireo"
 	"photoloop/internal/arch"
+	"photoloop/internal/fidelity"
 	"photoloop/internal/presets"
 	"photoloop/internal/spec"
 	"photoloop/internal/workload"
@@ -48,6 +49,13 @@ type Spec struct {
 	// default). Results are deterministic for a fixed (Seed,
 	// SearchWorkers) pair.
 	SearchWorkers int `json:"search_workers,omitempty"`
+	// Fidelity enables the analog error model: every point's best
+	// mappings are rolled up through the compiled fidelity chain
+	// (fidelity.Compile) and the point carries MAC-weighted effective
+	// bits, SNR and estimated accuracy degradation. A closed-form
+	// post-pass — energy/delay/area results are bit-identical with it on
+	// or off.
+	Fidelity *fidelity.Spec `json:"fidelity,omitempty"`
 	// IncludeLayers adds per-layer outcomes to every point (larger
 	// output).
 	IncludeLayers bool `json:"include_layers,omitempty"`
