@@ -120,7 +120,7 @@ func benchScalingRun(n int) (BenchScalingRun, int, error) {
 		}
 		defer wst.Close()
 		go func() {
-			done <- shard.Work(ctx, m.Shard, wst, shard.WorkerOptions{Poll: 5 * time.Millisecond})
+			done <- shard.Work(ctx, shard.Local{C: m.Shard}, shard.SharedDir{S: wst}, shard.WorkerOptions{Poll: 5 * time.Millisecond})
 		}()
 	}
 

@@ -13,7 +13,7 @@
 //	photoloop jobs submit -store DIR (-sweep s.json | -explore e.json) ...
 //	photoloop jobs (resume|status|result) -store DIR [-id ID] ...
 //	photoloop serve [-addr :8080] [-workers N] [-store DIR] [-shard]
-//	photoloop worker -coordinator URL -store DIR [-job ID]
+//	photoloop worker -coordinator URL {-store DIR | -remote} [-job ID]
 //	photoloop bench [-json] [-out BENCH.json] [-compare prior.json]
 //	photoloop template          # print an example architecture spec
 //	photoloop networks          # list built-in workloads
@@ -170,13 +170,16 @@ func usage(w io.Writer) {
       out across attached 'photoloop worker' processes through range
       leases; -shard-local=false leaves all evaluation to workers, and
       GET /v1/jobs/{id}/shards reports lease progress.
-  photoloop worker -coordinator URL -store DIR [-job ID] [-poll D]
-                   [-search-workers N] [-max-leases N] [-quiet]
-      Join a serve -shard process as one worker: lease task ranges, warm
-      the shared store DIR (which must be the same directory the serve
-      process opened — each worker appends its own segment), and report
-      completion. Killing a worker is always safe: finished searches are
-      already in the store and its range is reassigned after the lease
+  photoloop worker -coordinator URL {-store DIR | -remote} [-job ID]
+                   [-poll D] [-search-workers N] [-max-leases N] [-quiet]
+      Join a serve -shard process as one worker: lease task ranges,
+      evaluate them, report completion. With -store DIR the worker
+      appends results to its own segment of the shared store directory
+      (which must be the same directory the serve process opened); with
+      -remote it holds no store at all and uploads results back to the
+      coordinator over HTTP — shared-nothing workers on any machine that
+      can reach the URL. Killing a worker is always safe: finished
+      searches are durable and its range is reassigned after the lease
       TTL. See docs/SERVICE.md.
   photoloop bench [-json] [-out BENCH.json] [-compare prior.json] [-label name]
                   [-scaling]

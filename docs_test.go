@@ -150,6 +150,8 @@ var docRefPackages = map[string]string{
 	"report":     "internal/report",
 	"store":      "internal/store",
 	"jobs":       "internal/jobs",
+	"shard":      "internal/shard",
+	"retry":      "internal/retry",
 	"fidelity":   "internal/fidelity",
 }
 

@@ -47,7 +47,7 @@ func (m *Manager) startShard(ctx context.Context, st *Status, kind string, inner
 			defer close(sr.done)
 			// SearchWorkers stays 0: the lease's spec must be evaluated
 			// with exactly the cache keys the assembly run will look up.
-			shard.Work(wctx, m.Shard, m.store, shard.WorkerOptions{
+			shard.Work(wctx, shard.Local{C: m.Shard}, shard.SharedDir{S: m.store}, shard.WorkerOptions{
 				Job:  st.ID,
 				Poll: 25 * time.Millisecond,
 			})

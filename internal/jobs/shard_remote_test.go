@@ -1,0 +1,146 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"photoloop/internal/shard"
+	"photoloop/internal/store"
+	"photoloop/internal/sweep"
+)
+
+// remoteWorkerPool starts n shared-nothing workers against the manager's
+// HTTP surface and returns their persisters plus a stop function that
+// waits for clean exits.
+func remoteWorkerPool(t *testing.T, url string, n int) ([]*store.RemotePersister, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, n)
+	persisters := make([]*store.RemotePersister, n)
+	for i := 0; i < n; i++ {
+		rp := store.NewRemotePersister(url, nil)
+		persisters[i] = rp
+		go func() {
+			done <- shard.Work(ctx, &shard.Client{Base: url}, rp, shard.WorkerOptions{Poll: 10 * time.Millisecond})
+		}()
+	}
+	return persisters, func() {
+		cancel()
+		for i := 0; i < n; i++ {
+			if err := <-done; err != nil {
+				t.Errorf("remote worker: %v", err)
+			}
+		}
+	}
+}
+
+// TestShardedRemoteNoSharedDir is the shared-nothing acceptance test at
+// the jobs layer: workers hold no filesystem store at all — every result
+// reaches the coordinator as an HTTP upload — and the assembled artifact
+// is byte-identical to the single-process run at 1, 2 and 4 workers.
+// The coordinator's store must stay single-segment: proof that no worker
+// ever touched the directory.
+func TestShardedRemoteNoSharedDir(t *testing.T) {
+	plain := openManager(t, t.TempDir())
+	_, want := runJob(t, plain, sweepJob())
+
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			m := openManager(t, t.TempDir())
+			m.Shard = shard.NewCoordinator()
+			m.ShardLocal = false
+			srv := sweep.NewServer()
+			Attach(srv, m)
+			hs := httptest.NewServer(srv)
+			defer hs.Close()
+
+			persisters, stop := remoteWorkerPool(t, hs.URL, workers)
+			st, got := runJob(t, m, sweepJob())
+			stop()
+
+			if !bytes.Equal(got, want) {
+				t.Error("shared-nothing artifact differs from single-process artifact")
+			}
+			if st.Store == nil || st.Store.Misses != 0 {
+				t.Errorf("coordinator recomputed searches: %+v", st.Store)
+			}
+			if seg := m.Store().Segments(); seg != 1 {
+				t.Errorf("coordinator store spans %d segments; remote workers must not create segments", seg)
+			}
+			uploaded := 0
+			for _, rp := range persisters {
+				uploaded += rp.Stats().Uploaded
+			}
+			if uploaded == 0 {
+				t.Error("no results travelled over the wire")
+			}
+
+			// Warm repeat with a fresh worker pool: the coordinator's
+			// store already holds every search, so the new workers pull
+			// the warm-key digest, serve their leases from coordinator
+			// fetches, and upload nothing.
+			persisters2, stop2 := remoteWorkerPool(t, hs.URL, workers)
+			st2, err := m.Run(context.Background(), st.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop2()
+			if st2.Store == nil || st2.Store.Misses != 0 {
+				t.Errorf("warm repeat recomputed searches: %+v", st2.Store)
+			}
+			rerun, err := m.Result(st2.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rerun, want) {
+				t.Error("warm repeat artifact differs")
+			}
+			warm, uploaded2 := 0, 0
+			for _, rp := range persisters2 {
+				s := rp.Stats()
+				warm += s.WarmHits
+				uploaded2 += s.Uploaded
+			}
+			if uploaded2 != 0 {
+				t.Errorf("warm repeat uploaded %d records, want 0 (every search already coordinator-side)", uploaded2)
+			}
+			if warm == 0 {
+				t.Error("warm repeat served no warm hits from the coordinator")
+			}
+		})
+	}
+}
+
+// TestShardedRemoteExploreNoSharedDir runs the multi-generation adaptive
+// explore path shared-nothing: every generation's results cross the wire
+// and the frontier must still match the single-process bytes.
+func TestShardedRemoteExploreNoSharedDir(t *testing.T) {
+	plain := openManager(t, t.TempDir())
+	_, want := runJob(t, plain, adaptiveExploreJob())
+
+	m := openManager(t, t.TempDir())
+	m.Shard = shard.NewCoordinator()
+	m.ShardLocal = false
+	srv := sweep.NewServer()
+	Attach(srv, m)
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	_, stop := remoteWorkerPool(t, hs.URL, 2)
+	st, got := runJob(t, m, adaptiveExploreJob())
+	stop()
+
+	if !bytes.Equal(got, want) {
+		t.Error("shared-nothing adaptive frontier differs from single-process artifact")
+	}
+	if st.Store == nil || st.Store.Misses != 0 {
+		t.Errorf("coordinator recomputed searches: %+v", st.Store)
+	}
+	if seg := m.Store().Segments(); seg != 1 {
+		t.Errorf("coordinator store spans %d segments", seg)
+	}
+}

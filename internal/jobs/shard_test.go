@@ -133,7 +133,7 @@ func TestShardedRemoteWorkers(t *testing.T) {
 				}
 				defer wst.Close()
 				go func() {
-					done <- shard.Work(ctx, m.Shard, wst, shard.WorkerOptions{})
+					done <- shard.Work(ctx, shard.Local{C: m.Shard}, shard.SharedDir{S: wst}, shard.WorkerOptions{})
 				}()
 			}
 
@@ -188,7 +188,7 @@ func TestShardedFidelityExploreRemoteWorkers(t *testing.T) {
 				}
 				defer wst.Close()
 				go func() {
-					done <- shard.Work(ctx, m.Shard, wst, shard.WorkerOptions{})
+					done <- shard.Work(ctx, shard.Local{C: m.Shard}, shard.SharedDir{S: wst}, shard.WorkerOptions{})
 				}()
 			}
 

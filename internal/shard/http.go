@@ -2,11 +2,15 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
+
+	"photoloop/internal/retry"
 )
 
 // AttachHTTP mounts the coordinator's worker-facing endpoints through the
@@ -85,10 +89,21 @@ func AttachHTTP(mount func(pattern string, h http.Handler), c *Coordinator) {
 
 // Client is the HTTP side of Coord: what `photoloop worker -coordinator
 // URL` talks through. The zero HTTP client is usable; Base is the serve
-// address ("http://host:port").
+// address ("http://host:port"). Every call retries under Retry (zero
+// value = the retry package defaults): transport errors, truncated
+// responses and 5xx retry with exponential backoff, 4xx is a fact and
+// fails immediately — notably heartbeat 409, which means the lease was
+// reassigned and the range must be abandoned, not re-asked-for.
 type Client struct {
+	// Base is the coordinator address ("http://host:port").
 	Base string
+	// HTTP overrides the transport (nil = http.DefaultClient).
 	HTTP *http.Client
+	// Retry bounds per-call retries (zero value = retry defaults).
+	Retry retry.Policy
+
+	mu      sync.Mutex
+	retries int
 }
 
 func (cl *Client) client() *http.Client {
@@ -98,56 +113,102 @@ func (cl *Client) client() *http.Client {
 	return http.DefaultClient
 }
 
-// post issues one coordinator call, decoding a JSON body into out when
-// the response carries one.
-func (cl *Client) post(path string, body, out any) (int, error) {
-	var rd io.Reader
+// Retries reports how many individual HTTP attempts failed and were
+// retried over the client's lifetime — the observable trace of riding
+// out a flaky network.
+func (cl *Client) Retries() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.retries
+}
+
+// post issues one coordinator call under the retry policy, decoding a
+// JSON body into out when the response carries one.
+func (cl *Client) post(ctx context.Context, path string, body, out any) (int, error) {
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return 0, err
 		}
-		rd = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequest(http.MethodPost, strings.TrimSuffix(cl.Base, "/")+path, rd)
-	if err != nil {
-		return 0, err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := cl.client().Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e)
-		if e.Error == "" {
-			e.Error = resp.Status
-		}
-		return resp.StatusCode, fmt.Errorf("shard: %s: %s", path, e.Error)
-	}
-	if out != nil && resp.StatusCode != http.StatusNoContent {
-		if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(out); err != nil {
-			return resp.StatusCode, fmt.Errorf("shard: decoding %s response: %w", path, err)
+	policy := cl.Retry
+	inner := policy.OnRetry
+	policy.OnRetry = func(err error) {
+		cl.mu.Lock()
+		cl.retries++
+		cl.mu.Unlock()
+		if inner != nil {
+			inner(err)
 		}
 	}
-	return resp.StatusCode, nil
+	var code int
+	err := policy.Do(ctx, func() error {
+		var rd io.Reader
+		if buf != nil {
+			rd = bytes.NewReader(buf)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimSuffix(cl.Base, "/")+path, rd)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		if buf != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := cl.client().Do(req)
+		if err != nil {
+			return err // transport blip: retry
+		}
+		defer resp.Body.Close()
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		if err != nil {
+			return err // truncated response: retry
+		}
+		switch {
+		case resp.StatusCode >= 500:
+			return fmt.Errorf("shard: %s: %s", path, resp.Status)
+		case resp.StatusCode >= 400:
+			var e struct {
+				Error string `json:"error"`
+			}
+			json.Unmarshal(payload, &e)
+			if e.Error == "" {
+				e.Error = resp.Status
+			}
+			return retry.Permanent(&StatusError{Code: resp.StatusCode, Msg: fmt.Sprintf("shard: %s: %s", path, e.Error)})
+		}
+		if out != nil && resp.StatusCode != http.StatusNoContent {
+			if err := json.Unmarshal(payload, out); err != nil {
+				return fmt.Errorf("shard: decoding %s response: %w", path, err) // torn body behind a proxy: retry
+			}
+		}
+		code = resp.StatusCode
+		return nil
+	})
+	return code, err
 }
+
+// StatusError is a coordinator 4xx refusal, preserved so callers can
+// branch on the code (a heartbeat 409 means the lease is lost).
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Msg is the coordinator's error message.
+	Msg string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string { return e.Msg }
 
 // Lease implements Coord: a 204 (no work available) returns (nil, nil),
 // and the worker polls.
-func (cl *Client) Lease(job string) (*Lease, error) {
+func (cl *Client) Lease(ctx context.Context, job string) (*Lease, error) {
 	path := "/v1/jobs/lease"
 	if job != "" {
 		path = "/v1/jobs/" + job + "/lease"
 	}
 	var l Lease
-	code, err := cl.post(path, nil, &l)
+	code, err := cl.post(ctx, path, nil, &l)
 	if err != nil {
 		return nil, err
 	}
@@ -159,19 +220,19 @@ func (cl *Client) Lease(job string) (*Lease, error) {
 
 // Heartbeat implements Coord. A 409 means the lease was reassigned — the
 // error makes the worker abandon the range.
-func (cl *Client) Heartbeat(job, lease string) error {
-	_, err := cl.post("/v1/jobs/"+job+"/lease/"+lease+"/heartbeat", nil, nil)
+func (cl *Client) Heartbeat(ctx context.Context, job, lease string) error {
+	_, err := cl.post(ctx, "/v1/jobs/"+job+"/lease/"+lease+"/heartbeat", nil, nil)
 	return err
 }
 
 // Complete implements Coord.
-func (cl *Client) Complete(job, lease string) error {
-	_, err := cl.post("/v1/jobs/"+job+"/lease/"+lease+"/complete", nil, nil)
+func (cl *Client) Complete(ctx context.Context, job, lease string) error {
+	_, err := cl.post(ctx, "/v1/jobs/"+job+"/lease/"+lease+"/complete", nil, nil)
 	return err
 }
 
 // Fail implements Coord.
-func (cl *Client) Fail(job, lease, msg string) error {
-	_, err := cl.post("/v1/jobs/"+job+"/lease/"+lease+"/fail", map[string]string{"error": msg}, nil)
+func (cl *Client) Fail(ctx context.Context, job, lease, msg string) error {
+	_, err := cl.post(ctx, "/v1/jobs/"+job+"/lease/"+lease+"/fail", map[string]string{"error": msg}, nil)
 	return err
 }

@@ -13,16 +13,81 @@ import (
 	"photoloop/internal/sweep"
 )
 
-// Coord is what a worker needs from a coordinator. The Coordinator
-// implements it directly (in-process workers: the coordinating process
-// participating in its own job, tests), and Client implements it over
-// the serve API (remote worker processes).
+// Coord is what a worker needs from a coordinator. Local wraps a
+// Coordinator for in-process workers (the coordinating process
+// participating in its own job, tests); Client implements it over the
+// serve API with retries (remote worker processes). The context bounds
+// each call — over HTTP that includes the retry backoff.
 type Coord interface {
-	Lease(job string) (*Lease, error)
-	Heartbeat(job, lease string) error
-	Complete(job, lease string) error
-	Fail(job, lease, msg string) error
+	Lease(ctx context.Context, job string) (*Lease, error)
+	Heartbeat(ctx context.Context, job, lease string) error
+	Complete(ctx context.Context, job, lease string) error
+	Fail(ctx context.Context, job, lease, msg string) error
 }
+
+// Local adapts an in-process Coordinator to the Coord interface. The
+// Coordinator's own methods are synchronous map operations that cannot
+// block, so the context is accepted and ignored.
+type Local struct {
+	// C is the wrapped coordinator.
+	C *Coordinator
+}
+
+// Lease implements Coord.
+func (l Local) Lease(ctx context.Context, job string) (*Lease, error) { return l.C.Lease(job) }
+
+// Heartbeat implements Coord.
+func (l Local) Heartbeat(ctx context.Context, job, lease string) error {
+	return l.C.Heartbeat(job, lease)
+}
+
+// Complete implements Coord.
+func (l Local) Complete(ctx context.Context, job, lease string) error {
+	return l.C.Complete(job, lease)
+}
+
+// Fail implements Coord.
+func (l Local) Fail(ctx context.Context, job, lease, msg string) error {
+	return l.C.Fail(job, lease, msg)
+}
+
+// WorkerStore is a worker's result channel: the mapper.Persister its
+// per-lease caches write through, plus the lease-lifecycle hooks that
+// differ between the shared-directory and shared-nothing topologies.
+// Begin runs at lease start (refresh the shared view, or pull the
+// coordinator's warm-key digest); Flush runs before Complete and must
+// not return until every result of the lease is durable outside this
+// process — a range must never be marked done while its results can
+// still be lost with the worker.
+type WorkerStore interface {
+	mapper.Persister
+	// Begin prepares the store for one lease of the named job.
+	Begin(ctx context.Context, job string) error
+	// Flush makes every stored result durable before the lease completes.
+	Flush(ctx context.Context) error
+}
+
+// SharedDir adapts a shared-directory *store.Store to WorkerStore: the
+// worker appends to its own segment of a store directory the coordinator
+// also reads. Begin refreshes the merged view (another worker may have
+// computed half the range already); Flush is a no-op because WriteAt
+// already landed every record in the segment file.
+type SharedDir struct {
+	// S is the worker's handle on the shared store directory.
+	S *store.Store
+}
+
+// Load implements mapper.Persister.
+func (d SharedDir) Load(k mapper.Key) (*mapper.Best, bool) { return d.S.Load(k) }
+
+// Store implements mapper.Persister.
+func (d SharedDir) Store(k mapper.Key, b *mapper.Best) error { return d.S.Store(k, b) }
+
+// Begin implements WorkerStore.
+func (d SharedDir) Begin(ctx context.Context, job string) error { return d.S.Refresh() }
+
+// Flush implements WorkerStore.
+func (d SharedDir) Flush(ctx context.Context) error { return nil }
 
 // WorkerOptions tunes a Work loop.
 type WorkerOptions struct {
@@ -48,50 +113,81 @@ type WorkerOptions struct {
 // deterministically.
 const pointDelayEnv = "PHOTOLOOP_JOB_POINT_DELAY"
 
-// Work runs a worker loop: lease a task range, refresh the store, warm it
-// with the range's searches, report completion; repeat until the context
-// ends (which is the normal way to stop a worker — a clean return, not an
-// error). The store handle is the worker's own segment of the shared
-// store directory; everything the worker computes write-through lands
-// there, which is the entire output channel — evaluated points are
-// discarded, only their searches matter.
-func Work(ctx context.Context, c Coord, st *store.Store, opts WorkerOptions) error {
+// maxConsecutiveFailures is how many coordinator calls in a row may fail
+// (after the Client's own retries) before the worker loop gives up. A
+// blip degrades to retry-then-poll; only a coordinator that stays dead
+// through this many rounds ends the worker.
+const maxConsecutiveFailures = 10
+
+// Work runs a worker loop: lease a task range, prepare the store, warm it
+// with the range's searches, flush, report completion; repeat until the
+// context ends (which is the normal way to stop a worker — a clean
+// return, not an error). The WorkerStore is the worker's entire output
+// channel — evaluated points are discarded, only their searches matter:
+// a SharedDir store appends to its own segment of a shared directory, a
+// store.RemotePersister uploads results to the coordinator over HTTP.
+// Coordinator failures degrade to retry: a lease, heartbeat or complete
+// call that fails never abandons already-durable results, and only
+// maxConsecutiveFailures failed rounds in a row stop the loop.
+func Work(ctx context.Context, c Coord, ws WorkerStore, opts WorkerOptions) error {
 	poll := opts.Poll
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
 	}
 	completed := 0
+	failures := 0
+	wait := func() {
+		select {
+		case <-ctx.Done():
+		case <-time.After(poll):
+		}
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
-		lease, err := c.Lease(opts.Job)
+		lease, err := c.Lease(ctx, opts.Job)
 		if err != nil {
-			return err
-		}
-		if lease == nil {
-			select {
-			case <-ctx.Done():
+			if ctx.Err() != nil {
 				return nil
-			case <-time.After(poll):
 			}
+			if failures++; failures >= maxConsecutiveFailures {
+				return fmt.Errorf("shard: coordinator unreachable after %d attempts: %w", failures, err)
+			}
+			wait()
+			continue
+		}
+		failures = 0
+		if lease == nil {
+			wait()
 			continue
 		}
 		if opts.OnLease != nil {
 			opts.OnLease(lease)
 		}
-		if err := workLease(ctx, c, st, lease, opts); err != nil {
+		if err := workLease(ctx, c, ws, lease, opts); err != nil {
 			// A spec-level failure: hand the range back with the reason.
 			// The lease may already be stale (heartbeat lost) — Fail is a
-			// no-op then.
-			c.Fail(lease.Job, lease.ID, err.Error())
+			// no-op then, and a Fail the coordinator never hears is
+			// equivalent (the lease expires on its own).
+			c.Fail(ctx, lease.Job, lease.ID, err.Error())
 			if ctx.Err() != nil {
 				return nil
 			}
 			continue
 		}
-		if err := c.Complete(lease.Job, lease.ID); err != nil {
-			return err
+		if err := c.Complete(ctx, lease.Job, lease.ID); err != nil {
+			// The results are already flushed, so losing the Complete costs
+			// a reassignment (the next holder finds every search warm), not
+			// correctness. Keep working unless the coordinator stays dead.
+			if ctx.Err() != nil {
+				return nil
+			}
+			if failures++; failures >= maxConsecutiveFailures {
+				return err
+			}
+			wait()
+			continue
 		}
 		completed++
 		if opts.MaxLeases > 0 && completed >= opts.MaxLeases {
@@ -100,18 +196,23 @@ func Work(ctx context.Context, c Coord, st *store.Store, opts WorkerOptions) err
 	}
 }
 
-// workLease executes one lease: refresh the store view (another worker
-// may have computed half the range already — those become disk hits),
-// then evaluate every task with a fresh two-tier cache over the shared
-// store. A heartbeat goroutine keeps the lease alive; losing it (the
-// coordinator reassigned the range) cancels the work mid-flight, since
-// finishing a stolen range only duplicates another worker's effort.
-func workLease(ctx context.Context, c Coord, st *store.Store, lease *Lease, opts WorkerOptions) error {
-	if err := st.Refresh(); err != nil {
+// workLease executes one lease: Begin the store for the job (refresh the
+// shared view, or pull the coordinator's warm-key digest — either way,
+// tasks another worker already computed become hits), evaluate every
+// task with a fresh two-tier cache over the worker store, then Flush
+// before the caller Completes — results must be durable outside this
+// process before the range can be marked done. A heartbeat goroutine
+// keeps the lease alive; losing it (the coordinator reassigned the
+// range) cancels the work mid-flight, since finishing a stolen range
+// only duplicates another worker's effort — but what was already
+// computed still flushes: uploads dedupe first-write-wins, so the effort
+// is banked either way.
+func workLease(ctx context.Context, c Coord, ws WorkerStore, lease *Lease, opts WorkerOptions) error {
+	if err := ws.Begin(ctx, lease.Job); err != nil {
 		return err
 	}
 	cache := mapper.NewCache()
-	cache.SetPersister(st)
+	cache.SetPersister(ws)
 
 	lctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -129,7 +230,7 @@ func workLease(ctx context.Context, c Coord, st *store.Store, lease *Lease, opts
 			case <-lctx.Done():
 				return
 			case <-t.C:
-				if err := c.Heartbeat(lease.Job, lease.ID); err != nil {
+				if err := c.Heartbeat(lctx, lease.Job, lease.ID); err != nil {
 					cancel()
 					return
 				}
@@ -139,6 +240,11 @@ func workLease(ctx context.Context, c Coord, st *store.Store, lease *Lease, opts
 	err := evalTasks(lctx, cache, lease, opts)
 	cancel()
 	<-hbDone
+	// Flush under the parent context: even a lease lost mid-range has
+	// banked work worth uploading, and only a real shutdown aborts it.
+	if ferr := ws.Flush(ctx); err == nil {
+		err = ferr
+	}
 	return err
 }
 

@@ -1,0 +1,341 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"photoloop/internal/mapper"
+	"photoloop/internal/retry"
+)
+
+// RemotePersister is the shared-nothing result channel of a remote shard
+// worker: a mapper.Persister that holds no filesystem store. Completed
+// searches batch up and POST back to the coordinator as CRC-framed
+// records (EncodeFrames); the coordinator decodes and appends them into
+// its own segment, so the artifact-assembly path over the merged store is
+// byte-for-byte what a shared-directory run produces. Loads consult a
+// bloom digest of the coordinator's keys (pulled once per lease) and
+// fetch probable hits individually — a digest false positive costs one
+// 404 before the worker recomputes, and every network failure on the
+// read path is just a miss: integrity over availability, recomputation is
+// bit-identical by construction.
+//
+// It is safe for concurrent use (mapper.Cache calls Load and Store from
+// every search worker).
+type RemotePersister struct {
+	base   string
+	client *http.Client
+	policy retry.Policy
+
+	// OnFlush, when set, observes each upload about to happen (record
+	// count) — worker diagnostics and crash-test synchronization.
+	OnFlush func(n int)
+
+	mu           sync.Mutex
+	ctx          context.Context
+	job          string
+	digest       *KeyDigest
+	pending      []pendingRec
+	pendingBytes int
+	local        map[mapper.Key]*mapper.Best
+	stats        RemoteStats
+}
+
+// pendingRec is one not-yet-uploaded result, pre-encoded so the batch's
+// byte size is exact and Flush never re-encodes.
+type pendingRec struct {
+	key     mapper.Key
+	payload []byte
+}
+
+// RemoteStats counts a RemotePersister's traffic, by outcome.
+type RemoteStats struct {
+	// Uploaded is how many result records reached the coordinator.
+	Uploaded int
+	// Flushes is how many upload POSTs were made.
+	Flushes int
+	// WarmHits is how many Loads were served by a coordinator fetch.
+	WarmHits int
+	// LocalHits is how many Loads were served from this process's own
+	// prior results.
+	LocalHits int
+	// Misses is how many Loads found nothing (including digest misses
+	// and fetch failures — both recompute).
+	Misses int
+	// Retries is how many individual HTTP attempts failed and were
+	// retried across every leg (digest pull, fetch, upload).
+	Retries int
+}
+
+// Upload batching thresholds: a batch flushes when it holds this many
+// records or this many payload bytes, whichever comes first. Results are
+// a few KB each, so the byte cap is the binding one only for unusually
+// fat records.
+const (
+	remoteBatchRecords = 64
+	remoteBatchBytes   = 1 << 20
+)
+
+// uploadDelayEnv is a test hook mirroring PHOTOLOOP_JOB_POINT_DELAY: a
+// sleep between announcing an upload (OnFlush) and POSTing it, widening
+// the mid-upload crash window so tests can SIGKILL a worker between the
+// two deterministically.
+const uploadDelayEnv = "PHOTOLOOP_UPLOAD_DELAY"
+
+// NewRemotePersister returns a persister that exchanges results with the
+// coordinator at base (e.g. "http://host:8080"). A nil client uses a
+// dedicated client with a 30s request timeout.
+func NewRemotePersister(base string, client *http.Client) *RemotePersister {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	r := &RemotePersister{
+		base:   strings.TrimRight(base, "/"),
+		client: client,
+		ctx:    context.Background(),
+		local:  map[mapper.Key]*mapper.Best{},
+	}
+	r.policy = retry.Policy{OnRetry: func(error) {
+		r.mu.Lock()
+		r.stats.Retries++
+		r.mu.Unlock()
+	}}
+	return r
+}
+
+// SetRetryPolicy overrides the HTTP retry policy (tests shorten the
+// backoff). The policy's OnRetry is chained into the Retries counter.
+func (r *RemotePersister) SetRetryPolicy(p retry.Policy) {
+	inner := p.OnRetry
+	p.OnRetry = func(err error) {
+		r.mu.Lock()
+		r.stats.Retries++
+		r.mu.Unlock()
+		if inner != nil {
+			inner(err)
+		}
+	}
+	r.mu.Lock()
+	r.policy = p
+	r.mu.Unlock()
+}
+
+// Begin binds the persister to a job for the duration of a lease: it
+// pulls the coordinator's warm-key digest so Loads can skip searches any
+// worker already solved. A digest pull failure is not fatal — the worker
+// just recomputes (and its uploads still dedupe coordinator-side); the
+// context governs this and every later request until the next Begin.
+func (r *RemotePersister) Begin(ctx context.Context, job string) error {
+	body, status, err := r.do(ctx, http.MethodGet, "/v1/jobs/"+job+"/keys", nil)
+	var digest *KeyDigest
+	if err == nil && status == http.StatusOK {
+		digest, err = DecodeKeyDigest(body)
+	}
+	r.mu.Lock()
+	r.ctx = ctx
+	r.job = job
+	if err == nil && digest != nil {
+		r.digest = digest
+	} else {
+		r.digest = nil // unknown warmth: probe nothing, recompute everything
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// Load implements mapper.Persister. Own results (uploaded or pending)
+// serve locally; otherwise the digest gates a single-key fetch from the
+// coordinator. Any failure along the way is a miss — the search
+// recomputes the bit-identical result.
+func (r *RemotePersister) Load(k mapper.Key) (*mapper.Best, bool) {
+	r.mu.Lock()
+	if b, ok := r.local[k]; ok {
+		r.stats.LocalHits++
+		r.mu.Unlock()
+		return b, true
+	}
+	ctx, job, digest := r.ctx, r.job, r.digest
+	r.mu.Unlock()
+	if job == "" || digest == nil || !digest.Has(k) {
+		r.miss()
+		return nil, false
+	}
+	body, status, err := r.do(ctx, http.MethodGet, "/v1/jobs/"+job+"/results/"+keyHex(k), nil)
+	if err != nil || status != http.StatusOK {
+		r.miss()
+		return nil, false
+	}
+	b, err := DecodeBest(body)
+	if err != nil {
+		r.miss()
+		return nil, false
+	}
+	r.mu.Lock()
+	r.local[k] = b
+	r.stats.WarmHits++
+	r.mu.Unlock()
+	return b, true
+}
+
+func (r *RemotePersister) miss() {
+	r.mu.Lock()
+	r.stats.Misses++
+	r.mu.Unlock()
+}
+
+// Store implements mapper.Persister: the result joins the pending batch,
+// which uploads when it crosses the batching thresholds (a partial batch
+// rides until Flush). A mid-batch upload failure is surfaced here so the
+// cache records it as a disk fail, and the records stay pending for
+// Flush to retry.
+func (r *RemotePersister) Store(k mapper.Key, b *mapper.Best) error {
+	payload := EncodeBest(b)
+	r.mu.Lock()
+	if _, ok := r.local[k]; ok {
+		r.mu.Unlock()
+		return nil
+	}
+	r.local[k] = b
+	r.pending = append(r.pending, pendingRec{key: k, payload: payload})
+	r.pendingBytes += len(payload)
+	full := len(r.pending) >= remoteBatchRecords || r.pendingBytes >= remoteBatchBytes
+	ctx := r.ctx
+	r.mu.Unlock()
+	if !full {
+		return nil
+	}
+	return r.Flush(ctx)
+}
+
+// Flush uploads every pending record and blocks until the coordinator
+// acknowledges them (or retries are exhausted). Workers call it before
+// Complete: results must be durable coordinator-side before the range is
+// marked done, or a lost batch would leave holes the assembly run can
+// only fill by recomputing. On failure the records stay pending.
+func (r *RemotePersister) Flush(ctx context.Context) error {
+	r.mu.Lock()
+	if len(r.pending) == 0 {
+		r.mu.Unlock()
+		return nil
+	}
+	batch := r.pending
+	batchBytes := r.pendingBytes
+	r.pending = nil
+	r.pendingBytes = 0
+	job := r.job
+	r.mu.Unlock()
+
+	if r.OnFlush != nil {
+		r.OnFlush(len(batch))
+	}
+	if delay, _ := time.ParseDuration(os.Getenv(uploadDelayEnv)); delay > 0 {
+		time.Sleep(delay)
+	}
+	body := frameHeader(len(batch), batchBytes)
+	for i := range batch {
+		body = appendFrame(body, batch[i].key, batch[i].payload)
+	}
+	_, status, err := r.do(ctx, http.MethodPost, "/v1/jobs/"+job+"/results", body)
+	if err != nil || status != http.StatusOK {
+		r.mu.Lock()
+		r.pending = append(batch, r.pending...)
+		r.pendingBytes += batchBytes
+		r.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("store: result upload rejected with status %d", status)
+		}
+		return err
+	}
+	r.mu.Lock()
+	r.stats.Flushes++
+	r.stats.Uploaded += len(batch)
+	r.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of the persister's traffic counters.
+func (r *RemotePersister) Stats() RemoteStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// do issues one HTTP request under the retry policy: transport errors,
+// truncated bodies and 5xx responses retry with exponential backoff; any
+// other status returns immediately with its (drained) body. The returned
+// error is nil whenever a complete response was read, whatever the
+// status — callers branch on status.
+func (r *RemotePersister) do(ctx context.Context, method, path string, body []byte) ([]byte, int, error) {
+	r.mu.Lock()
+	policy := r.policy
+	r.mu.Unlock()
+	var out []byte
+	var status int
+	err := policy.Do(ctx, func() error {
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, r.base+path, reader)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err // truncated response: retry
+		}
+		if resp.StatusCode >= 500 {
+			return fmt.Errorf("store: %s %s: status %d", method, path, resp.StatusCode)
+		}
+		out, status = b, resp.StatusCode
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, status, nil
+}
+
+// keyHex renders a key as the 48-hex-digit path segment of the
+// single-result fetch endpoint.
+func keyHex(k mapper.Key) string {
+	return fmt.Sprintf("%016x%016x%016x", k.Arch, k.Layer, k.Opts)
+}
+
+// ParseKeyHex parses the 48-hex-digit key form produced by the remote
+// persister's fetch path (the coordinator's route handler uses it).
+func ParseKeyHex(s string) (mapper.Key, bool) {
+	if len(s) != 48 {
+		return mapper.Key{}, false
+	}
+	var parts [3]uint64
+	for i := range parts {
+		var v uint64
+		for _, c := range s[i*16 : (i+1)*16] {
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			default:
+				return mapper.Key{}, false
+			}
+			v = v<<4 | d
+		}
+		parts[i] = v
+	}
+	return mapper.Key{Arch: parts[0], Layer: parts[1], Opts: parts[2]}, true
+}

@@ -458,6 +458,40 @@ func (s *Store) Recovered() int64 {
 	return s.recovered
 }
 
+// Has reports whether the store's current view holds the key.
+func (s *Store) Has(k mapper.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[k]
+	return ok
+}
+
+// Keys returns a snapshot of every key in the store's current view, in
+// unspecified order.
+func (s *Store) Keys() []mapper.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]mapper.Key, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Digest builds a bloom KeyDigest over the store's current view — the
+// warm-key summary a coordinator serves so remote workers skip searches
+// any writer already solved. Digest construction is order-independent,
+// so equal key sets encode byte-identically.
+func (s *Store) Digest() *KeyDigest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := NewKeyDigest(len(s.index))
+	for k := range s.index {
+		d.Add(k)
+	}
+	return d
+}
+
 // Load implements mapper.Persister: it returns the stored best for the
 // key, or false. A record that fails to decode (impossible after a clean
 // scan unless a file was modified underneath us) is a miss.

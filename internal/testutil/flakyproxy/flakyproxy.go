@@ -1,0 +1,206 @@
+// Package flakyproxy is a fault-injecting HTTP middleman for tests: it
+// wraps a backend handler and, on a deterministic schedule, drops
+// responses (the backend did the work but the client never hears),
+// delays them, duplicates the request against the backend, or truncates
+// the response body mid-flight. It exists to prove the shard protocol's
+// claim that a flaky network costs retries, never bytes: a sharded run
+// whose every worker↔coordinator call crosses this proxy must still
+// produce an artifact byte-identical to the unsharded reference.
+//
+// The schedule is counter-based, not random: every FaultEvery-th request
+// is faulted, fault classes rotate round-robin (so all four classes
+// trigger on any non-trivial run), and at most MaxConsecutive faults hit
+// in a row before a forced pass-through — which guarantees that a client
+// with more than MaxConsecutive retry attempts always eventually
+// succeeds. The same inputs produce the same fault sequence, keeping
+// failures reproducible.
+package flakyproxy
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// Fault classes, applied round-robin in this order.
+const (
+	faultDrop = iota
+	faultDelay
+	faultDup
+	faultTruncate
+	numFaults
+)
+
+// Options tunes a Proxy's fault schedule.
+type Options struct {
+	// FaultEvery faults every Nth request (0 disables all faults).
+	FaultEvery int
+	// MaxConsecutive caps faults in a row before a forced pass-through
+	// (default 2). Keep it below the client's retry attempts or nothing
+	// ever gets through.
+	MaxConsecutive int
+	// Delay is the sleep injected by the delay fault (default 25ms).
+	Delay time.Duration
+}
+
+// Stats counts the faults a Proxy has injected, by class.
+type Stats struct {
+	// Requests is the total number of requests seen.
+	Requests int
+	// Drops counts responses severed after the backend served them.
+	Drops int
+	// Delays counts delayed responses.
+	Delays int
+	// Dups counts requests delivered to the backend twice.
+	Dups int
+	// Truncates counts response bodies cut mid-flight.
+	Truncates int
+}
+
+// Proxy is the fault-injecting http.Handler. Wrap it around a backend
+// handler and point clients at a server serving the Proxy.
+type Proxy struct {
+	backend http.Handler
+	opts    Options
+
+	mu          sync.Mutex
+	requests    int
+	consecutive int
+	nextFault   int
+	stats       Stats
+}
+
+// New wraps backend in a fault-injecting proxy.
+func New(backend http.Handler, opts Options) *Proxy {
+	if opts.MaxConsecutive <= 0 {
+		opts.MaxConsecutive = 2
+	}
+	if opts.Delay <= 0 {
+		opts.Delay = 25 * time.Millisecond
+	}
+	return &Proxy{backend: backend, opts: opts}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// decide picks this request's fate: -1 for pass-through, else a fault
+// class.
+func (p *Proxy) decide() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.requests++
+	p.stats.Requests++
+	if p.opts.FaultEvery <= 0 || p.requests%p.opts.FaultEvery != 0 || p.consecutive >= p.opts.MaxConsecutive {
+		p.consecutive = 0
+		return -1
+	}
+	p.consecutive++
+	fault := p.nextFault
+	p.nextFault = (p.nextFault + 1) % numFaults
+	switch fault {
+	case faultDrop:
+		p.stats.Drops++
+	case faultDelay:
+		p.stats.Delays++
+	case faultDup:
+		p.stats.Dups++
+	case faultTruncate:
+		p.stats.Truncates++
+	}
+	return fault
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Buffer the body up front so the backend can be served twice (dup)
+	// or served with the response discarded (drop).
+	var body []byte
+	if r.Body != nil {
+		body, _ = io.ReadAll(r.Body)
+		r.Body.Close()
+	}
+	replay := func() *http.Request {
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		return r2
+	}
+	switch p.decide() {
+	case faultDrop:
+		// The backend does the work — a POST's side effects happen — but
+		// the client never sees the response: the lost-200 case, which
+		// forces a retry of an already-applied request.
+		rec := httptest.NewRecorder()
+		p.backend.ServeHTTP(rec, replay())
+		p.sever(w)
+	case faultDelay:
+		time.Sleep(p.opts.Delay)
+		p.backend.ServeHTTP(w, replay())
+	case faultDup:
+		// The backend sees the request twice — the network-duplicated
+		// POST — and the client gets the second response.
+		rec := httptest.NewRecorder()
+		p.backend.ServeHTTP(rec, replay())
+		p.backend.ServeHTTP(w, replay())
+	case faultTruncate:
+		// Advertise the full body, send half, cut the connection: the
+		// client's read fails mid-body and must treat the response as
+		// never received.
+		rec := httptest.NewRecorder()
+		p.backend.ServeHTTP(rec, replay())
+		p.truncate(w, rec)
+	default:
+		p.backend.ServeHTTP(w, replay())
+	}
+}
+
+// sever closes the client connection without writing a response. Without
+// hijack support it falls back to a 502, which clients also retry.
+func (p *Proxy) sever(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn.Close()
+}
+
+// truncate writes the recorded response with its full Content-Length but
+// only half the body, then cuts the connection.
+func (p *Proxy) truncate(w http.ResponseWriter, rec *httptest.ResponseRecorder) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn, bufrw, err := hj.Hijack()
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	defer conn.Close()
+	body := rec.Body.Bytes()
+	fmt.Fprintf(bufrw, "HTTP/1.1 %d %s\r\n", rec.Code, http.StatusText(rec.Code))
+	for k, vs := range rec.Header() {
+		for _, v := range vs {
+			fmt.Fprintf(bufrw, "%s: %s\r\n", k, v)
+		}
+	}
+	fmt.Fprintf(bufrw, "Content-Length: %d\r\nConnection: close\r\n\r\n", len(body))
+	bufrw.Write(body[:len(body)/2])
+	bufrw.Flush()
+}
